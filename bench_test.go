@@ -1,0 +1,292 @@
+// Benchmarks regenerating every evaluation artifact of the paper (one
+// benchmark per table and figure, backed by internal/experiments) plus
+// micro-benchmarks of the kernels they are built from. Modeled cluster
+// metrics are attached via b.ReportMetric:
+//
+//	go test -bench=. -benchmem
+//
+// The full-resolution reports (text + CSV) come from cmd/cstf-bench; these
+// benchmarks run the same runners at a reduced dataset scale so the suite
+// finishes in minutes.
+package cstf_test
+
+import (
+	"testing"
+
+	"cstf"
+	"cstf/internal/bigtensor"
+	"cstf/internal/cluster"
+	"cstf/internal/core"
+	"cstf/internal/cpals"
+	"cstf/internal/experiments"
+	"cstf/internal/la"
+	"cstf/internal/mapreduce"
+	"cstf/internal/rdd"
+	"cstf/internal/tensor"
+	"cstf/internal/workload"
+)
+
+func benchParams() experiments.Params {
+	p := experiments.DefaultParams()
+	p.Scale = 5e-5
+	return p
+}
+
+// BenchmarkTable5 regenerates the dataset-summary table.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if lines := experiments.Table5(benchParams()); len(lines) != 6 {
+			b.Fatal("table 5 incomplete")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the per-MTTKRP cost comparison (flops,
+// intermediate data, shuffles for BIGtensor / COO / QCOO).
+func BenchmarkTable4(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.MeasuredShuffles), "shuffles/"+string(r.Algo))
+			}
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2: 3rd-order CP-ALS runtime vs cluster
+// size for COO, QCOO, and BIGtensor on all three datasets.
+func BenchmarkFig2(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig2(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Dataset == "delicious3d" {
+					b.ReportMetric(r.SpeedupCOO, "speedup@"+itoa(r.Nodes))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3: 4th-order CP-ALS runtime vs cluster
+// size for COO and QCOO.
+func BenchmarkFig3(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig3(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Dataset == "flickr" {
+					b.ReportMetric(r.RatioQvsCOO, "coo/qcoo@"+itoa(r.Nodes))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4: remote/local shuffle bytes per
+// CP-ALS iteration, by MTTKRP mode.
+func BenchmarkFig4(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(100*res.RemoteReduction["delicious3d"], "remote-reduction-%")
+			b.ReportMetric(100*res.LocalReduction["delicious3d"], "local-reduction-%")
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5: per-mode MTTKRP runtimes on 4 nodes.
+func BenchmarkFig5(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig5(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Dataset == "nell1" && r.Algo == experiments.AlgoQ {
+					b.ReportMetric(r.Mode[0], "qcoo-mode1-s")
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Kernel micro-benchmarks (real wall-clock of this implementation).
+// ---------------------------------------------------------------------------
+
+func benchTensor() *tensor.COO {
+	cfg, _ := workload.ByName("delicious3d")
+	return cfg.Generate(5e-5)
+}
+
+// BenchmarkSerialMTTKRP measures the reference COO MTTKRP kernel.
+func BenchmarkSerialMTTKRP(b *testing.B) {
+	x := benchTensor()
+	rank := 8
+	factors := make([]*la.Dense, 3)
+	for n := range factors {
+		factors[n] = cpals.InitFactor(1, n, x.Dims[n], rank)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpals.MTTKRP(x, i%3, factors)
+	}
+	b.SetBytes(int64(x.NNZ() * tensor.EntryBytes(3)))
+}
+
+// BenchmarkSerialCPALSIteration measures one full serial ALS iteration.
+func BenchmarkSerialCPALSIteration(b *testing.B) {
+	x := benchTensor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cpals.Solve(x, cpals.Options{Rank: 8, MaxIters: 1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCOOStep measures one distributed CSTF-COO mode update
+// (engine wall-clock, not modeled time).
+func BenchmarkCOOStep(b *testing.B) {
+	x := benchTensor()
+	c := cluster.New(8, cluster.CometProfile())
+	ctx := rdd.NewContext(c, 32)
+	s := core.NewCOOState(ctx, x, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(i % 3)
+	}
+}
+
+// BenchmarkQCOOStep measures one distributed CSTF-QCOO mode update.
+func BenchmarkQCOOStep(b *testing.B) {
+	x := benchTensor()
+	c := cluster.New(8, cluster.CometProfile())
+	ctx := rdd.NewContext(c, 32)
+	s := core.NewQCOOState(ctx, x, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(i % 3)
+	}
+}
+
+// BenchmarkBigtensorMTTKRP measures one 4-job GigaTensor MTTKRP.
+func BenchmarkBigtensorMTTKRP(b *testing.B) {
+	x := benchTensor()
+	env := mapreduce.NewEnv(cluster.New(8, cluster.CometProfile()), 32)
+	s, err := bigtensor.New(env, x, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MTTKRP(i % 3)
+	}
+}
+
+// BenchmarkShuffle measures the engine's hash-shuffle throughput.
+func BenchmarkShuffle(b *testing.B) {
+	c := cluster.New(8, cluster.CometProfile())
+	ctx := rdd.NewContext(c, 32)
+	recs := make([]rdd.KV[uint32, float64], 200_000)
+	for i := range recs {
+		recs[i] = rdd.KV[uint32, float64]{Key: uint32(i), Val: float64(i)}
+	}
+	b.SetBytes(int64(len(recs) * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := rdd.FromSlice(ctx, "bench", recs, rdd.FixedSize[rdd.KV[uint32, float64]](16))
+		rdd.Count(rdd.PartitionBy(d))
+	}
+}
+
+// BenchmarkPinv measures the rank-sized pseudo-inverse (Jacobi eigen).
+func BenchmarkPinv(b *testing.B) {
+	m := la.NewDense(16, 16)
+	for i := 0; i < 16; i++ {
+		for j := 0; j <= i; j++ {
+			v := 1.0 / float64(1+i+j)
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		la.Pinv(m)
+	}
+}
+
+// BenchmarkDecomposePublicAPI measures an end-to-end public-API call.
+func BenchmarkDecomposePublicAPI(b *testing.B) {
+	x := cstf.RandomTensor(1, 20_000, 500, 400, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cstf.Decompose(x, cstf.Options{
+			Rank: 4, MaxIters: 2, Tol: cstf.NoTol, Nodes: 4,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkCSFvsCOOKernel compares the two serial MTTKRP kernels: the
+// per-nonzero COO loop (Algorithm 2) and the SPLATT-style CSF tree.
+func BenchmarkCSFvsCOOKernel(b *testing.B) {
+	x := benchTensor()
+	rank := 8
+	factors := make([]*la.Dense, 3)
+	for n := range factors {
+		factors[n] = cpals.InitFactor(1, n, x.Dims[n], rank)
+	}
+	b.Run("COO", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cpals.MTTKRP(x, 0, factors)
+		}
+	})
+	b.Run("CSF", func(b *testing.B) {
+		csfs := cpals.BuildCSFs(x)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cpals.MTTKRPCSF(csfs[0], factors)
+		}
+	})
+	b.Run("CSF-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cpals.BuildCSFs(x)
+		}
+	})
+}

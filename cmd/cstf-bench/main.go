@@ -1,0 +1,169 @@
+// cstf-bench regenerates the paper's evaluation: every figure and table of
+// Section 6, as text reports and CSV files.
+//
+// Usage:
+//
+//	cstf-bench -exp all            # everything (default)
+//	cstf-bench -exp fig2           # one experiment: fig2|fig3|fig4|fig5|table4|table5
+//	cstf-bench -scale 1e-3         # dataset scale (fraction of Table 5 sizes)
+//	cstf-bench -rank 2             # decomposition rank (paper: 2)
+//	cstf-bench -out results        # directory for CSV output ("" disables)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cstf/internal/experiments"
+	"cstf/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all|fig2|fig3|fig4|fig5|table4|table5|ablations|json")
+	scale := flag.Float64("scale", 1e-3, "dataset scale in (0, 1]")
+	rank := flag.Int("rank", 2, "decomposition rank")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	out := flag.String("out", "results", "directory for CSV output (empty to skip)")
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	p.Scale = *scale
+	p.Rank = *rank
+	p.Seed = *seed
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	writeCSV := func(name, data string) {
+		if *out == "" {
+			return
+		}
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if *exp == "json" {
+		rep, err := experiments.RunAll(p)
+		if err != nil {
+			fatal(err)
+		}
+		if *out == "" {
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		path := filepath.Join(*out, "report.json")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+		return
+	}
+
+	if run("table5") {
+		ran = true
+		fmt.Println(experiments.RenderTable5(experiments.Table5(p)))
+	}
+	if run("table4") {
+		ran = true
+		rows, err := experiments.Table4(p)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, _ := workload.ByName("delicious3d")
+		fmt.Println(experiments.RenderTable4(rows, cfg.ScaledNNZ(p.Scale), p.Rank))
+	}
+	if run("fig2") {
+		ran = true
+		rows, err := experiments.Fig2(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderFig2(rows))
+		writeCSV("fig2.csv", experiments.CSVFig2(rows))
+	}
+	if run("fig3") {
+		ran = true
+		rows, err := experiments.Fig3(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderFig3(rows))
+		writeCSV("fig3.csv", experiments.CSVFig3(rows))
+	}
+	if run("fig4") {
+		ran = true
+		res, err := experiments.Fig4(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderFig4(res, p.Scale))
+	}
+	if run("fig5") {
+		ran = true
+		rows, err := experiments.Fig5(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderFig5(rows))
+	}
+	if run("ablations") {
+		ran = true
+		caching, err := experiments.AblationCaching(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderAblationCaching(caching))
+		gram, err := experiments.AblationGramReuse(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderAblationGramReuse(gram))
+		ranks, err := experiments.AblationRankSweep(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderAblationRankSweep(ranks))
+		orders, err := experiments.AblationOrderSweep(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderAblationOrderSweep(orders))
+		res, err := experiments.ResilienceSweep(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderResilience(res))
+		parts, err := experiments.AblationPartitions(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderAblationPartitions(parts))
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cstf-bench:", err)
+	os.Exit(1)
+}

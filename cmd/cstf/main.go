@@ -1,0 +1,136 @@
+// cstf factorizes a sparse tensor with CP-ALS using any of the four
+// implementations in this repository.
+//
+// Usage:
+//
+//	cstf -in tensor.tns -algo qcoo -rank 8 -iters 25 -nodes 8
+//	cstf -dataset nell1 -scale 1e-4 -algo coo
+//
+// Exactly one of -in (a FROSTT .tns file) or -dataset (a Table 5 dataset
+// name; see -list) selects the input. Distributed algorithms (coo, qcoo,
+// bigtensor) print the simulated-cluster cost summary; -factors writes the
+// factor matrices as .tns-style text files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cstf"
+)
+
+func main() {
+	in := flag.String("in", "", "input tensor in FROSTT .tns format")
+	dataset := flag.String("dataset", "", "generate a Table 5 dataset instead of reading a file")
+	scale := flag.Float64("scale", 1e-4, "dataset scale when using -dataset")
+	list := flag.Bool("list", false, "list available -dataset names and exit")
+	algo := flag.String("algo", "qcoo", "algorithm: serial|coo|qcoo|bigtensor")
+	rank := flag.Int("rank", 8, "decomposition rank R")
+	iters := flag.Int("iters", 25, "maximum ALS iterations")
+	tol := flag.Float64("tol", 1e-5, "fit-improvement stopping tolerance (0 disables)")
+	nodes := flag.Int("nodes", 4, "simulated worker nodes for distributed algorithms")
+	seed := flag.Uint64("seed", 42, "deterministic initialization seed")
+	factors := flag.String("factors", "", "directory to write factor matrices (optional)")
+	trace := flag.String("trace", "", "write a Chrome trace of the modeled execution to this file")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available datasets:", strings.Join(cstf.DatasetNames(), ", "))
+		return
+	}
+
+	var x *cstf.Tensor
+	var err error
+	switch {
+	case *in != "" && *dataset != "":
+		fatal(fmt.Errorf("use either -in or -dataset, not both"))
+	case *in != "":
+		if strings.HasSuffix(*in, ".bin") {
+			x, err = cstf.LoadBinaryTensor(*in)
+		} else {
+			x, err = cstf.LoadTensor(*in)
+		}
+	case *dataset != "":
+		x, err = cstf.Dataset(*dataset, *scale)
+	default:
+		fatal(fmt.Errorf("one of -in or -dataset is required (see -h)"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("input:", x)
+
+	o := cstf.Options{
+		Algorithm: cstf.Algorithm(*algo),
+		Rank:      *rank,
+		MaxIters:  *iters,
+		Tol:       *tol,
+		Seed:      *seed,
+		Nodes:     *nodes,
+	}
+	if *tol == 0 {
+		o.Tol = cstf.NoTol
+	}
+	if *dataset != "" {
+		o.WorkScale = 1 / *scale // report full-scale-equivalent modeled time
+	}
+	o.TracePath = *trace
+
+	dec, err := cstf.Decompose(x, o)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("algorithm:  %s\n", *algo)
+	fmt.Printf("iterations: %d\n", dec.Iters)
+	fmt.Printf("fit:        %.6f\n", dec.Fit())
+	fmt.Printf("residual:   %.6f\n", dec.Residual(x))
+	fmt.Printf("lambda:     %.4g\n", dec.Lambda)
+	if dec.Metrics.SimSeconds > 0 {
+		m := dec.Metrics
+		fmt.Printf("modeled cluster cost (%d nodes):\n", *nodes)
+		fmt.Printf("  time:          %.1f s\n", m.SimSeconds)
+		fmt.Printf("  remote shuffle: %.2f MB\n", m.RemoteBytes/1e6)
+		fmt.Printf("  local shuffle:  %.2f MB\n", m.LocalBytes/1e6)
+		fmt.Printf("  shuffles:       %d\n", m.Shuffles)
+		if m.HadoopJobs > 0 {
+			fmt.Printf("  hadoop jobs:    %d\n", m.HadoopJobs)
+		}
+	}
+
+	if *factors != "" {
+		if err := os.MkdirAll(*factors, 0o755); err != nil {
+			fatal(err)
+		}
+		for n, f := range dec.Factors {
+			path := filepath.Join(*factors, fmt.Sprintf("mode-%d.txt", n+1))
+			if err := writeFactor(path, f); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+}
+
+func writeFactor(path string, f *cstf.Matrix) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < f.Rows(); i++ {
+		fmt.Fprintf(out, "%d", i+1)
+		for j := 0; j < f.Cols(); j++ {
+			fmt.Fprintf(out, " %g", f.At(i, j))
+		}
+		fmt.Fprintln(out)
+	}
+	return out.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cstf:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// tensorgen writes synthetic sparse tensors in FROSTT .tns format.
+//
+// Usage:
+//
+//	tensorgen -out x.tns -dims 1000,800,600 -nnz 50000            # uniform
+//	tensorgen -out x.tns -dims 1000,800,600 -nnz 50000 -zipf 0.8  # skewed
+//	tensorgen -out x.tns -dataset delicious3d -scale 1e-4         # Table 5
+//	tensorgen -out x.tns -dims 100,100,100 -nnz 20000 -rank 4 -noise 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cstf"
+)
+
+func main() {
+	out := flag.String("out", "", "output .tns path (required)")
+	dimsArg := flag.String("dims", "", "comma-separated mode sizes, e.g. 1000,800,600")
+	nnz := flag.Int("nnz", 100000, "approximate nonzero count")
+	zipf := flag.Float64("zipf", 0, "Zipf skew exponent in (0,1); 0 = uniform")
+	rank := flag.Int("rank", 0, "plant a low-rank CP model of this rank (0 = random values)")
+	noise := flag.Float64("noise", 0, "Gaussian noise level for -rank")
+	dataset := flag.String("dataset", "", "generate a Table 5 dataset (overrides -dims/-nnz)")
+	scale := flag.Float64("scale", 1e-4, "dataset scale for -dataset")
+	format := flag.String("format", "tns", "output format: tns (FROSTT text) or bin (CSTFBIN1)")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	flag.Parse()
+
+	if *out == "" {
+		fatal(fmt.Errorf("-out is required"))
+	}
+
+	var x *cstf.Tensor
+	var err error
+	switch {
+	case *dataset != "":
+		x, err = cstf.Dataset(*dataset, *scale)
+	case *dimsArg != "":
+		dims, derr := parseDims(*dimsArg)
+		if derr != nil {
+			fatal(derr)
+		}
+		switch {
+		case *rank > 0:
+			x = cstf.LowRankTensor(*seed, *nnz, *rank, *noise, dims...)
+		case *zipf > 0:
+			x = cstf.ZipfTensor(*seed, *nnz, *zipf, dims...)
+		default:
+			x = cstf.RandomTensor(*seed, *nnz, dims...)
+		}
+	default:
+		fatal(fmt.Errorf("one of -dims or -dataset is required"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *format {
+	case "tns":
+		err = x.Save(*out)
+	case "bin":
+		err = x.SaveBinary(*out)
+	default:
+		err = fmt.Errorf("unknown format %q (tns or bin)", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %s\n", *out, x)
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad mode size %q", p)
+		}
+		dims = append(dims, v)
+	}
+	return dims, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tensorgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,304 @@
+package cstf
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"cstf/internal/bigtensor"
+	"cstf/internal/cluster"
+	"cstf/internal/core"
+	"cstf/internal/cpals"
+	"cstf/internal/la"
+	"cstf/internal/mapreduce"
+	"cstf/internal/rdd"
+	"cstf/internal/rng"
+)
+
+// Algorithm selects the CP-ALS implementation.
+type Algorithm string
+
+// The four CP-ALS implementations in this repository.
+const (
+	// Serial is the single-machine reference implementation.
+	Serial Algorithm = "serial"
+	// COO is CSTF-COO (Section 4.1 of the paper): MTTKRP as a chain of
+	// key-by/join stages over COO nonzeros on the Spark-like engine.
+	COO Algorithm = "coo"
+	// QCOO is CSTF-QCOO (Section 4.2): the queue strategy that reuses
+	// factor rows between consecutive MTTKRPs, halving shuffles.
+	QCOO Algorithm = "qcoo"
+	// BigTensor is the paper's baseline: the GigaTensor algorithm on the
+	// Hadoop-like MapReduce engine. 3rd-order tensors only.
+	BigTensor Algorithm = "bigtensor"
+)
+
+// Options configures Decompose. Zero values select the documented
+// defaults.
+type Options struct {
+	Algorithm Algorithm // default QCOO
+	Rank      int       // decomposition rank R; default 8
+	MaxIters  int       // maximum ALS iterations; default 25
+	Tol       float64   // fit-improvement stopping tolerance; default 1e-5 (0 keeps default; use NoTol to disable)
+	Seed      uint64    // deterministic initialization seed
+	Nodes     int       // simulated worker nodes for distributed algorithms; default 4
+	WorkScale float64   // cost-model multiplier when t is a 1/s-scale stand-in; default 1
+
+	// Profile overrides the cluster cost profile (default: CometProfile).
+	Profile *cluster.Profile
+
+	// TracePath, when set for a distributed algorithm, writes a Chrome
+	// trace-event JSON (chrome://tracing, Perfetto) of the modeled
+	// execution timeline to this file.
+	TracePath string
+}
+
+// NoTol disables the convergence test so exactly MaxIters iterations run.
+const NoTol = -1.0
+
+func (o Options) withDefaults() Options {
+	if o.Algorithm == "" {
+		o.Algorithm = QCOO
+	}
+	if o.Rank == 0 {
+		o.Rank = 8
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 25
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-5
+	} else if o.Tol == NoTol {
+		o.Tol = 0
+	}
+	if o.Nodes == 0 {
+		o.Nodes = 4
+	}
+	if o.WorkScale == 0 {
+		o.WorkScale = 1
+	}
+	return o
+}
+
+// Matrix is a read-only dense matrix view (factor matrices).
+type Matrix struct {
+	d *la.Dense
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.d.Rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.d.Cols }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.d.At(i, j) }
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 { return la.VecClone(m.d.Row(i)) }
+
+// Metrics summarizes the simulated-cluster cost of a distributed run.
+type Metrics struct {
+	SimSeconds    float64 // modeled wall-clock of the whole run
+	RemoteBytes   float64 // shuffle bytes read from remote nodes
+	LocalBytes    float64 // shuffle bytes read locally
+	Shuffles      int     // shuffle operations
+	Flops         float64 // floating-point operations charged
+	HadoopJobs    int     // MapReduce jobs launched (BigTensor only)
+	SecondsByMode map[string]float64
+}
+
+// Decomposition is a computed CP model [lambda; A_1 ... A_N].
+type Decomposition struct {
+	Lambda  []float64 // component weights, length R
+	Factors []*Matrix // one per mode, column-normalized
+	Fits    []float64 // fit after each iteration (empty for BigTensor)
+	Iters   int
+	Metrics Metrics // zero for the serial algorithm
+}
+
+// Fit returns the final model fit in [0, 1] (1 is exact).
+func (d *Decomposition) Fit() float64 {
+	if len(d.Fits) == 0 {
+		return 0
+	}
+	return d.Fits[len(d.Fits)-1]
+}
+
+// Rank returns the decomposition rank.
+func (d *Decomposition) Rank() int { return len(d.Lambda) }
+
+// At evaluates the model at one coordinate:
+// sum_r lambda_r prod_n A_n(idx_n, r).
+func (d *Decomposition) At(idx ...int) float64 {
+	if len(idx) != len(d.Factors) {
+		panic("cstf: coordinate order mismatch")
+	}
+	var s float64
+	for r := range d.Lambda {
+		p := d.Lambda[r]
+		for n, i := range idx {
+			p *= d.Factors[n].At(i, r)
+		}
+		s += p
+	}
+	return s
+}
+
+// Component describes one index's weight within a factor column.
+type Component struct {
+	Index  int
+	Weight float64
+}
+
+// TopK returns the k indices of `mode` with the largest absolute loading
+// in component r — the standard way to read a CP factor ("top nouns of
+// concept 3").
+func (d *Decomposition) TopK(mode, r, k int) []Component {
+	f := d.Factors[mode]
+	out := make([]Component, 0, f.Rows())
+	for i := 0; i < f.Rows(); i++ {
+		out = append(out, Component{Index: i, Weight: f.At(i, r)})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		wa, wb := out[a].Weight, out[b].Weight
+		if wa < 0 {
+			wa = -wa
+		}
+		if wb < 0 {
+			wb = -wb
+		}
+		return wa > wb
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Decompose runs CP-ALS on t with the selected algorithm.
+func Decompose(t *Tensor, o Options) (*Decomposition, error) {
+	o = o.withDefaults()
+	opts := cpals.Options{Rank: o.Rank, MaxIters: o.MaxIters, Tol: o.Tol, Seed: o.Seed}
+
+	profile := cluster.CometProfile()
+	if o.Profile != nil {
+		profile = *o.Profile
+	}
+	newCluster := func() *cluster.Cluster {
+		c := cluster.New(o.Nodes, profile)
+		c.SetWorkScale(o.WorkScale)
+		if o.TracePath != "" {
+			c.EnableTrace()
+		}
+		return c
+	}
+
+	var res *cpals.Result
+	var err error
+	var c *cluster.Cluster
+	switch o.Algorithm {
+	case Serial:
+		res, err = cpals.Solve(t.coo, opts)
+	case COO:
+		c = newCluster()
+		ctx := rdd.NewContext(c, o.Nodes*profile.CoresPerNode)
+		res, err = core.SolveCOO(ctx, t.coo, opts)
+	case QCOO:
+		c = newCluster()
+		ctx := rdd.NewContext(c, o.Nodes*profile.CoresPerNode)
+		res, err = core.SolveQCOO(ctx, t.coo, opts)
+	case BigTensor:
+		c = newCluster()
+		env := mapreduce.NewEnv(c, o.Nodes*profile.CoresPerNode)
+		res, err = bigtensor.Solve(env, t.coo, opts)
+	default:
+		return nil, fmt.Errorf("cstf: unknown algorithm %q", o.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Decomposition{
+		Lambda: res.Lambda,
+		Fits:   res.Fits,
+		Iters:  res.Iters,
+	}
+	for _, f := range res.Factors {
+		out.Factors = append(out.Factors, &Matrix{d: f})
+	}
+	if c != nil && o.TracePath != "" {
+		f, err := os.Create(o.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		if err := cluster.WriteChromeTrace(f, c.Trace()); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	if c != nil {
+		m := c.Metrics()
+		out.Metrics = Metrics{
+			SimSeconds:    c.SimTime(),
+			RemoteBytes:   m.TotalRemoteBytes(),
+			LocalBytes:    m.TotalLocalBytes(),
+			Shuffles:      m.TotalShuffles(),
+			Flops:         m.TotalFlops(),
+			HadoopJobs:    m.Jobs,
+			SecondsByMode: m.SimTime,
+		}
+	}
+	return out, nil
+}
+
+// DecomposeBest runs Decompose `restarts` times with initialization seeds
+// derived from o.Seed and returns the result with the highest fit — the
+// standard remedy for CP-ALS's sensitivity to its starting point. Only
+// meaningful for algorithms that report per-iteration fits (Serial, COO,
+// QCOO).
+func DecomposeBest(t *Tensor, o Options, restarts int) (*Decomposition, error) {
+	if restarts <= 0 {
+		return nil, fmt.Errorf("cstf: restarts must be positive, got %d", restarts)
+	}
+	var best *Decomposition
+	for r := 0; r < restarts; r++ {
+		or := o
+		or.Seed = rng.Hash64(o.Seed, uint64(r))
+		dec, err := Decompose(t, or)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || dec.Fit() > best.Fit() {
+			best = dec
+		}
+	}
+	return best, nil
+}
+
+// EstimateRank fits ranks 1..maxRank serially and reports each rank's fit
+// and CORCONDIA core consistency, plus the recommended rank (the largest
+// whose consistency stays above `threshold`; 80 is a conservative choice).
+// Orders up to 4.
+func EstimateRank(t *Tensor, maxRank int, threshold float64, seed uint64) ([]RankEstimate, int, error) {
+	ests, best, err := cpals.EstimateRank(t.coo, maxRank,
+		cpals.Options{MaxIters: 50, Tol: 1e-8, Seed: seed}, threshold)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]RankEstimate, len(ests))
+	for i, e := range ests {
+		out[i] = RankEstimate{Rank: e.Rank, Fit: e.Fit, CoreConsistency: e.CoreConsistency}
+	}
+	return out, best, nil
+}
+
+// RankEstimate is one candidate rank's diagnostics from EstimateRank.
+type RankEstimate struct {
+	Rank            int
+	Fit             float64
+	CoreConsistency float64
+}

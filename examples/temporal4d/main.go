@@ -1,0 +1,72 @@
+// 4th-order temporal analysis and a communication study: the flickr /
+// delicious-4d use case, where the tensor is (user, item, tag, day). This
+// example is the paper's Figure 3/4 story in miniature: on higher-order
+// tensors, CSTF-QCOO's queue strategy shuffles substantially less data
+// than CSTF-COO and pulls ahead as the cluster grows.
+//
+//	go run ./examples/temporal4d
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cstf"
+)
+
+func main() {
+	// A scaled flickr-like tensor: ~11k nonzeros over (user, photo, tag,
+	// day) with heavy-tailed fiber occupancy, as in real crawls.
+	x, err := cstf.Dataset("flickr", 1e-4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("input:", x)
+	fmt.Println()
+
+	fmt.Printf("%-6s %15s %15s %15s %15s\n",
+		"nodes", "COO time(s)", "QCOO time(s)", "COO shuffle", "QCOO shuffle")
+	var prevRatio float64
+	for _, nodes := range []int{4, 8, 16, 32} {
+		res := map[cstf.Algorithm]*cstf.Decomposition{}
+		for _, algo := range []cstf.Algorithm{cstf.COO, cstf.QCOO} {
+			dec, err := cstf.Decompose(x, cstf.Options{
+				Algorithm: algo,
+				Rank:      2, // the paper's rank
+				MaxIters:  5,
+				Tol:       cstf.NoTol,
+				Nodes:     nodes,
+				Seed:      9,
+				WorkScale: 1e4, // report full-scale-equivalent times
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res[algo] = dec
+		}
+		coo, qcoo := res[cstf.COO].Metrics, res[cstf.QCOO].Metrics
+		fmt.Printf("%-6d %15.1f %15.1f %12.1f MB %12.1f MB\n",
+			nodes, coo.SimSeconds, qcoo.SimSeconds,
+			(coo.RemoteBytes+coo.LocalBytes)/1e6,
+			(qcoo.RemoteBytes+qcoo.LocalBytes)/1e6)
+		prevRatio = coo.SimSeconds / qcoo.SimSeconds
+	}
+
+	fmt.Printf("\nAt 32 nodes QCOO is %.2fx faster than COO on this 4th-order tensor\n", prevRatio)
+	fmt.Println("(the paper reports 0.98x-1.7x across cluster sizes; the gap widens with scale).")
+
+	// The decomposition itself: the strongest temporal component.
+	dec, err := cstf.Decompose(x, cstf.Options{
+		Algorithm: cstf.QCOO, Rank: 4, MaxIters: 10, Nodes: 8, Seed: 9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrank-4 decomposition: fit %.4f, lambda %.3g\n", dec.Fit(), dec.Lambda)
+	days := dec.TopK(3, 0, 5)
+	fmt.Print("most active days in component 0: ")
+	for _, d := range days {
+		fmt.Printf("day-%d ", d.Index)
+	}
+	fmt.Println()
+}

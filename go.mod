@@ -1,0 +1,3 @@
+module cstf
+
+go 1.22

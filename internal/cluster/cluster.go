@@ -1,0 +1,351 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cstf/internal/rng"
+)
+
+// Task describes the modeled cost of one task of a stage: where it runs and
+// how much compute, shuffle I/O, and disk I/O it performs. The engines
+// (internal/rdd, internal/mapreduce) build tasks; user code never does.
+type Task struct {
+	Node        int     // node the task executes on
+	Flops       float64 // floating-point operations
+	Records     float64 // records touched (per-record engine overhead)
+	RemoteBytes float64 // shuffle bytes fetched from other nodes
+	LocalBytes  float64 // shuffle bytes read from this node
+	DiskBytes   float64 // HDFS bytes read or written
+}
+
+// Cluster is a simulated cluster of Nodes identical workers plus a driver.
+// It executes real work on the host via Parallel and accounts modeled time
+// and traffic via RunStage. A Cluster is safe for concurrent metric updates
+// but stages themselves are issued sequentially by the engines, matching
+// the synchronous stage execution of Spark jobs and Hadoop phases.
+type Cluster struct {
+	Nodes   int
+	Profile Profile
+
+	mu          sync.Mutex
+	metrics     *Metrics
+	phase       string
+	cachedBytes []float64 // per node, currently persisted partition bytes
+	simTime     float64
+	workScale   float64 // variable-cost multiplier (see SetWorkScale)
+	failRate    float64 // per-task failure probability (failure injection)
+	failSeed    uint64
+	stageSeq    uint64 // stage counter for deterministic failure draws
+	tracing     bool
+	trace       []TraceEvent
+
+	pool chan struct{} // host-side worker tokens for Parallel
+}
+
+// New creates a simulated cluster with the given worker-node count.
+func New(nodes int, p Profile) *Cluster {
+	if nodes <= 0 {
+		panic(fmt.Sprintf("cluster: invalid node count %d", nodes))
+	}
+	if p.CoresPerNode <= 0 {
+		panic("cluster: profile needs at least one core per node")
+	}
+	w := runtime.GOMAXPROCS(0)
+	c := &Cluster{
+		Nodes:       nodes,
+		Profile:     p,
+		metrics:     newMetrics(),
+		phase:       "Other",
+		cachedBytes: make([]float64, nodes),
+		workScale:   1,
+		pool:        make(chan struct{}, w),
+	}
+	for i := 0; i < w; i++ {
+		c.pool <- struct{}{}
+	}
+	return c
+}
+
+// SetWorkScale declares that the workload being executed is a 1/s-scale
+// stand-in for the real one: all data-dependent costs (flops, records,
+// bytes, cached memory) are multiplied by s when converting to modeled
+// time, while fixed costs (stage scheduling latency, Hadoop job startup)
+// stay as-is. Running a 1/1000-scale tensor with SetWorkScale(1000)
+// therefore yields full-scale-equivalent runtimes with the correct
+// fixed-vs-variable cost mix. Metrics (bytes, flops, records) remain RAW
+// measured values of the scaled run; report-time extrapolation is the
+// caller's choice.
+func (c *Cluster) SetWorkScale(s float64) {
+	if s <= 0 {
+		panic("cluster: work scale must be positive")
+	}
+	c.mu.Lock()
+	c.workScale = s
+	c.mu.Unlock()
+}
+
+// NodeOf maps a partition index to the node hosting it (round-robin, the
+// default Spark/Hadoop placement for evenly sized partition sets).
+func (c *Cluster) NodeOf(partition int) int {
+	if partition < 0 {
+		panic("cluster: negative partition")
+	}
+	return partition % c.Nodes
+}
+
+// SetPhase labels all subsequent accounting (e.g. "MTTKRP-2"). Figure 4's
+// per-mode breakdown is produced by switching phases around each MTTKRP.
+func (c *Cluster) SetPhase(name string) {
+	c.mu.Lock()
+	c.phase = name
+	c.mu.Unlock()
+}
+
+// Phase returns the current accounting label.
+func (c *Cluster) Phase() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.phase
+}
+
+// Metrics returns a snapshot of the accumulated metrics.
+func (c *Cluster) Metrics() *Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.metrics.Clone()
+}
+
+// SimTime returns the modeled seconds elapsed so far.
+func (c *Cluster) SimTime() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.simTime
+}
+
+// ResetMetrics zeroes the metrics and the simulated clock (cache occupancy
+// is preserved: persisted RDDs survive a measurement-window reset).
+func (c *Cluster) ResetMetrics() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics = newMetrics()
+	c.simTime = 0
+}
+
+// AddCached charges wire bytes of raw-cached data on the node hosting the
+// given partition; Unpersist is AddCached with a negative size. The
+// profile's RawCacheFactor converts wire size to deserialized JVM object
+// size, and the result feeds the GC-pressure term of the cost model.
+func (c *Cluster) AddCached(partition int, bytes float64) {
+	f := c.Profile.RawCacheFactor
+	if f <= 0 {
+		f = 1
+	}
+	c.addCachedEffective(partition, bytes*f)
+}
+
+// AddCachedSerialized charges bytes cached at the serialized storage level:
+// the footprint is the wire size itself (no object expansion), trading
+// memory for per-read decode cost (Profile.DeserFactor).
+func (c *Cluster) AddCachedSerialized(partition int, bytes float64) {
+	c.addCachedEffective(partition, bytes)
+}
+
+func (c *Cluster) addCachedEffective(partition int, bytes float64) {
+	n := c.NodeOf(partition)
+	c.mu.Lock()
+	c.cachedBytes[n] += bytes
+	if c.cachedBytes[n] < 0 {
+		c.cachedBytes[n] = 0
+	}
+	c.mu.Unlock()
+}
+
+// CachedBytes returns the total bytes currently persisted across the cluster.
+func (c *Cluster) CachedBytes() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var s float64
+	for _, v := range c.cachedBytes {
+		s += v
+	}
+	return s
+}
+
+// RunStage charges the modeled execution of one stage consisting of the
+// given tasks. wide marks a stage that begins with a shuffle read: it pays
+// driver scheduling latency and increments the shuffle counter. The model:
+//
+//	gc(n)     = 1 + GCCoeff * cached(n) / NodeMemory
+//	busy(n)   = (flops/CoreFlops + records*RecordCost) / Cores * gc(n)
+//	          + remote/NetBandwidth + local/LocalBW + disk/DiskBW
+//	          + TaskOverhead * ceil(tasks(n)/Cores)
+//	stageTime = max_n busy(n) + [wide] (SchedBase + SchedPerNode*Nodes)
+func (c *Cluster) RunStage(wide bool, tasks []Task) {
+	p := c.Profile
+	type nodeAcc struct {
+		flops, records, remote, local, disk float64
+		tasks                               int
+	}
+	acc := make([]nodeAcc, c.Nodes)
+	var flopsTot, recTot, remoteTot, localTot, diskTot float64
+	for _, t := range tasks {
+		if t.Node < 0 || t.Node >= c.Nodes {
+			panic(fmt.Sprintf("cluster: task on node %d of %d", t.Node, c.Nodes))
+		}
+		a := &acc[t.Node]
+		a.flops += t.Flops
+		a.records += t.Records
+		a.remote += t.RemoteBytes
+		a.local += t.LocalBytes
+		a.disk += t.DiskBytes
+		a.tasks++
+		flopsTot += t.Flops
+		recTot += t.Records
+		remoteTot += t.RemoteBytes
+		localTot += t.LocalBytes
+		diskTot += t.DiskBytes
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stageSeq++
+	if c.failRate > 0 {
+		// Deterministically re-execute failed tasks: attempt i of task t
+		// fails while U(seed, stage, t, i) < rate, up to 3 retries. The
+		// retried attempts add their full cost back onto the task's node.
+		for ti := range tasks {
+			t := &tasks[ti]
+			retries := 0
+			for attempt := 0; attempt < 3; attempt++ {
+				if rng.UniformAt(c.failSeed, c.stageSeq, uint64(ti), uint64(attempt)) >= c.failRate {
+					break
+				}
+				retries++
+			}
+			if retries > 0 {
+				r := float64(retries)
+				a := &acc[t.Node]
+				a.flops += t.Flops * r
+				a.records += t.Records * r
+				a.remote += t.RemoteBytes * r
+				a.local += t.LocalBytes * r
+				a.disk += t.DiskBytes * r
+				c.metrics.TaskFailures += retries
+			}
+		}
+	}
+	cores := float64(p.CoresPerNode)
+	ws := c.workScale
+	var maxBusy float64
+	for n := 0; n < c.Nodes; n++ {
+		a := acc[n]
+		if a.tasks == 0 {
+			continue
+		}
+		gc := 1 + p.GCCoeff*ws*c.cachedBytes[n]/p.NodeMemory
+		busy := ws * ((a.flops/p.CoreFlops+a.records*p.RecordCost)/cores*gc +
+			a.remote/p.NetBandwidth + a.local/p.LocalBW + a.disk/p.DiskBW)
+		waves := (a.tasks + p.CoresPerNode - 1) / p.CoresPerNode
+		busy += p.TaskOverhead * float64(waves)
+		if busy > maxBusy {
+			maxBusy = busy
+		}
+	}
+	t := maxBusy
+	if wide {
+		t += p.SchedBase + p.SchedPerNode*float64(c.Nodes)
+		c.metrics.Shuffles[c.phase]++
+	}
+	c.recordTrace("stage", wide, c.simTime, t, len(tasks), recTot, remoteTot, localTot)
+	c.simTime += t
+	ph := c.phase
+	c.metrics.SimTime[ph] += t
+	c.metrics.RemoteBytes[ph] += remoteTot
+	c.metrics.LocalBytes[ph] += localTot
+	c.metrics.Flops[ph] += flopsTot
+	c.metrics.Records[ph] += recTot
+	c.metrics.DiskBytes[ph] += diskTot
+	c.metrics.Stages++
+	c.metrics.Tasks += len(tasks)
+}
+
+// InjectTaskFailures makes every task fail independently with the given
+// probability (deterministically in seed); failed tasks are retried up to
+// three times, re-paying their cost each attempt, the way Spark and Hadoop
+// recover from lost executors. Rate 0 disables injection.
+func (c *Cluster) InjectTaskFailures(rate float64, seed uint64) {
+	if rate < 0 || rate >= 1 {
+		panic("cluster: failure rate must be in [0, 1)")
+	}
+	c.mu.Lock()
+	c.failRate = rate
+	c.failSeed = seed
+	c.mu.Unlock()
+}
+
+// ChargeBroadcast charges the cost of distributing `bytes` of driver state
+// to every node (torrent-style: pipelined over log2(nodes) rounds).
+func (c *Cluster) ChargeBroadcast(bytes float64) {
+	rounds := 1.0
+	for n := 1; n < c.Nodes; n *= 2 {
+		rounds++
+	}
+	c.mu.Lock()
+	t := bytes * rounds / c.Profile.NetBandwidth
+	c.recordTrace("broadcast", false, c.simTime, t, c.Nodes, 0, 0, 0)
+	c.simTime += t
+	c.metrics.SimTime[c.phase] += t
+	c.mu.Unlock()
+}
+
+// ChargeJobStartup charges the fixed cost of launching one Hadoop job.
+func (c *Cluster) ChargeJobStartup() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordTrace("job-startup", false, c.simTime, c.Profile.JobStartup, 0, 0, 0, 0)
+	c.simTime += c.Profile.JobStartup
+	c.metrics.SimTime[c.phase] += c.Profile.JobStartup
+	c.metrics.Jobs++
+}
+
+// ChargeDriver charges driver-side compute (e.g. the R x R pseudo-inverse)
+// that runs on a single core of the driver node.
+func (c *Cluster) ChargeDriver(flops float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := flops / c.Profile.CoreFlops
+	c.recordTrace("driver", false, c.simTime, t, 1, 0, 0, 0)
+	c.simTime += t
+	c.metrics.SimTime[c.phase] += t
+	c.metrics.Flops[c.phase] += flops
+}
+
+// Parallel executes fn(0..n-1) on the host worker pool and waits for all of
+// them. This is the *real* execution path: partition closures do the actual
+// arithmetic here while RunStage separately charges modeled time.
+func (c *Cluster) Parallel(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if cap(c.pool) == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		tok := <-c.pool
+		go func(i int, tok struct{}) {
+			defer func() {
+				c.pool <- tok
+				wg.Done()
+			}()
+			fn(i)
+		}(i, tok)
+	}
+	wg.Wait()
+}

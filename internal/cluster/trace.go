@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Execution tracing: when enabled, every stage and job event is recorded
+// with its modeled time span and traffic, and can be exported in the
+// Chrome trace-event format (chrome://tracing, Perfetto) to inspect where
+// a CP-ALS run spends its modeled time.
+
+// TraceEvent is one recorded stage or job-level event.
+type TraceEvent struct {
+	Seq     uint64  // stage sequence number
+	Phase   string  // metrics phase at execution time (MTTKRP-n, Other)
+	Kind    string  // "stage", "job-startup", "driver", "broadcast"
+	Wide    bool    // stage began with a shuffle read
+	Start   float64 // modeled start time, seconds
+	Dur     float64 // modeled duration, seconds
+	Tasks   int
+	Records float64
+	Remote  float64 // remote shuffle bytes read
+	Local   float64 // local shuffle bytes read
+}
+
+// EnableTrace starts recording trace events (idempotent).
+func (c *Cluster) EnableTrace() {
+	c.mu.Lock()
+	c.tracing = true
+	c.mu.Unlock()
+}
+
+// Trace returns a copy of the recorded events.
+func (c *Cluster) Trace() []TraceEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]TraceEvent, len(c.trace))
+	copy(out, c.trace)
+	return out
+}
+
+// recordTrace appends an event; callers hold c.mu.
+func (c *Cluster) recordTrace(kind string, wide bool, start, dur float64, tasks int, records, remote, local float64) {
+	if !c.tracing {
+		return
+	}
+	c.trace = append(c.trace, TraceEvent{
+		Seq:     c.stageSeq,
+		Phase:   c.phase,
+		Kind:    kind,
+		Wide:    wide,
+		Start:   start,
+		Dur:     dur,
+		Tasks:   tasks,
+		Records: records,
+		Remote:  remote,
+		Local:   local,
+	})
+}
+
+// chromeEvent is the trace-event-format record ("X" complete events).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports events as a Chrome trace-event JSON array.
+// Phases map to thread lanes so MTTKRP modes stack visually.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	lanes := map[string]int{}
+	var out []chromeEvent
+	for _, e := range events {
+		lane, ok := lanes[e.Phase]
+		if !ok {
+			lane = len(lanes) + 1
+			lanes[e.Phase] = lane
+		}
+		kind := e.Kind
+		if e.Wide {
+			kind += "+shuffle"
+		}
+		out = append(out, chromeEvent{
+			Name: fmt.Sprintf("%s #%d", kind, e.Seq),
+			Cat:  e.Phase,
+			Ph:   "X",
+			Ts:   e.Start * 1e6,
+			Dur:  e.Dur * 1e6,
+			Pid:  1,
+			Tid:  lane,
+			Args: map[string]string{
+				"phase":        e.Phase,
+				"tasks":        fmt.Sprintf("%d", e.Tasks),
+				"records":      fmt.Sprintf("%.0f", e.Records),
+				"remote_bytes": fmt.Sprintf("%.0f", e.Remote),
+				"local_bytes":  fmt.Sprintf("%.0f", e.Local),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

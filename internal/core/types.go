@@ -1,0 +1,82 @@
+// Package core implements the paper's contribution: CSTF, Cloud-based
+// Sparse Tensor Factorization. Two distributed CP-ALS solvers run on the
+// Spark-like engine in internal/rdd:
+//
+//   - SolveCOO (Section 4.1): MTTKRP directly on COO nonzeros via a chain
+//     of key-by + join stages against the factor matrices, one reduceByKey
+//     to assemble result rows, and raw in-memory caching of the tensor.
+//   - SolveQCOO (Section 4.2, Algorithm 3): each tensor record carries a
+//     FIFO queue of the factor rows the next MTTKRP needs; every MTTKRP
+//     then costs one join plus one reduceByKey instead of N shuffles,
+//     reusing rows joined by earlier modes.
+//
+// Both produce exactly the same factors as the serial reference in
+// internal/cpals (same deterministic initialization, same update order);
+// they differ only in data movement, which is what the paper measures.
+package core
+
+import (
+	"cstf/internal/rdd"
+	"cstf/internal/tensor"
+)
+
+// Row is one factor-matrix row keyed by its index — the element of the
+// paper's IndexedRowMatrix representation (Table 3).
+type Row = rdd.KV[uint32, []float64]
+
+// cooVal is the value CSTF-COO carries per nonzero through its join chain:
+// the original entry plus the running Hadamard-product accumulator. The
+// accumulator keeps the record a constant nnz x R regardless of tensor
+// order (Section 5: "the intermediate data remains the same").
+type cooVal struct {
+	E   tensor.Entry
+	Acc []float64 // nil before the first join; length R after
+}
+
+// qVal is the value CSTF-QCOO carries per nonzero: the entry plus the FIFO
+// queue of factor rows (Table 3, the X_Q representation). The queue always
+// holds order-1 rows: the rows every upcoming MTTKRP needs, with the
+// stalest row dequeued as each newly updated factor row is enqueued.
+type qVal struct {
+	E tensor.Entry
+	Q [][]float64
+}
+
+// rowBytes is the wire size of a keyed factor row: a 64-bit index plus R
+// doubles (the paper's accounting unit for shuffled vectors).
+func rowBytes(rank int) int { return 8 * (1 + rank) }
+
+// rowSize returns a sizeOf function for factor-row records.
+func rowSize(rank int) func(Row) int {
+	n := rowBytes(rank)
+	return func(Row) int { return n }
+}
+
+// cooSize returns the wire size of a keyed cooVal record: key + entry +
+// accumulator.
+func cooSize(order, rank int) func(rdd.KV[uint32, cooVal]) int {
+	return func(r rdd.KV[uint32, cooVal]) int {
+		n := 8 + tensor.EntryBytes(order)
+		if r.Val.Acc != nil {
+			n += 8 * rank
+		}
+		return n
+	}
+}
+
+// queueCost is the per-record engine-cost factor charged for operations on
+// queue-structured records. A qVal deserializes to 1 + (order-1) heap
+// objects versus a flat tuple's one, and the paper attributes QCOO's
+// small-cluster slowdown (0.9-1.1x of COO on 4 nodes) exactly to "the
+// Queue data structure" overhead; this factor is the calibrated model of
+// that cost.
+func queueCost(order int) rdd.Option {
+	return rdd.WithCostFactor(1 + 0.40*float64(order-1))
+}
+
+// qSize returns the wire size of a keyed qVal record: key + entry + queue.
+func qSize(order, rank int) func(rdd.KV[uint32, qVal]) int {
+	return func(r rdd.KV[uint32, qVal]) int {
+		return 8 + tensor.EntryBytes(order) + 8*rank*len(r.Val.Q)
+	}
+}

@@ -1,0 +1,150 @@
+package cpals
+
+import (
+	"fmt"
+
+	"cstf/internal/la"
+	"cstf/internal/tensor"
+)
+
+// CORCONDIA — the core consistency diagnostic of Bro & Kiers — judges
+// whether a rank-R CP model is appropriate for a tensor: it computes the
+// Tucker core G that best explains X given the CP factors and measures how
+// close G is to the superdiagonal identity a perfect CP model implies.
+// 100 means ideal CP structure; values near or below 0 mean the rank is
+// too high (the extra components model interactions, not parallel
+// proportional profiles).
+//
+// For factors with full column rank, G = X ×_1 A1^+ ×_2 A2^+ ... — each
+// mode's pseudo-inverse contracted against the tensor — computable in one
+// pass over the nonzeros at O(nnz * R^N + sum(dims) * R^2).
+
+// leftPinv returns the left pseudo-inverse (A^T A)^-1 A^T of a tall
+// full-column-rank matrix, as an R x rows matrix.
+func leftPinv(a *la.Dense) *la.Dense {
+	gram := a.Gram()
+	inv, err := la.SPDInverse(gram)
+	if err != nil {
+		inv = la.Pinv(gram) // rank-deficient: fall back to the eigen pinv
+	}
+	return la.Mul(inv, a.Transpose())
+}
+
+// CoreConsistency computes CORCONDIA for a decomposition of x. Supported
+// for orders up to 4 (the core has R^N entries).
+func CoreConsistency(x *tensor.COO, res *Result) (float64, error) {
+	order := x.Order()
+	if order > 4 {
+		return 0, fmt.Errorf("cpals: core consistency supports order <= 4, got %d", order)
+	}
+	rank := len(res.Lambda)
+	if rank == 0 {
+		return 0, fmt.Errorf("cpals: empty decomposition")
+	}
+
+	// Fold lambda into the first factor's pseudo-inverse contraction:
+	// model X ~ sum_r lambda_r a_r o b_r o c_r, so use A' = A*diag(lambda)
+	// to make the ideal core the identity.
+	pinvs := make([]*la.Dense, order)
+	for n := 0; n < order; n++ {
+		f := res.Factors[n]
+		if n == 0 {
+			scaled := f.Clone()
+			for i := 0; i < scaled.Rows; i++ {
+				row := scaled.Row(i)
+				for r := range row {
+					row[r] *= res.Lambda[r]
+				}
+			}
+			f = scaled
+		}
+		pinvs[n] = leftPinv(f)
+	}
+
+	// Core: g[p,q,...] = sum_nnz val * prod_n pinv_n[coeff_n, idx_n].
+	coreSize := 1
+	for n := 0; n < order; n++ {
+		coreSize *= rank
+	}
+	core := make([]float64, coreSize)
+	coeff := make([]int, order)
+	for i := range x.Entries {
+		e := &x.Entries[i]
+		// Enumerate the R^N core cells for this nonzero.
+		for c := 0; c < coreSize; c++ {
+			rem := c
+			for n := order - 1; n >= 0; n-- {
+				coeff[n] = rem % rank
+				rem /= rank
+			}
+			p := e.Val
+			for n := 0; n < order; n++ {
+				p *= pinvs[n].At(coeff[n], int(e.Idx[n]))
+			}
+			core[c] += p
+		}
+	}
+
+	// Compare with the superdiagonal identity.
+	var num, den float64
+	for c := 0; c < coreSize; c++ {
+		rem := c
+		diag := true
+		first := -1
+		for n := order - 1; n >= 0; n-- {
+			d := rem % rank
+			rem /= rank
+			if first == -1 {
+				first = d
+			} else if d != first {
+				diag = false
+			}
+		}
+		target := 0.0
+		if diag {
+			target = 1.0
+			den++
+		}
+		num += (core[c] - target) * (core[c] - target)
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("cpals: degenerate core")
+	}
+	return 100 * (1 - num/den), nil
+}
+
+// RankEstimate holds one candidate rank's diagnostics.
+type RankEstimate struct {
+	Rank            int
+	Fit             float64
+	CoreConsistency float64
+}
+
+// EstimateRank fits ranks 1..maxRank and returns the per-rank diagnostics
+// plus the recommended rank: the largest rank whose core consistency stays
+// above the threshold (Bro & Kiers suggest ~50; 80 is conservative).
+// Supported for orders up to 4.
+func EstimateRank(t *tensor.COO, maxRank int, opts Options, threshold float64) ([]RankEstimate, int, error) {
+	if maxRank < 1 {
+		return nil, 0, fmt.Errorf("cpals: maxRank must be >= 1")
+	}
+	var out []RankEstimate
+	best := 1
+	for r := 1; r <= maxRank; r++ {
+		o := opts
+		o.Rank = r
+		res, err := Solve(t, o)
+		if err != nil {
+			return nil, 0, err
+		}
+		cc, err := CoreConsistency(t, res)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, RankEstimate{Rank: r, Fit: res.Fit(), CoreConsistency: cc})
+		if cc >= threshold {
+			best = r
+		}
+	}
+	return out, best, nil
+}

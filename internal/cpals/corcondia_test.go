@@ -1,0 +1,117 @@
+package cpals
+
+import (
+	"testing"
+
+	"cstf/internal/la"
+	"cstf/internal/tensor"
+)
+
+func TestLeftPinv(t *testing.T) {
+	a := InitFactor(3, 0, 20, 4) // tall, full column rank
+	p := leftPinv(a)
+	if p.Rows != 4 || p.Cols != 20 {
+		t.Fatalf("pinv dims %dx%d", p.Rows, p.Cols)
+	}
+	// p * a must be the identity.
+	if d := la.MaxAbsDiff(la.Mul(p, a), la.Identity(4)); d > 1e-8 {
+		t.Fatalf("A^+ A off identity by %g", d)
+	}
+}
+
+func TestCoreConsistencyHighAtTrueRank(t *testing.T) {
+	x := tensor.GenLowRankDense(5, 3, 0.001, 14, 12, 10)
+	res, err := Solve(x, Options{Rank: 3, MaxIters: 150, Seed: 9, Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit() < 0.99 {
+		t.Fatalf("setup: fit %v too low for the diagnostic to be meaningful", res.Fit())
+	}
+	cc, err := CoreConsistency(x, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc < 90 {
+		t.Fatalf("core consistency %v at the true rank; expected near 100", cc)
+	}
+}
+
+func TestCoreConsistencyDropsWhenOverfactored(t *testing.T) {
+	x := tensor.GenLowRankDense(7, 2, 0.02, 14, 12, 10)
+	atTrue, err := Solve(x, Options{Rank: 2, MaxIters: 120, Seed: 3, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := Solve(x, Options{Rank: 5, MaxIters: 120, Seed: 3, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccTrue, err := CoreConsistency(x, atTrue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccOver, err := CoreConsistency(x, over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ccOver >= ccTrue {
+		t.Fatalf("overfactored rank must score lower: rank-2 %v vs rank-5 %v", ccTrue, ccOver)
+	}
+	if ccTrue < 80 {
+		t.Fatalf("true-rank consistency %v unexpectedly low", ccTrue)
+	}
+}
+
+func TestCoreConsistencyFourthOrder(t *testing.T) {
+	x := tensor.GenLowRankDense(9, 2, 0.001, 8, 7, 6, 5)
+	res, err := Solve(x, Options{Rank: 2, MaxIters: 100, Seed: 2, Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := CoreConsistency(x, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc < 85 {
+		t.Fatalf("4th-order core consistency %v", cc)
+	}
+}
+
+func TestCoreConsistencyErrors(t *testing.T) {
+	x5 := tensor.GenUniform(1, 50, 4, 4, 4, 4, 4)
+	res, err := Solve(x5, Options{Rank: 2, MaxIters: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CoreConsistency(x5, res); err == nil {
+		t.Fatal("order-5 must be rejected")
+	}
+	x3 := tensor.GenUniform(1, 50, 4, 4, 4)
+	if _, err := CoreConsistency(x3, &Result{}); err == nil {
+		t.Fatal("empty decomposition must be rejected")
+	}
+}
+
+func TestEstimateRankFindsPlantedRank(t *testing.T) {
+	x := tensor.GenLowRankDense(11, 3, 0.01, 12, 11, 10)
+	ests, best, err := EstimateRank(x, 5, Options{MaxIters: 80, Seed: 5, Tol: 1e-10}, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 5 {
+		t.Fatalf("estimates: %d", len(ests))
+	}
+	if best < 2 || best > 4 {
+		t.Fatalf("recommended rank %d for a planted rank-3 tensor (diagnostics: %+v)", best, ests)
+	}
+	// Fit must be non-decreasing in rank (more components, better fit).
+	for i := 1; i < len(ests); i++ {
+		if ests[i].Fit < ests[i-1].Fit-0.02 {
+			t.Fatalf("fit decreased with rank: %+v", ests)
+		}
+	}
+	if _, _, err := EstimateRank(x, 0, Options{MaxIters: 1}, 80); err == nil {
+		t.Fatal("maxRank 0 must error")
+	}
+}

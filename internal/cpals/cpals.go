@@ -1,0 +1,263 @@
+// Package cpals provides the shared mathematics of CANDECOMP/PARAFAC
+// alternating least squares (Algorithm 1 of the paper) and a serial
+// reference implementation of MTTKRP (Algorithm 2) and CP-ALS. The
+// distributed solvers in internal/core and internal/bigtensor are validated
+// against this package: same deterministic initialization, same update
+// order, same normalization, so their factors must agree to rounding.
+package cpals
+
+import (
+	"fmt"
+	"math"
+
+	"cstf/internal/la"
+	"cstf/internal/rng"
+	"cstf/internal/tensor"
+)
+
+// FactorInitValue returns element (row, col) of the initial factor matrix
+// for the given mode. It is a pure function of (seed, mode, row, col), so
+// every node of a distributed solver — and the serial reference — can
+// materialize any row without communication. Values are uniform in
+// [0.1, 1.1): bounded away from zero so initial gram matrices are
+// well-conditioned.
+func FactorInitValue(seed uint64, mode, row, col int) float64 {
+	return 0.1 + rng.UniformAt(seed, 0xFAC70, uint64(mode), uint64(row), uint64(col))
+}
+
+// InitFactor materializes the full initial factor matrix for a mode.
+func InitFactor(seed uint64, mode, rows, rank int) *la.Dense {
+	m := la.NewDense(rows, rank)
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		for r := range row {
+			row[r] = FactorInitValue(seed, mode, i, r)
+		}
+	}
+	return m
+}
+
+// MTTKRP computes the matricized-tensor times Khatri-Rao product along
+// `mode` directly on COO nonzeros (Algorithm 2 generalized to N-order):
+// for each nonzero, the Hadamard product of the other modes' factor rows is
+// scaled by the value and accumulated into the output row. factors[mode] is
+// not read. The result has dims[mode] rows.
+func MTTKRP(t *tensor.COO, mode int, factors []*la.Dense) *la.Dense {
+	order := t.Order()
+	if len(factors) != order {
+		panic("cpals: factor count != tensor order")
+	}
+	rank := factors[0].Cols
+	out := la.NewDense(t.Dims[mode], rank)
+	tmp := make([]float64, rank)
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		for r := range tmp {
+			tmp[r] = e.Val
+		}
+		for n := 0; n < order; n++ {
+			if n == mode {
+				continue
+			}
+			la.VecMulInto(tmp, factors[n].Row(int(e.Idx[n])))
+		}
+		la.VecAdd(out.Row(int(e.Idx[mode])), tmp)
+	}
+	return out
+}
+
+// MTTKRPFlops returns the floating-point operations of one COO MTTKRP
+// according to the paper's accounting (Table 4): (order)*nnz*R for 3rd
+// order = 3*nnz*R — one Hadamard scale per non-target mode, the scaling by
+// the tensor value, and the row accumulation.
+func MTTKRPFlops(nnz, order, rank int) float64 {
+	return float64(order) * float64(nnz) * float64(rank)
+}
+
+// Result is a computed CP decomposition [lambda; A_1 ... A_N] plus
+// per-iteration fit diagnostics.
+type Result struct {
+	Lambda  []float64   // column weights, length R
+	Factors []*la.Dense // one normalized factor matrix per mode
+	Fits    []float64   // model fit after each completed iteration
+	Iters   int         // iterations actually run
+}
+
+// Fit returns the final fit, or 0 if no iterations ran.
+func (r *Result) Fit() float64 {
+	if len(r.Fits) == 0 {
+		return 0
+	}
+	return r.Fits[len(r.Fits)-1]
+}
+
+// ReconstructAt evaluates the CP model at one coordinate:
+// sum_r lambda_r * prod_n A_n(idx_n, r).
+func (r *Result) ReconstructAt(idx ...int) float64 {
+	var s float64
+	rank := len(r.Lambda)
+	for c := 0; c < rank; c++ {
+		p := r.Lambda[c]
+		for n, i := range idx {
+			p *= r.Factors[n].At(i, c)
+		}
+		s += p
+	}
+	return s
+}
+
+// Options configures a CP-ALS run.
+type Options struct {
+	Rank     int     // R, the decomposition rank
+	MaxIters int     // maximum ALS iterations
+	Tol      float64 // stop when fit improves less than Tol (0 disables)
+	Seed     uint64  // deterministic initialization seed
+}
+
+// Validate normalizes and checks the options against a tensor.
+func (o *Options) Validate(t *tensor.COO) error {
+	if o.Rank <= 0 {
+		return fmt.Errorf("cpals: rank must be positive, got %d", o.Rank)
+	}
+	if o.MaxIters <= 0 {
+		return fmt.Errorf("cpals: MaxIters must be positive, got %d", o.MaxIters)
+	}
+	if t.NNZ() == 0 {
+		return fmt.Errorf("cpals: tensor has no nonzeros")
+	}
+	return nil
+}
+
+// ModelNormSq returns ||X_hat||_F^2 = lambda^T (hadamard of all grams) lambda.
+func ModelNormSq(lambda []float64, grams []*la.Dense) float64 {
+	rank := len(lambda)
+	h := la.Identity(rank)
+	for i := range h.Data {
+		h.Data[i] = 1
+	}
+	for _, g := range grams {
+		la.HadamardInto(h, h, g)
+	}
+	return la.VecDot(lambda, la.MatVec(h, lambda))
+}
+
+// FitFrom computes the CP-ALS fit 1 - ||X - X_hat|| / ||X|| using the
+// standard identity
+//
+//	||X - X_hat||^2 = ||X||^2 + ||X_hat||^2 - 2 <X, X_hat>
+//	<X, X_hat>      = sum_{i,r} M(i,r) * A(i,r) * lambda_r
+//
+// where M is the MTTKRP result of the last updated mode and A that mode's
+// normalized factor. This avoids a pass over the tensor (the SPLATT trick);
+// all three quantities already exist at the end of an ALS iteration.
+func FitFrom(normX float64, lastM, lastFactor *la.Dense, lambda []float64, grams []*la.Dense) float64 {
+	inner := 0.0
+	for i := 0; i < lastM.Rows; i++ {
+		mrow := lastM.Row(i)
+		arow := lastFactor.Row(i)
+		for r := range mrow {
+			inner += mrow[r] * arow[r] * lambda[r]
+		}
+	}
+	modelSq := ModelNormSq(lambda, grams)
+	residSq := normX*normX + modelSq - 2*inner
+	if residSq < 0 {
+		residSq = 0
+	}
+	if normX == 0 {
+		return 0
+	}
+	return 1 - math.Sqrt(residSq)/normX
+}
+
+// HadamardOfGramsExcept returns the Hadamard product of every gram matrix
+// except the one for `mode` — the V matrix of Algorithm 1 whose
+// pseudo-inverse post-multiplies the MTTKRP result. grams[mode] may be nil
+// (callers that skip computing the excluded gram).
+func HadamardOfGramsExcept(grams []*la.Dense, mode int) *la.Dense {
+	rank := grams[(mode+1)%len(grams)].Rows
+	v := la.NewDense(rank, rank)
+	for i := range v.Data {
+		v.Data[i] = 1
+	}
+	for n, g := range grams {
+		if n == mode {
+			continue
+		}
+		la.HadamardInto(v, v, g)
+	}
+	return v
+}
+
+// Solve runs serial CP-ALS (Algorithm 1 generalized to N-order tensors).
+// It is the correctness reference for the distributed solvers and is exact
+// CP-ALS: MTTKRP, pseudo-inverse of the gram Hadamard, column
+// normalization, gram refresh, convergence on fit.
+func Solve(t *tensor.COO, opts Options) (*Result, error) {
+	if err := opts.Validate(t); err != nil {
+		return nil, err
+	}
+	order := t.Order()
+	rank := opts.Rank
+
+	factors := make([]*la.Dense, order)
+	grams := make([]*la.Dense, order)
+	for n := 0; n < order; n++ {
+		factors[n] = InitFactor(opts.Seed, n, t.Dims[n], rank)
+		grams[n] = factors[n].Gram()
+	}
+
+	normX := t.Norm()
+	res := &Result{Factors: factors}
+	var lambda []float64
+	var lastM *la.Dense
+
+	for it := 0; it < opts.MaxIters; it++ {
+		for n := 0; n < order; n++ {
+			m := MTTKRP(t, n, factors)
+			v := HadamardOfGramsExcept(grams, n)
+			pinv := la.Pinv(v)
+			// A_n = M * pinv(V), row by row.
+			a := factors[n]
+			for i := 0; i < a.Rows; i++ {
+				la.VecMatInto(a.Row(i), m.Row(i), pinv)
+			}
+			lambda = a.NormalizeColumns()
+			grams[n] = a.Gram()
+			lastM = m
+		}
+		res.Iters = it + 1
+		fit := FitFrom(normX, lastM, factors[order-1], lambda, grams)
+		res.Fits = append(res.Fits, fit)
+		if opts.Tol > 0 && it > 0 {
+			if math.Abs(fit-res.Fits[it-1]) < opts.Tol {
+				break
+			}
+		}
+	}
+	res.Lambda = lambda
+	return res, nil
+}
+
+// SolveBest runs CP-ALS `restarts` times with different initialization
+// seeds (derived deterministically from opts.Seed) and returns the result
+// with the best fit. CP-ALS converges to local optima that depend on the
+// starting point; multiple restarts are the standard remedy.
+func SolveBest(t *tensor.COO, opts Options, restarts int) (*Result, error) {
+	if restarts <= 0 {
+		return nil, fmt.Errorf("cpals: restarts must be positive, got %d", restarts)
+	}
+	var best *Result
+	for r := 0; r < restarts; r++ {
+		o := opts
+		o.Seed = rng.Hash64(opts.Seed, uint64(r))
+		res, err := Solve(t, o)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Fit() > best.Fit() {
+			best = res
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,95 @@
+package cpals
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cstf/internal/la"
+	"cstf/internal/rng"
+	"cstf/internal/tensor"
+)
+
+// The CSF kernel and the COO kernel are independent MTTKRP
+// implementations; they must agree on every mode, order, and dataset.
+func TestMTTKRPCSFMatchesCOOKernel(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		order := 3 + src.Intn(2)
+		dims := make([]int, order)
+		for i := range dims {
+			dims[i] = 5 + src.Intn(15)
+		}
+		x := tensor.GenUniform(seed, 200, dims...)
+		rank := 1 + src.Intn(4)
+		factors := make([]*la.Dense, order)
+		for n := range factors {
+			factors[n] = InitFactor(seed, n, dims[n], rank)
+		}
+		csfs := BuildCSFs(x)
+		for mode := 0; mode < order; mode++ {
+			got := MTTKRPCSF(csfs[mode], factors)
+			want := MTTKRP(x, mode, factors)
+			if la.MaxAbsDiff(got, want) > 1e-9*(1+want.FrobeniusNorm()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMTTKRPCSFZipfData(t *testing.T) {
+	// Skewed data exercises deep fibers.
+	x := tensor.GenZipf(3, 2000, 0.9, 300, 200, 100)
+	rank := 4
+	factors := make([]*la.Dense, 3)
+	for n := range factors {
+		factors[n] = InitFactor(7, n, x.Dims[n], rank)
+	}
+	csfs := BuildCSFs(x)
+	for mode := 0; mode < 3; mode++ {
+		got := MTTKRPCSF(csfs[mode], factors)
+		want := MTTKRP(x, mode, factors)
+		if d := la.MaxAbsDiff(got, want); d > 1e-9*(1+want.FrobeniusNorm()) {
+			t.Fatalf("mode %d: CSF kernel differs by %g", mode, d)
+		}
+	}
+}
+
+func TestMTTKRPCSFEmptyTensor(t *testing.T) {
+	empty := tensor.New(4, 4, 4)
+	c := tensor.NewCSF(empty, []int{0, 1, 2})
+	factors := []*la.Dense{
+		InitFactor(1, 0, 4, 2), InitFactor(1, 1, 4, 2), InitFactor(1, 2, 4, 2),
+	}
+	m := MTTKRPCSF(c, factors)
+	if m.FrobeniusNorm() != 0 {
+		t.Fatal("empty tensor must give a zero MTTKRP")
+	}
+}
+
+// CSF does fewer vector ops than COO when fibers are shared: count them.
+func TestCSFDoesFewerVectorOps(t *testing.T) {
+	// Strong fiber locality: 25 (i,j) fibers, 40 nonzeros each.
+	x := tensor.New(10, 10, 500)
+	src := rng.New(11)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			for n := 0; n < 40; n++ {
+				x.Append(1, i, j, src.Intn(500))
+			}
+		}
+	}
+	x.DedupSum()
+	// COO mode-0 kernel: 2 vector multiplies per nonzero (modes 1, 2).
+	cooOps := 2 * x.NNZ()
+	// CSF root=0: one multiply per level-1 fiber + one per leaf.
+	c := tensor.NewCSF(x, []int{0, 1, 2})
+	fibers := c.Fibers()
+	csfOps := fibers[1] + fibers[2]
+	if csfOps >= cooOps {
+		t.Fatalf("CSF should do fewer vector ops: %d vs %d", csfOps, cooOps)
+	}
+}

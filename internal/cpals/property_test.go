@@ -1,0 +1,187 @@
+package cpals
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cstf/internal/la"
+	"cstf/internal/rng"
+	"cstf/internal/tensor"
+)
+
+// MTTKRP is linear in the tensor: M(aX + bY) = a M(X) + b M(Y).
+func TestMTTKRPLinearInTensor(t *testing.T) {
+	f := func(seed uint64) bool {
+		dims := []int{8, 7, 6}
+		x := tensor.GenUniform(seed, 60, dims...)
+		y := tensor.GenUniform(seed+1, 60, dims...)
+		rank := 3
+		factors := make([]*la.Dense, 3)
+		for n := range factors {
+			factors[n] = InitFactor(seed, n, dims[n], rank)
+		}
+		a, b := 2.0, -0.5
+
+		// aX + bY as a COO tensor.
+		sum := tensor.New(dims...)
+		for i := range x.Entries {
+			e := x.Entries[i]
+			e.Val *= a
+			sum.Entries = append(sum.Entries, e)
+		}
+		for i := range y.Entries {
+			e := y.Entries[i]
+			e.Val *= b
+			sum.Entries = append(sum.Entries, e)
+		}
+		sum.DedupSum()
+
+		for mode := 0; mode < 3; mode++ {
+			mx := MTTKRP(x, mode, factors)
+			my := MTTKRP(y, mode, factors)
+			ms := MTTKRP(sum, mode, factors)
+			for i := range ms.Data {
+				want := a*mx.Data[i] + b*my.Data[i]
+				if math.Abs(ms.Data[i]-want) > 1e-9*(1+math.Abs(want)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MTTKRP is equivariant under mode permutation: permuting the tensor's
+// modes and the factor list permutes which mode's MTTKRP you get.
+func TestMTTKRPPermutationEquivariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		dims := []int{9, 8, 7}
+		x := tensor.GenUniform(seed, 80, dims...)
+		rank := 2
+		factors := make([]*la.Dense, 3)
+		for n := range factors {
+			factors[n] = InitFactor(seed, n, dims[n], rank)
+		}
+		perm := []int{2, 0, 1}
+		xp := x.Permute(perm)
+		fp := []*la.Dense{factors[perm[0]], factors[perm[1]], factors[perm[2]]}
+
+		// Mode m of the permuted tensor corresponds to mode perm[m] of the
+		// original.
+		for m := 0; m < 3; m++ {
+			got := MTTKRP(xp, m, fp)
+			want := MTTKRP(x, perm[m], factors)
+			if la.MaxAbsDiff(got, want) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MTTKRP does not depend on the storage order of the nonzeros (beyond
+// floating-point summation noise).
+func TestMTTKRPEntryOrderInvariance(t *testing.T) {
+	x := tensor.GenUniform(5, 300, 20, 15, 10)
+	rank := 3
+	factors := make([]*la.Dense, 3)
+	for n := range factors {
+		factors[n] = InitFactor(9, n, x.Dims[n], rank)
+	}
+	base := MTTKRP(x, 0, factors)
+
+	// Reverse the entries.
+	rev := x.Clone()
+	for i, j := 0, len(rev.Entries)-1; i < j; i, j = i+1, j-1 {
+		rev.Entries[i], rev.Entries[j] = rev.Entries[j], rev.Entries[i]
+	}
+	got := MTTKRP(rev, 0, factors)
+	if d := la.MaxAbsDiff(base, got); d > 1e-9 {
+		t.Fatalf("entry order changed MTTKRP by %g", d)
+	}
+
+	// Deterministic shuffle.
+	sh := x.Clone()
+	src := rng.New(11)
+	for i := len(sh.Entries) - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		sh.Entries[i], sh.Entries[j] = sh.Entries[j], sh.Entries[i]
+	}
+	got = MTTKRP(sh, 0, factors)
+	if d := la.MaxAbsDiff(base, got); d > 1e-9 {
+		t.Fatalf("shuffled entries changed MTTKRP by %g", d)
+	}
+}
+
+// Scaling the tensor scales the final lambda and leaves the normalized
+// factors unchanged (CP-ALS homogeneity).
+func TestSolveScaleHomogeneity(t *testing.T) {
+	x := tensor.GenUniform(7, 400, 15, 12, 10)
+	opts := Options{Rank: 2, MaxIters: 4, Seed: 3}
+	base, err := Solve(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := x.Clone()
+	scaled.Scale(3)
+	got, err := Solve(scaled, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range base.Lambda {
+		if math.Abs(got.Lambda[r]-3*base.Lambda[r]) > 1e-6*(1+3*base.Lambda[r]) {
+			t.Fatalf("lambda not scaled: %v vs %v", got.Lambda, base.Lambda)
+		}
+	}
+	for n := range base.Factors {
+		if d := la.MaxAbsDiff(got.Factors[n], base.Factors[n]); d > 1e-6 {
+			t.Fatalf("normalized factor %d changed under scaling by %g", n, d)
+		}
+	}
+	// Fit is scale-invariant.
+	if math.Abs(got.Fit()-base.Fit()) > 1e-9 {
+		t.Fatalf("fit changed under scaling: %v vs %v", got.Fit(), base.Fit())
+	}
+}
+
+// The MTTKRP result contracts correctly: sum_i M(i,r) A(i,r) must equal
+// <X, component-r model> for every r — the identity the fit computation
+// rests on.
+func TestMTTKRPFitIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		dims := []int{6, 5, 4}
+		x := tensor.GenUniform(seed, 50, dims...)
+		rank := 2
+		factors := make([]*la.Dense, 3)
+		for n := range factors {
+			factors[n] = InitFactor(seed, n, dims[n], rank)
+		}
+		m := MTTKRP(x, 0, factors)
+		for r := 0; r < rank; r++ {
+			var viaM float64
+			for i := 0; i < dims[0]; i++ {
+				viaM += m.At(i, r) * factors[0].At(i, r)
+			}
+			var direct float64
+			for i := range x.Entries {
+				e := &x.Entries[i]
+				direct += e.Val * factors[0].At(int(e.Idx[0]), r) *
+					factors[1].At(int(e.Idx[1]), r) * factors[2].At(int(e.Idx[2]), r)
+			}
+			if math.Abs(viaM-direct) > 1e-9*(1+math.Abs(direct)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

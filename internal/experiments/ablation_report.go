@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderAblationCaching formats the raw-vs-serialized caching ablation.
+func RenderAblationCaching(rows []CachingRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: tensor cache storage level, CSTF-COO on delicious3d\n")
+	b.WriteString("(Section 4.1 chooses raw caching for iterative algorithms)\n")
+	fmt.Fprintf(&b, "%-6s %12s %12s %12s %14s %14s\n",
+		"nodes", "raw s/iter", "ser s/iter", "raw adv.", "raw cache", "ser cache")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %12.1f %12.1f %11.2fx %11.1f GB %11.1f GB\n",
+			r.Nodes, r.RawSeconds, r.SerialSeconds, r.RawAdvantage,
+			r.RawCachedGB, r.SerialCachedGB)
+	}
+	return b.String()
+}
+
+// RenderAblationGramReuse formats the gram-reuse ablation.
+func RenderAblationGramReuse(rows []GramReuseRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: once-per-update gram computation (QCOO on nell1, 8 nodes)\n")
+	fmt.Fprintf(&b, "%-14s %12s %16s\n", "gram reuse", "s/iter", "non-MTTKRP s")
+	for _, r := range rows {
+		mode := "off"
+		if r.Reuse {
+			mode = "on"
+		}
+		fmt.Fprintf(&b, "%-14s %12.1f %16.1f\n", mode, r.Seconds, r.OtherSeconds)
+	}
+	return b.String()
+}
+
+// RenderAblationRankSweep formats the rank sweep of the queue strategy's
+// communication advantage.
+func RenderAblationRankSweep(rows []RankSweepRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: QCOO shuffle-byte reduction vs rank (delicious3d, 8 nodes)\n")
+	fmt.Fprintf(&b, "%-6s %14s %14s %12s\n", "rank", "COO bytes", "QCOO bytes", "reduction")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %14.0f %14.0f %11.1f%%\n",
+			r.Rank, r.COOBytes, r.QCOOBytes, 100*r.Reduction)
+	}
+	b.WriteString("(negative = the queue's N-1 rank-sized rows cost more than they save)\n")
+	return b.String()
+}
+
+// RenderAblationOrderSweep formats the tensor-order sweep.
+func RenderAblationOrderSweep(rows []OrderSweepRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: queue strategy across tensor orders (uniform 30k-nnz tensors, 8 nodes)\n")
+	fmt.Fprintf(&b, "%-6s %14s %14s %16s %16s\n",
+		"order", "COO shuffles", "QCOO shuffles", "byte reduction", "paper (1/N)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %14d %14d %15.1f%% %15.1f%%\n",
+			r.Order, r.COOShuffles, r.QCOOShuffles, 100*r.ByteReduction, 100*r.PaperReduction)
+	}
+	b.WriteString("(shuffle counts are exact: N^2 vs 2N per iteration; byte accounting differs, see EXPERIMENTS.md)\n")
+	return b.String()
+}
+
+// RenderResilience formats the failure-injection sweep.
+func RenderResilience(rows []ResilienceRow) string {
+	var b strings.Builder
+	b.WriteString("Resilience: CSTF-COO iteration time under injected task failures (delicious3d, 8 nodes)\n")
+	fmt.Fprintf(&b, "%-12s %12s %10s %10s\n", "failure rate", "s/iter", "failures", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12.2f %12.1f %10d %9.2fx\n", r.FailureRate, r.Seconds, r.Failures, r.Overhead)
+	}
+	return b.String()
+}
+
+// RenderAblationPartitions formats the task-granularity sweep.
+func RenderAblationPartitions(rows []PartitionsRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: task granularity, CSTF-COO on nell1 (8 nodes)\n")
+	fmt.Fprintf(&b, "%-14s %12s\n", "tasks/core", "s/iter")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14d %12.1f\n", r.TasksPerCore, r.Seconds)
+	}
+	return b.String()
+}

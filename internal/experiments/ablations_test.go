@@ -1,0 +1,169 @@
+package experiments
+
+import "testing"
+
+func TestAblationCachingRawWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	rows, err := AblationCaching(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		// Section 4.1's stated choice: raw caching is faster for the
+		// iterative algorithm, despite its larger footprint.
+		if r.RawAdvantage <= 1.0 {
+			t.Errorf("nodes=%d: raw caching must win (serial/raw = %.3f)", r.Nodes, r.RawAdvantage)
+		}
+		if r.SerialCachedGB >= r.RawCachedGB {
+			t.Errorf("nodes=%d: serialized footprint (%.1f GB) must be below raw (%.1f GB)",
+				r.Nodes, r.SerialCachedGB, r.RawCachedGB)
+		}
+	}
+	// The advantage is larger on small clusters only if memory pressure
+	// bites; at minimum it must not flip sign anywhere (already checked).
+}
+
+func TestAblationGramReuseSavesOtherTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	rows, err := AblationGramReuse(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var with, without GramReuseRow
+	for _, r := range rows {
+		if r.Reuse {
+			with = r
+		} else {
+			without = r
+		}
+	}
+	if with.OtherSeconds >= without.OtherSeconds {
+		t.Errorf("gram reuse must shrink the non-MTTKRP time: %.2fs with vs %.2fs without",
+			with.OtherSeconds, without.OtherSeconds)
+	}
+	if with.Seconds > without.Seconds {
+		t.Errorf("gram reuse must not slow the iteration: %.2fs vs %.2fs",
+			with.Seconds, without.Seconds)
+	}
+}
+
+func TestAblationRankSweepReductionShrinks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	rows, err := AblationRankSweep(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("expected 5 ranks, got %d", len(rows))
+	}
+	for i, r := range rows {
+		if i > 0 && r.Reduction > rows[i-1].Reduction+0.02 {
+			t.Errorf("reduction should shrink with rank: R=%d %.1f%% vs R=%d %.1f%%",
+				r.Rank, 100*r.Reduction, rows[i-1].Rank, 100*rows[i-1].Reduction)
+		}
+	}
+	// At the paper's R=2 the reduction is roughly a third (Figure 4).
+	if rows[0].Rank != 2 || rows[0].Reduction < 0.25 || rows[0].Reduction > 0.45 {
+		t.Errorf("R=2 reduction %.1f%% outside [25%%, 45%%]", 100*rows[0].Reduction)
+	}
+	// The queue strategy's limit: by R=32 the advantage is gone — the
+	// queue's N-1 rank-sized rows outweigh COO's single accumulator.
+	if last := rows[len(rows)-1]; last.Reduction > 0.05 {
+		t.Errorf("R=%d reduction %.1f%% — expected the advantage to vanish at high rank",
+			last.Rank, 100*last.Reduction)
+	}
+}
+
+func TestAblationOrderSweepShuffleCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	rows, err := AblationOrderSweep(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected orders 3-5, got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Section 5's exact shuffle counts per CP iteration.
+		if r.COOShuffles != r.Order*r.Order {
+			t.Errorf("order %d: COO shuffles %d, want N^2=%d", r.Order, r.COOShuffles, r.Order*r.Order)
+		}
+		if r.QCOOShuffles != 2*r.Order {
+			t.Errorf("order %d: QCOO shuffles %d, want 2N=%d", r.Order, r.QCOOShuffles, 2*r.Order)
+		}
+		// QCOO must reduce shuffled bytes at every order under our
+		// accounting (the magnitude differs from the paper's 1/N law;
+		// see EXPERIMENTS.md).
+		if r.ByteReduction <= 0.15 {
+			t.Errorf("order %d: byte reduction %.1f%% too small", r.Order, 100*r.ByteReduction)
+		}
+	}
+}
+
+func TestResilienceSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	rows, err := ResilienceSweep(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[0].FailureRate != 0 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	if rows[0].Failures != 0 || rows[0].Overhead != 1 {
+		t.Fatalf("baseline row must be failure-free: %+v", rows[0])
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Failures <= 0 {
+			t.Errorf("rate %.2f: no failures injected", rows[i].FailureRate)
+		}
+		if rows[i].Seconds <= rows[0].Seconds {
+			t.Errorf("rate %.2f: no runtime overhead recorded", rows[i].FailureRate)
+		}
+	}
+	// Recovery is cheap: even 5%% task failures should cost well under 2x.
+	if last := rows[len(rows)-1]; last.Overhead > 2 {
+		t.Errorf("5%%%% failure overhead %.2fx is implausibly high", last.Overhead)
+	}
+}
+
+func TestAblationPartitions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	rows, err := AblationPartitions(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	// All configurations must be within 2x of the best (granularity is a
+	// second-order effect), and every run must complete with sane output.
+	best := rows[0].Seconds
+	for _, r := range rows {
+		if r.Seconds <= 0 {
+			t.Fatalf("tpc=%d: non-positive time", r.TasksPerCore)
+		}
+		if r.Seconds < best {
+			best = r.Seconds
+		}
+	}
+	for _, r := range rows {
+		if r.Seconds > 2*best {
+			t.Errorf("tpc=%d: %.1fs more than 2x the best (%.1fs)", r.TasksPerCore, r.Seconds, best)
+		}
+	}
+}

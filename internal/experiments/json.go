@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Report is the machine-readable form of a full evaluation run, for
+// downstream plotting or regression tracking.
+type Report struct {
+	Scale  float64     `json:"scale"`
+	Rank   int         `json:"rank"`
+	Seed   uint64      `json:"seed"`
+	Fig2   []Fig2Row   `json:"fig2,omitempty"`
+	Fig3   []Fig3Row   `json:"fig3,omitempty"`
+	Fig4   *Fig4JSON   `json:"fig4,omitempty"`
+	Fig5   []Fig5Row   `json:"fig5,omitempty"`
+	Table4 []Table4Row `json:"table4,omitempty"`
+}
+
+// Fig4JSON is the JSON-friendly form of Fig4Result.
+type Fig4JSON struct {
+	Remote          []Fig4Bar          `json:"remote"`
+	Local           []Fig4Bar          `json:"local"`
+	RemoteReduction map[string]float64 `json:"remote_reduction"`
+	LocalReduction  map[string]float64 `json:"local_reduction"`
+}
+
+// RunAll executes every headline experiment and assembles a Report.
+func RunAll(p Params) (*Report, error) {
+	rep := &Report{Scale: p.Scale, Rank: p.Rank, Seed: p.Seed}
+	var err error
+	if rep.Fig2, err = Fig2(p); err != nil {
+		return nil, err
+	}
+	if rep.Fig3, err = Fig3(p); err != nil {
+		return nil, err
+	}
+	f4, err := Fig4(p)
+	if err != nil {
+		return nil, err
+	}
+	rep.Fig4 = &Fig4JSON{
+		Remote:          f4.Remote,
+		Local:           f4.Local,
+		RemoteReduction: f4.RemoteReduction,
+		LocalReduction:  f4.LocalReduction,
+	}
+	if rep.Fig5, err = Fig5(p); err != nil {
+		return nil, err
+	}
+	if rep.Table4, err = Table4(p); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// WriteJSON marshals the report with indentation.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

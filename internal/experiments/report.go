@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rendering of experiment results as text reports (and CSV), consumed by
+// cmd/cstf-bench and EXPERIMENTS.md.
+
+// RenderFig2 formats Figure 2 as a table per dataset.
+func RenderFig2(rows []Fig2Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 2: CP-ALS seconds/iteration (modeled, full-scale equivalent), 3rd-order tensors\n")
+	cur := ""
+	for _, r := range rows {
+		if r.Dataset != cur {
+			cur = r.Dataset
+			fmt.Fprintf(&b, "\n[%s]\n", cur)
+			fmt.Fprintf(&b, "%-6s %10s %10s %10s %12s %12s %10s\n",
+				"nodes", "COO", "QCOO", "BIGtensor", "BIG/COO", "BIG/QCOO", "COO/QCOO")
+		}
+		fmt.Fprintf(&b, "%-6d %10.1f %10.1f %10.1f %11.2fx %11.2fx %9.2fx\n",
+			r.Nodes, r.COO, r.QCOO, r.BIGtensor, r.SpeedupCOO, r.SpeedupQCOO, r.RatioQvsCOO)
+	}
+	return b.String()
+}
+
+// CSVFig2 renders Figure 2 as CSV.
+func CSVFig2(rows []Fig2Row) string {
+	var b strings.Builder
+	b.WriteString("dataset,nodes,coo_s,qcoo_s,bigtensor_s,speedup_coo,speedup_qcoo,coo_over_qcoo\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%.2f,%.2f,%.2f,%.3f,%.3f,%.3f\n",
+			r.Dataset, r.Nodes, r.COO, r.QCOO, r.BIGtensor, r.SpeedupCOO, r.SpeedupQCOO, r.RatioQvsCOO)
+	}
+	return b.String()
+}
+
+// RenderFig3 formats Figure 3.
+func RenderFig3(rows []Fig3Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: CP-ALS seconds/iteration (modeled), 4th-order tensors\n")
+	cur := ""
+	for _, r := range rows {
+		if r.Dataset != cur {
+			cur = r.Dataset
+			fmt.Fprintf(&b, "\n[%s]\n%-6s %10s %10s %10s\n", cur, "nodes", "COO", "QCOO", "COO/QCOO")
+		}
+		fmt.Fprintf(&b, "%-6d %10.1f %10.1f %9.2fx\n", r.Nodes, r.COO, r.QCOO, r.RatioQvsCOO)
+	}
+	return b.String()
+}
+
+// CSVFig3 renders Figure 3 as CSV.
+func CSVFig3(rows []Fig3Row) string {
+	var b strings.Builder
+	b.WriteString("dataset,nodes,coo_s,qcoo_s,coo_over_qcoo\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%.2f,%.2f,%.3f\n", r.Dataset, r.Nodes, r.COO, r.QCOO, r.RatioQvsCOO)
+	}
+	return b.String()
+}
+
+// RenderFig4 formats Figure 4's stacked bars and headline reductions.
+func RenderFig4(res *Fig4Result, scale float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: shuffle bytes read per steady-state CP-ALS iteration, %d nodes\n", Fig4Nodes)
+	fmt.Fprintf(&b, "(raw bytes at scale %.0e; full-scale equivalent in GB)\n", scale)
+	render := func(title string, bars []Fig4Bar) {
+		fmt.Fprintf(&b, "\n[%s]\n", title)
+		for _, bar := range bars {
+			fmt.Fprintf(&b, "%-12s %-9s total %12.0f B (~%6.1f GB full scale)\n",
+				bar.Dataset, bar.Algo, bar.Total, bar.FullGB)
+			for _, ph := range bar.Phases {
+				if v := bar.ByPhase[ph]; v > 0 {
+					fmt.Fprintf(&b, "    %-10s %12.0f B\n", ph, v)
+				}
+			}
+		}
+	}
+	render("remote bytes read", res.Remote)
+	render("local bytes read", res.Local)
+	b.WriteString("\nQCOO vs COO reductions:\n")
+	for _, ds := range Fig4Datasets {
+		fmt.Fprintf(&b, "  %-12s remote %5.1f%%   local %5.1f%%\n",
+			ds, 100*res.RemoteReduction[ds], 100*res.LocalReduction[ds])
+	}
+	return b.String()
+}
+
+// RenderFig5 formats Figure 5.
+func RenderFig5(rows []Fig5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: per-mode MTTKRP seconds (modeled, first iteration), %d nodes\n", Fig5Nodes)
+	cur := ""
+	for _, r := range rows {
+		if r.Dataset != cur {
+			cur = r.Dataset
+			fmt.Fprintf(&b, "\n[%s]\n%-10s %10s %10s %10s\n", cur, "algo", "mode 1", "mode 2", "mode 3")
+		}
+		fmt.Fprintf(&b, "%-10s %10.1f %10.1f %10.1f\n", r.Algo, r.Mode[0], r.Mode[1], r.Mode[2])
+	}
+	return b.String()
+}
+
+// RenderTable4 formats Table 4 with paper-vs-measured columns.
+func RenderTable4(rows []Table4Row, nnz int, rank int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: 3rd-order mode-1 MTTKRP costs (nnz=%d, R=%d)\n", nnz, rank)
+	fmt.Fprintf(&b, "%-10s %14s %14s %18s %10s %10s\n",
+		"algorithm", "flops(meas)", "flops(paper)", "intermediate", "shuf(meas)", "shuf(paper)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %14.3g %14.3g %11.0f B (%s) %6d %10d\n",
+			r.Algo, r.MeasuredFlops, r.PaperFlops, r.IntermediateBytes,
+			r.PaperIntermediate, r.MeasuredShuffles, r.PaperShuffles)
+	}
+	return b.String()
+}
+
+// RenderTable5 formats Table 5.
+func RenderTable5(lines []string) string {
+	return "Table 5: dataset summary\n" + strings.Join(lines, "\n") + "\n"
+}

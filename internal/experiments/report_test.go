@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Rendering is part of the deliverable (cstf-bench output and
+// EXPERIMENTS.md are built from it); pin the shape of each renderer.
+
+func TestRenderFig2(t *testing.T) {
+	rows := []Fig2Row{
+		{Dataset: "delicious3d", Nodes: 4, COO: 400, QCOO: 420, BIGtensor: 1600,
+			SpeedupCOO: 4, SpeedupQCOO: 3.8, RatioQvsCOO: 0.95},
+		{Dataset: "nell1", Nodes: 8, COO: 250, QCOO: 240, BIGtensor: 1100,
+			SpeedupCOO: 4.4, SpeedupQCOO: 4.6, RatioQvsCOO: 1.04},
+	}
+	out := RenderFig2(rows)
+	for _, want := range []string{"[delicious3d]", "[nell1]", "4.40x", "0.95x", "1600.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig2 render missing %q:\n%s", want, out)
+		}
+	}
+	csv := CSVFig2(rows)
+	if !strings.HasPrefix(csv, "dataset,nodes,") || !strings.Contains(csv, "delicious3d,4,400.00") {
+		t.Errorf("fig2 csv malformed:\n%s", csv)
+	}
+	if got := strings.Count(csv, "\n"); got != 3 { // header + 2 rows
+		t.Errorf("fig2 csv has %d lines", got)
+	}
+}
+
+func TestRenderFig3AndCSV(t *testing.T) {
+	rows := []Fig3Row{{Dataset: "flickr", Nodes: 32, COO: 250, QCOO: 170, RatioQvsCOO: 1.47}}
+	if out := RenderFig3(rows); !strings.Contains(out, "[flickr]") || !strings.Contains(out, "1.47x") {
+		t.Errorf("fig3 render:\n%s", out)
+	}
+	if csv := CSVFig3(rows); !strings.Contains(csv, "flickr,32,250.00,170.00,1.470") {
+		t.Errorf("fig3 csv:\n%s", csv)
+	}
+}
+
+func TestRenderFig4(t *testing.T) {
+	res := &Fig4Result{
+		Remote: []Fig4Bar{{
+			Dataset: "delicious3d", Algo: AlgoCOO, Total: 2e6, FullGB: 2,
+			ByPhase: map[string]float64{"MTTKRP-1": 1e6, "MTTKRP-2": 1e6},
+			Phases:  []string{"MTTKRP-1", "MTTKRP-2"},
+		}},
+		Local:           []Fig4Bar{},
+		RemoteReduction: map[string]float64{"delicious3d": 0.34},
+		LocalReduction:  map[string]float64{"delicious3d": 0.33},
+	}
+	out := RenderFig4(res, 1e-3)
+	for _, want := range []string{"MTTKRP-1", "34.0%", "remote bytes read"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig4 render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFig5AndTable4(t *testing.T) {
+	f5 := RenderFig5([]Fig5Row{{Dataset: "nell1", Algo: AlgoQ, Mode: [3]float64{180, 120, 140}}})
+	if !strings.Contains(f5, "QCOO") || !strings.Contains(f5, "180.0") {
+		t.Errorf("fig5 render:\n%s", f5)
+	}
+	t4 := RenderTable4([]Table4Row{{
+		Algo: AlgoCOO, MeasuredFlops: 8e5, PaperFlops: 8e5,
+		IntermediateBytes: 2e6, PaperIntermediate: "nnz x R",
+		MeasuredShuffles: 3, PaperShuffles: 3,
+	}}, 140000, 2)
+	if !strings.Contains(t4, "nnz x R") || !strings.Contains(t4, "COO") {
+		t.Errorf("table4 render:\n%s", t4)
+	}
+}
+
+func TestRenderAblations(t *testing.T) {
+	c := RenderAblationCaching([]CachingRow{{Nodes: 4, RawSeconds: 100, SerialSeconds: 104, RawAdvantage: 1.04, RawCachedGB: 16, SerialCachedGB: 5}})
+	if !strings.Contains(c, "1.04x") || !strings.Contains(c, "16.0 GB") {
+		t.Errorf("caching render:\n%s", c)
+	}
+	g := RenderAblationGramReuse([]GramReuseRow{{Reuse: true, Seconds: 250, OtherSeconds: 3}})
+	if !strings.Contains(g, "on") {
+		t.Errorf("gram render:\n%s", g)
+	}
+	r := RenderAblationRankSweep([]RankSweepRow{{Rank: 32, COOBytes: 1, QCOOBytes: 2, Reduction: -1}})
+	if !strings.Contains(r, "-100.0%") {
+		t.Errorf("rank render:\n%s", r)
+	}
+	o := RenderAblationOrderSweep([]OrderSweepRow{{Order: 5, COOShuffles: 25, QCOOShuffles: 10, ByteReduction: 0.4, PaperReduction: 0.2}})
+	if !strings.Contains(o, "25") || !strings.Contains(o, "20.0%") {
+		t.Errorf("order render:\n%s", o)
+	}
+	re := RenderResilience([]ResilienceRow{{FailureRate: 0.05, Seconds: 120, Failures: 42, Overhead: 1.1}})
+	if !strings.Contains(re, "42") || !strings.Contains(re, "1.10x") {
+		t.Errorf("resilience render:\n%s", re)
+	}
+	pt := RenderAblationPartitions([]PartitionsRow{{TasksPerCore: 2, Seconds: 222}})
+	if !strings.Contains(pt, "222.0") {
+		t.Errorf("partitions render:\n%s", pt)
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import "cstf/internal/core"
+
+// The paper motivates Spark/Hadoop precisely because they are
+// fault-tolerant frameworks ("implementations ... on fault-tolerant
+// frameworks such as Hadoop and Spark are useful as they can execute in
+// data-center settings", Section 1). The resilience sweep quantifies what
+// that tolerance costs under task failures: failed tasks are re-executed
+// from their cached/shuffled inputs rather than aborting the run.
+
+// ResilienceRow reports one failure rate's steady-state iteration time.
+type ResilienceRow struct {
+	FailureRate float64
+	Seconds     float64
+	Failures    int     // injected task failures during the measured iteration
+	Overhead    float64 // Seconds / baseline Seconds
+}
+
+// ResilienceSweep runs CSTF-COO on delicious3d at 8 nodes under increasing
+// injected task-failure rates.
+func ResilienceSweep(p Params) ([]ResilienceRow, error) {
+	x, _, err := p.generate("delicious3d")
+	if err != nil {
+		return nil, err
+	}
+	rates := []float64{0, 0.01, 0.03, 0.05}
+	var rows []ResilienceRow
+	var baseline float64
+	for _, rate := range rates {
+		ctx := p.sparkCtx(8)
+		ctx.Cluster.InjectTaskFailures(rate, 1000+uint64(rate*1e4))
+		s := core.NewCOOState(ctx, x, p.Rank, p.Seed)
+		before := ctx.Cluster.Metrics()
+		for n := 0; n < x.Order(); n++ {
+			s.Step(n)
+		}
+		diff := ctx.Cluster.Metrics().Sub(before)
+		row := ResilienceRow{
+			FailureRate: rate,
+			Seconds:     diff.TotalSimTime(),
+			Failures:    diff.TaskFailures,
+		}
+		if rate == 0 {
+			baseline = row.Seconds
+		}
+		row.Overhead = row.Seconds / baseline
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,184 @@
+// Package integration holds cross-module end-to-end scenarios: every
+// dataset through every solver, file-format round trips through the public
+// API, and long-haul determinism checks. These are the tests a release
+// would gate on.
+package integration
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"cstf"
+	"cstf/internal/cpals"
+	"cstf/internal/la"
+	"cstf/internal/workload"
+)
+
+// Every Table 5 dataset, decomposed by every applicable solver, must agree
+// with the serial reference on the final fit.
+func TestAllDatasetsAllSolversAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration sweep")
+	}
+	const scale = 2e-5
+	for _, cfg := range workload.Datasets() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			x, err := cstf.Dataset(cfg.Name, scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := cstf.Options{Rank: 2, MaxIters: 2, Tol: cstf.NoTol, Seed: 77, Nodes: 4}
+
+			ref, err := cstf.Decompose(x, withAlgo(opts, cstf.Serial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			algos := []cstf.Algorithm{cstf.COO, cstf.QCOO}
+			if cfg.Order() == 3 {
+				algos = append(algos, cstf.BigTensor)
+			}
+			for _, algo := range algos {
+				dec, err := cstf.Decompose(x, withAlgo(opts, algo))
+				if err != nil {
+					t.Fatalf("%s: %v", algo, err)
+				}
+				if math.Abs(dec.Fit()-ref.Fit()) > 1e-6 {
+					t.Fatalf("%s fit %v != serial %v", algo, dec.Fit(), ref.Fit())
+				}
+			}
+		})
+	}
+}
+
+func withAlgo(o cstf.Options, a cstf.Algorithm) cstf.Options {
+	o.Algorithm = a
+	return o
+}
+
+// A tensor written as gzip-compressed FROSTT text and as CSTFBIN1 binary
+// must decompose to identical results through the public API.
+func TestFileFormatsProduceIdenticalDecompositions(t *testing.T) {
+	dir := t.TempDir()
+	x := cstf.ZipfTensor(3, 2000, 0.7, 200, 150, 100)
+
+	gzPath := filepath.Join(dir, "x.tns.gz")
+	binPath := filepath.Join(dir, "x.bin")
+	if err := x.Save(gzPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.SaveBinary(binPath); err != nil {
+		t.Fatal(err)
+	}
+	fromGz, err := cstf.LoadTensor(gzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := cstf.LoadBinaryTensor(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := cstf.Options{Algorithm: cstf.QCOO, Rank: 2, MaxIters: 2, Tol: cstf.NoTol, Seed: 5, Nodes: 2}
+	a, err := cstf.Decompose(fromGz, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cstf.Decompose(fromBin, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The .tns text path loses precision to %g formatting, so compare fits
+	// loosely and structure exactly.
+	if math.Abs(a.Fit()-b.Fit()) > 1e-4 {
+		t.Fatalf("fits diverge across formats: %v vs %v", a.Fit(), b.Fit())
+	}
+	if a.Rank() != b.Rank() || len(a.Factors) != len(b.Factors) {
+		t.Fatal("structure diverges across formats")
+	}
+}
+
+// The same decomposition run twice must be bit-identical (full-stack
+// determinism: generators, partitioning, iteration order, cost model).
+func TestEndToEndDeterminism(t *testing.T) {
+	x, err := cstf.Dataset("flickr", 2e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := cstf.Options{Algorithm: cstf.QCOO, Rank: 3, MaxIters: 2, Tol: cstf.NoTol, Seed: 9, Nodes: 4}
+	a, err := cstf.Decompose(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cstf.Decompose(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fit() != b.Fit() {
+		t.Fatalf("fits differ across runs: %v vs %v", a.Fit(), b.Fit())
+	}
+	if a.Metrics.SimSeconds != b.Metrics.SimSeconds {
+		t.Fatalf("modeled times differ across runs: %v vs %v",
+			a.Metrics.SimSeconds, b.Metrics.SimSeconds)
+	}
+	if a.Metrics.RemoteBytes != b.Metrics.RemoteBytes {
+		t.Fatal("shuffle metrics differ across runs")
+	}
+	for n := range a.Factors {
+		for i := 0; i < a.Factors[n].Rows(); i++ {
+			for j := 0; j < a.Factors[n].Cols(); j++ {
+				if a.Factors[n].At(i, j) != b.Factors[n].At(i, j) {
+					t.Fatalf("factor %d differs at (%d,%d)", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+// CSF and COO kernels inside a full serial CP-ALS: swapping the MTTKRP
+// kernel must not change the solve (independent-implementations check at
+// the algorithm level rather than the kernel level).
+func TestSerialSolveMatchesCSFKernelSolve(t *testing.T) {
+	cfg, err := workload.ByName("delicious3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := cfg.Generate(2e-5)
+	opts := cpals.Options{Rank: 2, MaxIters: 3, Seed: 13}
+	ref, err := cpals.Solve(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-rolled CP-ALS using the CSF kernel.
+	order := x.Order()
+	rank := opts.Rank
+	factors := make([]*la.Dense, order)
+	grams := make([]*la.Dense, order)
+	for n := 0; n < order; n++ {
+		factors[n] = cpals.InitFactor(opts.Seed, n, x.Dims[n], rank)
+		grams[n] = factors[n].Gram()
+	}
+	csfs := cpals.BuildCSFs(x)
+	var lambda []float64
+	for it := 0; it < opts.MaxIters; it++ {
+		for n := 0; n < order; n++ {
+			m := cpals.MTTKRPCSF(csfs[n], factors)
+			pinv := la.Pinv(cpals.HadamardOfGramsExcept(grams, n))
+			a := factors[n]
+			for i := 0; i < a.Rows; i++ {
+				la.VecMatInto(a.Row(i), m.Row(i), pinv)
+			}
+			lambda = a.NormalizeColumns()
+			grams[n] = a.Gram()
+		}
+	}
+	if la.VecMaxAbsDiff(lambda, ref.Lambda) > 1e-7*(1+la.VecNorm(ref.Lambda)) {
+		t.Fatalf("lambda: CSF-kernel ALS %v vs reference %v", lambda, ref.Lambda)
+	}
+	for n := range factors {
+		if d := la.MaxAbsDiff(factors[n], ref.Factors[n]); d > 1e-7 {
+			t.Fatalf("factor %d differs by %g between kernels", n, d)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package la
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPD is reported by Cholesky when the matrix is not positive
+// definite (within round-off).
+var ErrNotPD = errors.New("la: matrix not positive definite")
+
+// Cholesky computes the lower-triangular factor L with A = L L^T for a
+// symmetric positive-definite matrix. Production CP-ALS implementations
+// (e.g. SPLATT) solve the normal equations with Cholesky and fall back to
+// the pseudo-inverse when the gram product is rank-deficient; this
+// repository keeps Pinv as the paper's dagger operator and provides
+// Cholesky as the fast path and as an independent cross-check.
+func Cholesky(a *Dense) (*Dense, error) {
+	if a.Rows != a.Cols {
+		panic("la: Cholesky requires a square matrix")
+	}
+	n := a.Rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		var diag float64
+		for k := 0; k < j; k++ {
+			diag += l.At(j, k) * l.At(j, k)
+		}
+		d := a.At(j, j) - diag
+		if d <= 0 {
+			return nil, ErrNotPD
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			var s float64
+			for k := 0; k < j; k++ {
+				s += l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, (a.At(i, j)-s)/ljj)
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves A x = b given the Cholesky factor L of A, by
+// forward then backward substitution.
+func CholeskySolve(l *Dense, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("la: CholeskySolve dimension mismatch")
+	}
+	// L y = b
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// L^T x = y
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// SPDInverse inverts a symmetric positive-definite matrix via Cholesky.
+// Returns ErrNotPD for singular/indefinite input (use Pinv there).
+func SPDInverse(a *Dense) (*Dense, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	inv := NewDense(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col := CholeskySolve(l, e)
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}

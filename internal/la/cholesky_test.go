@@ -1,0 +1,143 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func spdMatrix(rng *rand.Rand, n int) *Dense {
+	m := randDense(rng, n+2, n) // full column rank w.h.p.
+	a := Mul(m.Transpose(), m)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+0.5)
+	}
+	return a
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := spdMatrix(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		// L must be lower triangular with positive diagonal.
+		for i := 0; i < n; i++ {
+			if l.At(i, i) <= 0 {
+				return false
+			}
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					return false
+				}
+			}
+		}
+		rec := Mul(l, l.Transpose())
+		return MaxAbsDiff(rec, a) < 1e-9*(1+a.FrobeniusNorm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err != ErrNotPD {
+		t.Fatalf("expected ErrNotPD, got %v", err)
+	}
+	zero := NewDense(3, 3)
+	if _, err := Cholesky(zero); err != ErrNotPD {
+		t.Fatalf("expected ErrNotPD for zero matrix, got %v", err)
+	}
+}
+
+func TestCholeskySolveMatchesGaussian(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := spdMatrix(rng, 6)
+	b := make([]float64, 6)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := CholeskySolve(l, b)
+	want, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := VecMaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("cholesky solve differs from gaussian by %g", d)
+	}
+}
+
+func TestSPDInverseMatchesPinv(t *testing.T) {
+	// On well-conditioned SPD matrices, the Cholesky inverse and the
+	// eigen-based pseudo-inverse must agree — two independent
+	// implementations checking each other.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := spdMatrix(rng, n)
+		inv, err := SPDInverse(a)
+		if err != nil {
+			return false
+		}
+		p := Pinv(a)
+		return MaxAbsDiff(inv, p) < 1e-7*(1+p.FrobeniusNorm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPDInverseIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := spdMatrix(rng, 5)
+	inv, err := SPDInverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(Mul(a, inv), Identity(5)); d > 1e-9 {
+		t.Fatalf("A * inv(A) off identity by %g", d)
+	}
+	if _, err := SPDInverse(NewDense(2, 2)); err == nil {
+		t.Fatal("singular matrix must error")
+	}
+}
+
+func TestCholeskyLargeWellConditioned(t *testing.T) {
+	// A 32x32 diagonally dominant system, checking numerical stability.
+	n := 32
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				a.Set(i, j, 10)
+			} else {
+				a.Set(i, j, 1/float64(1+i+j))
+			}
+		}
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	x := CholeskySolve(l, b)
+	ax := MatVec(a, x)
+	if d := VecMaxAbsDiff(ax, b); d > 1e-9 {
+		t.Fatalf("residual %g", d)
+	}
+	if math.IsNaN(x[0]) {
+		t.Fatal("NaN in solution")
+	}
+}

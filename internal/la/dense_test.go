@@ -1,0 +1,268 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewDenseFromPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched data length")
+		}
+	}()
+	NewDenseFrom(2, 3, make([]float64, 5))
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("I(%d,%d) = %v, want %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := NewDense(3, 2)
+	m.Set(1, 1, 7)
+	if m.At(1, 1) != 7 {
+		t.Fatalf("At(1,1) = %v", m.At(1, 1))
+	}
+	row := m.Row(1)
+	row[0] = 5 // Row aliases storage
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row must alias the matrix storage")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randDense(rng, 3, 5)
+	tr := m.Transpose()
+	if tr.Rows != 5 || tr.Cols != 3 {
+		t.Fatalf("transpose dims %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if tr.At(j, i) != m.At(i, j) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	back := tr.Transpose()
+	if MaxAbsDiff(back, m) != 0 {
+		t.Fatal("double transpose must be identity")
+	}
+}
+
+func TestGramMatchesExplicitMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randDense(rng, 50, 4)
+	g := m.Gram()
+	explicit := Mul(m.Transpose(), m)
+	if d := MaxAbsDiff(g, explicit); d > 1e-12 {
+		t.Fatalf("gram differs from A^T A by %g", d)
+	}
+}
+
+func TestGramSymmetricPSDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randDense(rng, 1+rng.Intn(40), 1+rng.Intn(6))
+		g := m.Gram()
+		// Symmetry.
+		for i := 0; i < g.Rows; i++ {
+			for j := 0; j < g.Cols; j++ {
+				if math.Abs(g.At(i, j)-g.At(j, i)) > 1e-12 {
+					return false
+				}
+			}
+		}
+		// PSD: x^T G x >= 0 for random x.
+		x := make([]float64, g.Cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		gx := MatVec(g, x)
+		return VecDot(x, gx) >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulAssociativityWithIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randDense(rng, 4, 4)
+	if d := MaxAbsDiff(Mul(m, Identity(4)), m); d > 0 {
+		t.Fatalf("M*I != M (diff %g)", d)
+	}
+	if d := MaxAbsDiff(Mul(Identity(4), m), m); d > 0 {
+		t.Fatalf("I*M != M (diff %g)", d)
+	}
+}
+
+func TestHadamard(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseFrom(2, 2, []float64{5, 6, 7, 8})
+	h := Hadamard(a, b)
+	want := []float64{5, 12, 21, 32}
+	for i, v := range want {
+		if h.Data[i] != v {
+			t.Fatalf("hadamard[%d] = %v, want %v", i, h.Data[i], v)
+		}
+	}
+	dst := NewDense(2, 2)
+	HadamardInto(dst, a, b)
+	if MaxAbsDiff(dst, h) != 0 {
+		t.Fatal("HadamardInto mismatch")
+	}
+}
+
+func TestColumnNormsAndNormalize(t *testing.T) {
+	m := NewDenseFrom(2, 2, []float64{3, 0, 4, 0})
+	norms := m.ColumnNorms()
+	if norms[0] != 5 || norms[1] != 0 {
+		t.Fatalf("norms = %v", norms)
+	}
+	lam := m.NormalizeColumns()
+	if lam[0] != 5 || lam[1] != 1 {
+		t.Fatalf("lambda = %v (zero column must report 1)", lam)
+	}
+	if math.Abs(m.At(0, 0)-0.6) > 1e-15 || math.Abs(m.At(1, 0)-0.8) > 1e-15 {
+		t.Fatalf("normalized column wrong: %v", m.Data)
+	}
+}
+
+func TestNormalizeThenScaleRoundTrips(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randDense(rng, 2+rng.Intn(20), 1+rng.Intn(5))
+		orig := m.Clone()
+		lam := m.NormalizeColumns()
+		for i := 0; i < m.Rows; i++ {
+			row := m.Row(i)
+			for j := range row {
+				row[j] *= lam[j]
+			}
+		}
+		return MaxAbsDiff(m, orig) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolve(t *testing.T) {
+	a := NewDenseFrom(3, 3, []float64{4, 1, 0, 1, 3, 1, 0, 1, 2})
+	want := []float64{1, -2, 3}
+	b := MatVec(a, want)
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := VecMaxAbsDiff(x, want); d > 1e-10 {
+		t.Fatalf("solve error %g", d)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{1, 2, 2, 4})
+	if _, err := Solve(a, []float64{1, 2}); err != ErrSingular {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := NewDenseFrom(2, 2, []float64{1, 2, 2, 0})
+	if got := m.FrobeniusNorm(); math.Abs(got-3) > 1e-15 {
+		t.Fatalf("frobenius = %v, want 3", got)
+	}
+}
+
+func TestScaleAndZero(t *testing.T) {
+	m := NewDenseFrom(1, 3, []float64{1, 2, 3})
+	m.Scale(2)
+	if m.Data[2] != 6 {
+		t.Fatalf("scale failed: %v", m.Data)
+	}
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("zero failed")
+		}
+	}
+}
+
+func TestVecMatIntoPanicsOnMismatch(t *testing.T) {
+	m := NewDense(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	VecMatInto(make([]float64, 3), make([]float64, 5), m)
+}
+
+func TestMatVecPanicsOnMismatch(t *testing.T) {
+	m := NewDense(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatVec(m, make([]float64, 2))
+}
+
+func TestNewDensePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(-1, 3)
+}
+
+func TestMulPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestGramAccumulatePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GramAccumulate(NewDense(2, 2), NewDense(4, 3))
+}
+
+func TestSolvePanicsOnShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_, _ = Solve(NewDense(2, 3), []float64{1, 2})
+}

@@ -1,0 +1,109 @@
+package la
+
+import "math"
+
+// SymEig computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns the eigenvalues and a matrix whose
+// COLUMNS are the corresponding orthonormal eigenvectors, so
+// a == V * diag(vals) * V^T up to round-off. The input is not modified.
+//
+// CP-ALS only ever eigendecomposes the R x R Hadamard product of gram
+// matrices (symmetric positive semi-definite, R small), for which Jacobi is
+// simple, robust, and plenty fast.
+func SymEig(a *Dense) (vals []float64, vecs *Dense) {
+	if a.Rows != a.Cols {
+		panic("la: SymEig requires a square matrix")
+	}
+	n := a.Rows
+	w := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-30 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply the rotation G(p,q,theta) on both sides of w and
+				// accumulate it into v.
+				for k := 0; k < n; k++ {
+					wkp, wkq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk, wqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	return vals, v
+}
+
+// Pinv returns the Moore-Penrose pseudo-inverse of a symmetric matrix,
+// computed from its eigendecomposition: eigenvalues below a relative
+// tolerance are treated as zero and inverted to zero. This is the dagger
+// operator of Algorithm 1 applied to the (symmetric PSD) Hadamard product of
+// gram matrices.
+func Pinv(a *Dense) *Dense {
+	vals, vecs := SymEig(a)
+	n := a.Rows
+	var vmax float64
+	for _, v := range vals {
+		if av := math.Abs(v); av > vmax {
+			vmax = av
+		}
+	}
+	tol := vmax * 1e-12 * float64(n)
+	out := NewDense(n, n)
+	for k, lam := range vals {
+		if math.Abs(lam) <= tol {
+			continue
+		}
+		inv := 1 / lam
+		for i := 0; i < n; i++ {
+			vik := vecs.At(i, k)
+			if vik == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out.Data[i*n+j] += inv * vik * vecs.At(j, k)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package mapreduce
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cstf/internal/cluster"
+	"cstf/internal/rng"
+)
+
+// Randomized equivalence: a word-count-shaped job under random inputs,
+// cluster shapes, and combiner settings must match an in-memory reference,
+// and byte accounting must conserve.
+func TestRandomJobEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		nodes := 1 + src.Intn(6)
+		reducers := nodes * (1 + src.Intn(4))
+		env := NewEnv(cluster.New(nodes, cluster.LaptopProfile()), reducers)
+
+		n := src.Intn(800)
+		keySpace := 1 + src.Intn(50)
+		data := make([]int, n)
+		want := map[uint32]int{}
+		for i := range data {
+			v := src.Intn(1000)
+			data[i] = v
+			want[uint32(v%keySpace)] += v
+		}
+		in := WriteFile(env, "in", data, func(int) int { return 8 })
+
+		var comb func(int, int) int
+		if src.Intn(2) == 0 {
+			comb = func(a, b int) int { return a + b }
+		}
+		out := RunJob(env, "sum", in,
+			func(v int, emit Emit[uint32, int]) { emit(uint32(v%keySpace), v) },
+			comb,
+			func(k uint32, vals []int, emit func(kv2)) {
+				s := 0
+				for _, v := range vals {
+					s += v
+				}
+				emit(kv2{k, s})
+			},
+			func(uint32, int) int { return 16 },
+			func(kv2) int { return 16 },
+			JobOpts{},
+		)
+
+		got := map[uint32]int{}
+		for _, r := range out.Collect() {
+			got[r.k] = r.v
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		m := env.C.Metrics()
+		if nodes == 1 && m.TotalRemoteBytes() != 0 {
+			return false
+		}
+		return m.TotalSimTime() > 0 && m.Jobs == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type kv2 struct {
+	k uint32
+	v int
+}
+
+// A chained pipeline of jobs (the BIGtensor pattern) must preserve the
+// data across HDFS materializations.
+func TestChainedJobsPreserveData(t *testing.T) {
+	env := NewEnv(cluster.New(3, cluster.LaptopProfile()), 6)
+	data := make([]int, 500)
+	for i := range data {
+		data[i] = i
+	}
+	in := WriteFile(env, "in", data, func(int) int { return 8 })
+
+	// Job 1: square every value (identity reduce).
+	squared := RunJob(env, "square", in,
+		func(v int, emit Emit[uint32, int]) { emit(uint32(v), v*v) },
+		nil,
+		func(k uint32, vals []int, emit func(int)) { emit(vals[0]) },
+		func(uint32, int) int { return 16 },
+		func(int) int { return 8 },
+		JobOpts{},
+	)
+	// Job 2: sum everything under one key.
+	total := RunJob(env, "sum", squared,
+		func(v int, emit Emit[uint8, int]) { emit(0, v) },
+		func(a, b int) int { return a + b },
+		func(k uint8, vals []int, emit func(int)) {
+			s := 0
+			for _, v := range vals {
+				s += v
+			}
+			emit(s)
+		},
+		func(uint8, int) int { return 16 },
+		func(int) int { return 8 },
+		JobOpts{},
+	)
+	got := total.Collect()
+	if len(got) != 1 {
+		t.Fatalf("expected one output, got %v", got)
+	}
+	want := 0
+	for _, v := range data {
+		want += v * v
+	}
+	if got[0] != want {
+		t.Fatalf("chained sum %d, want %d", got[0], want)
+	}
+	if env.C.Metrics().Jobs != 2 {
+		t.Fatalf("jobs = %d", env.C.Metrics().Jobs)
+	}
+}
+
+// Map-only jobs preserve record multiplicity.
+func TestRunMapJobEquivalence(t *testing.T) {
+	env := NewEnv(cluster.New(2, cluster.LaptopProfile()), 4)
+	data := []int{5, 5, 7, 9}
+	in := WriteFile(env, "in", data, func(int) int { return 8 })
+	out := RunMapJob(env, "triple", in,
+		func(v int) []int { return []int{v, v, v} },
+		func(int) int { return 8 },
+		0,
+	)
+	got := out.Collect()
+	if len(got) != 12 {
+		t.Fatalf("map-only fan-out: %d records", len(got))
+	}
+	sort.Ints(got)
+	if got[0] != 5 || got[11] != 9 {
+		t.Fatalf("contents: %v", got)
+	}
+}

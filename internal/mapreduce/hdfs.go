@@ -1,0 +1,145 @@
+// Package mapreduce implements the Hadoop-style engine the BIGtensor
+// baseline runs on: MapReduce jobs with map, optional combine, and reduce
+// phases, reading and writing a simulated HDFS. The contrast with
+// internal/rdd is the whole point of the paper's comparison — every job
+// pays a fixed startup cost, inputs are re-read from disk on every job
+// (no in-memory caching across jobs), and outputs are materialized back to
+// HDFS with replication.
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+
+	"cstf/internal/cluster"
+)
+
+// Env binds the engine to a simulated cluster and fixes the task-parallelism
+// discipline (number of reduce partitions, which is also the block count of
+// files the engine writes).
+type Env struct {
+	C        *cluster.Cluster
+	Reducers int
+
+	mu       sync.Mutex
+	counters map[string]int64
+}
+
+// IncrCounter adds to a named job counter (Hadoop's Counters API): cheap
+// user-defined telemetry that jobs accumulate and drivers read.
+func (env *Env) IncrCounter(name string, delta int64) {
+	env.mu.Lock()
+	if env.counters == nil {
+		env.counters = map[string]int64{}
+	}
+	env.counters[name] += delta
+	env.mu.Unlock()
+}
+
+// Counter reads a named counter (0 if never incremented).
+func (env *Env) Counter(name string) int64 {
+	env.mu.Lock()
+	defer env.mu.Unlock()
+	return env.counters[name]
+}
+
+// NewEnv creates a MapReduce environment.
+func NewEnv(c *cluster.Cluster, reducers int) *Env {
+	if reducers <= 0 {
+		panic("mapreduce: reducer count must be positive")
+	}
+	return &Env{C: c, Reducers: reducers}
+}
+
+// recFactor is the profile's per-record Hadoop cost multiplier relative to
+// the Spark engine (Writable/Text handling, per-record reflection).
+func (env *Env) recFactor() float64 {
+	if f := env.C.Profile.HadoopRecordFactor; f > 0 {
+		return f
+	}
+	return 1
+}
+
+// File is an HDFS file of T records split into blocks. Block b lives on node
+// NodeOf(b); reads are disk-local (Hadoop schedules map tasks on the block's
+// host), writes pay replication.
+type File[T any] struct {
+	env    *Env
+	name   string
+	blocks [][]T
+	sizeOf func(T) int
+}
+
+// Name returns the file name.
+func (f *File[T]) Name() string { return f.name }
+
+// Blocks returns the number of blocks.
+func (f *File[T]) Blocks() int { return len(f.blocks) }
+
+// Records returns the total record count.
+func (f *File[T]) Records() int {
+	n := 0
+	for _, b := range f.blocks {
+		n += len(b)
+	}
+	return n
+}
+
+// Collect returns all records, concatenated in block order (test/driver use).
+func (f *File[T]) Collect() []T {
+	var out []T
+	for _, b := range f.blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func (f *File[T]) blockBytes(b int) float64 {
+	var s float64
+	for i := range f.blocks[b] {
+		s += float64(f.sizeOf(f.blocks[b][i]))
+	}
+	return s
+}
+
+// WriteFile stores records as an HDFS file with env.Reducers blocks,
+// charging the disk and network cost of replicated writes as one stage.
+func WriteFile[T any](env *Env, name string, records []T, sizeOf func(T) int) *File[T] {
+	blocks := make([][]T, env.Reducers)
+	for i, r := range records {
+		b := i % env.Reducers
+		blocks[b] = append(blocks[b], r)
+	}
+	f := &File[T]{env: env, name: fmt.Sprintf("%s@%d", name, env.Reducers), blocks: blocks, sizeOf: sizeOf}
+	chargeHDFSWrite(env, blocks, sizeOf)
+	return f
+}
+
+// fileFromBlocks wraps already-placed blocks (reducer outputs) as a file and
+// charges their replicated write.
+func fileFromBlocks[T any](env *Env, name string, blocks [][]T, sizeOf func(T) int) *File[T] {
+	f := &File[T]{env: env, name: name, blocks: blocks, sizeOf: sizeOf}
+	chargeHDFSWrite(env, blocks, sizeOf)
+	return f
+}
+
+func chargeHDFSWrite[T any](env *Env, blocks [][]T, sizeOf func(T) int) {
+	rep := float64(env.C.Profile.HDFSReplication)
+	tasks := make([]cluster.Task, len(blocks))
+	for b := range blocks {
+		var bytes float64
+		for i := range blocks[b] {
+			bytes += float64(sizeOf(blocks[b][i]))
+		}
+		tasks[b] = cluster.Task{
+			Node:      env.C.NodeOf(b),
+			Records:   env.recFactor() * float64(len(blocks[b])),
+			DiskBytes: bytes * rep,
+			// Pipeline the (rep-1) off-node replicas over the network. The
+			// bytes are charged to the writer's NIC; they are not shuffle
+			// reads, so they bypass the shuffle metrics by design — Spark's
+			// and Hadoop's shuffle-read counters exclude HDFS replication.
+		}
+	}
+	env.C.RunStage(false, tasks)
+}

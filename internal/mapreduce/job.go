@@ -1,0 +1,248 @@
+package mapreduce
+
+import (
+	"cstf/internal/cluster"
+	"cstf/internal/rng"
+)
+
+// JobOpts carries the per-record floating-point work of the user functions
+// so the cost model can charge compute to the right phase.
+type JobOpts struct {
+	MapFlops    float64 // flops per mapper input record
+	ReduceFlops float64 // flops per reducer input record
+}
+
+// Emit is the output channel of a mapper.
+type Emit[K comparable, V any] func(K, V)
+
+// kv is an intermediate key-value record.
+type kv[K comparable, V any] struct {
+	k K
+	v V
+}
+
+// mappedBlock is the output of one map task: per-reducer buckets, their
+// serialized sizes, and the node the task ran on (the block's host).
+type mappedBlock[K comparable, V any] struct {
+	node    int
+	buckets [][]kv[K, V]
+	bytes   []float64
+}
+
+// mapSource erases the input type of one mapper.
+type mapSource[K comparable, V any] struct {
+	run func(reducers int, combiner func(V, V) V, interSize func(K, V) int) ([]mappedBlock[K, V], []cluster.Task)
+}
+
+func mapSourceOf[I any, K comparable, V any](env *Env, input *File[I], mapper func(I, Emit[K, V]), mapFlops float64) mapSource[K, V] {
+	return mapSource[K, V]{run: func(reducers int, combiner func(V, V) V, interSize func(K, V) int) ([]mappedBlock[K, V], []cluster.Task) {
+		nb := input.Blocks()
+		blocks := make([]mappedBlock[K, V], nb)
+		tasks := make([]cluster.Task, nb)
+		overhead := float64(env.C.Profile.RecordOverhead)
+		env.C.Parallel(nb, func(b int) {
+			bk := make([][]kv[K, V], reducers)
+			emit := func(k K, v V) {
+				r := int(rng.HashAny(k) % uint64(reducers))
+				bk[r] = append(bk[r], kv[K, V]{k, v})
+			}
+			for i := range input.blocks[b] {
+				mapper(input.blocks[b][i], emit)
+			}
+			if combiner != nil {
+				for r := range bk {
+					bk[r] = combineBucket(bk[r], combiner)
+				}
+			}
+			bytes := make([]float64, reducers)
+			for r := range bk {
+				for i := range bk[r] {
+					bytes[r] += float64(interSize(bk[r][i].k, bk[r][i].v)) + overhead
+				}
+			}
+			node := env.C.NodeOf(b)
+			blocks[b] = mappedBlock[K, V]{node: node, buckets: bk, bytes: bytes}
+			tasks[b] = cluster.Task{
+				Node:      node,
+				Records:   env.recFactor() * float64(len(input.blocks[b])),
+				DiskBytes: input.blockBytes(b),
+				Flops:     mapFlops * float64(len(input.blocks[b])),
+			}
+		})
+		return blocks, tasks
+	}}
+}
+
+func combineBucket[K comparable, V any](recs []kv[K, V], combiner func(V, V) V) []kv[K, V] {
+	m := make(map[K]V, len(recs))
+	order := make([]K, 0, len(recs))
+	for _, r := range recs {
+		if cur, ok := m[r.k]; ok {
+			m[r.k] = combiner(cur, r.v)
+		} else {
+			m[r.k] = r.v
+			order = append(order, r.k)
+		}
+	}
+	out := make([]kv[K, V], 0, len(m))
+	for _, k := range order {
+		out = append(out, kv[K, V]{k, m[k]})
+	}
+	return out
+}
+
+// RunJob executes a classic MapReduce job over one input file:
+//
+//	map:     block-local, reads the block from HDFS disk
+//	combine: optional map-side merge of values sharing a key
+//	shuffle: hash-partition intermediates to env.Reducers reduce tasks
+//	reduce:  (K, []V) -> output records, written back to HDFS (replicated)
+//
+// Every job pays the cluster profile's fixed startup cost — the Hadoop
+// behaviour that dominates BIGtensor's runtime in the paper's Figure 2.
+// Reducers must not rely on the order of values within a group.
+func RunJob[I any, K comparable, V, O any](
+	env *Env, name string,
+	input *File[I],
+	mapper func(I, Emit[K, V]),
+	combiner func(V, V) V, // nil disables map-side combine
+	reducer func(K, []V, func(O)),
+	interSize func(K, V) int,
+	outSize func(O) int,
+	opts JobOpts,
+) *File[O] {
+	return runJob(env, name,
+		[]mapSource[K, V]{mapSourceOf(env, input, mapper, opts.MapFlops)},
+		combiner, reducer, interSize, outSize, opts)
+}
+
+// RunJob2 executes a two-input (reduce-side join style) job: each input has
+// its own mapper emitting into the same intermediate key-value space. This
+// is how GigaTensor joins the matricized tensor with a factor matrix.
+func RunJob2[I1, I2 any, K comparable, V, O any](
+	env *Env, name string,
+	input1 *File[I1], mapper1 func(I1, Emit[K, V]),
+	input2 *File[I2], mapper2 func(I2, Emit[K, V]),
+	combiner func(V, V) V,
+	reducer func(K, []V, func(O)),
+	interSize func(K, V) int,
+	outSize func(O) int,
+	opts JobOpts,
+) *File[O] {
+	return runJob(env, name,
+		[]mapSource[K, V]{
+			mapSourceOf(env, input1, mapper1, opts.MapFlops),
+			mapSourceOf(env, input2, mapper2, opts.MapFlops),
+		},
+		combiner, reducer, interSize, outSize, opts)
+}
+
+// RunMapJob executes a map-only Hadoop job: each block is read from HDFS,
+// transformed record-wise, and the results written straight back to HDFS
+// with no shuffle or reduce phase (but still a full job startup).
+func RunMapJob[I, O any](
+	env *Env, name string,
+	input *File[I],
+	mapper func(I) []O,
+	outSize func(O) int,
+	mapFlops float64,
+) *File[O] {
+	c := env.C
+	c.ChargeJobStartup()
+	nb := input.Blocks()
+	outBlocks := make([][]O, nb)
+	tasks := make([]cluster.Task, nb)
+	c.Parallel(nb, func(b int) {
+		var out []O
+		for i := range input.blocks[b] {
+			out = append(out, mapper(input.blocks[b][i])...)
+		}
+		outBlocks[b] = out
+		tasks[b] = cluster.Task{
+			Node:      c.NodeOf(b),
+			Records:   env.recFactor() * float64(len(input.blocks[b])),
+			DiskBytes: input.blockBytes(b),
+			Flops:     mapFlops * float64(len(input.blocks[b])),
+		}
+	})
+	c.RunStage(false, tasks)
+	// Map-only outputs land in the same block layout as the input; pad or
+	// trim to the environment's block count for downstream jobs.
+	if nb != env.Reducers {
+		flat := make([]O, 0)
+		for _, blk := range outBlocks {
+			flat = append(flat, blk...)
+		}
+		return WriteFile(env, name+".out", flat, outSize)
+	}
+	return fileFromBlocks(env, name+".out", outBlocks, outSize)
+}
+
+func runJob[K comparable, V, O any](
+	env *Env, name string,
+	sources []mapSource[K, V],
+	combiner func(V, V) V,
+	reducer func(K, []V, func(O)),
+	interSize func(K, V) int,
+	outSize func(O) int,
+	opts JobOpts,
+) *File[O] {
+	c := env.C
+	R := env.Reducers
+	c.ChargeJobStartup()
+
+	// ---- Map phase: all sources' map tasks form one wave. ----
+	var blocks []mappedBlock[K, V]
+	var mapTasks []cluster.Task
+	for _, src := range sources {
+		bs, ts := src.run(R, combiner, interSize)
+		blocks = append(blocks, bs...)
+		mapTasks = append(mapTasks, ts...)
+	}
+	c.RunStage(false, mapTasks)
+
+	// ---- Shuffle + reduce phase (wide). ----
+	reduceIn := make([][]kv[K, V], R)
+	reduceTasks := make([]cluster.Task, R)
+	c.Parallel(R, func(r int) {
+		node := c.NodeOf(r)
+		var recs []kv[K, V]
+		var remote, local float64
+		for b := range blocks {
+			recs = append(recs, blocks[b].buckets[r]...)
+			if blocks[b].node == node {
+				local += blocks[b].bytes[r]
+			} else {
+				remote += blocks[b].bytes[r]
+			}
+		}
+		reduceIn[r] = recs
+		reduceTasks[r] = cluster.Task{
+			Node:        node,
+			Records:     env.recFactor() * float64(len(recs)),
+			RemoteBytes: remote,
+			LocalBytes:  local,
+			Flops:       opts.ReduceFlops * float64(len(recs)),
+		}
+	})
+
+	outBlocks := make([][]O, R)
+	c.Parallel(R, func(r int) {
+		groups := make(map[K][]V, len(reduceIn[r]))
+		order := make([]K, 0, len(reduceIn[r]))
+		for _, rec := range reduceIn[r] {
+			if _, ok := groups[rec.k]; !ok {
+				order = append(order, rec.k)
+			}
+			groups[rec.k] = append(groups[rec.k], rec.v)
+		}
+		var out []O
+		for _, k := range order {
+			reducer(k, groups[k], func(o O) { out = append(out, o) })
+		}
+		outBlocks[r] = out
+	})
+	c.RunStage(true, reduceTasks)
+
+	return fileFromBlocks(env, name+".out", outBlocks, outSize)
+}

@@ -1,0 +1,214 @@
+package mapreduce
+
+import (
+	"sort"
+	"testing"
+
+	"cstf/internal/cluster"
+)
+
+func testEnv(nodes, reducers int) *Env {
+	return NewEnv(cluster.New(nodes, cluster.LaptopProfile()), reducers)
+}
+
+func intSize(int) int { return 8 }
+
+func TestNewEnvValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero reducers")
+		}
+	}()
+	NewEnv(cluster.New(1, cluster.LaptopProfile()), 0)
+}
+
+func TestWriteFileBlocksAndCollect(t *testing.T) {
+	env := testEnv(2, 4)
+	data := make([]int, 103)
+	for i := range data {
+		data[i] = i
+	}
+	f := WriteFile(env, "in", data, intSize)
+	if f.Blocks() != 4 || f.Records() != 103 {
+		t.Fatalf("blocks=%d records=%d", f.Blocks(), f.Records())
+	}
+	got := f.Collect()
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("missing record %d", i)
+		}
+	}
+	// Replicated write charges disk bytes = records * size * replication.
+	m := env.C.Metrics()
+	want := float64(103 * 8 * env.C.Profile.HDFSReplication)
+	if got := m.DiskBytes["Other"]; got != want {
+		t.Fatalf("disk bytes %v, want %v", got, want)
+	}
+}
+
+func TestWordCountStyleJob(t *testing.T) {
+	env := testEnv(3, 6)
+	words := []string{"a", "b", "a", "c", "a", "b"}
+	in := WriteFile(env, "words", words, func(string) int { return 8 })
+	out := RunJob(env, "wc", in,
+		func(w string, emit Emit[string, int]) { emit(w, 1) },
+		func(a, b int) int { return a + b },
+		func(k string, vals []int, out func(string)) {
+			n := 0
+			for _, v := range vals {
+				n += v
+			}
+			out(k + ":" + string(rune('0'+n)))
+		},
+		func(string, int) int { return 16 },
+		func(string) int { return 16 },
+		JobOpts{},
+	)
+	got := out.Collect()
+	sort.Strings(got)
+	want := []string{"a:3", "b:2", "c:1"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestJobChargesStartupAndDisk(t *testing.T) {
+	env := testEnv(2, 4)
+	in := WriteFile(env, "in", []int{1, 2, 3, 4, 5}, intSize)
+	env.C.ResetMetrics()
+	RunJob(env, "j", in,
+		func(x int, emit Emit[uint32, int]) { emit(uint32(x%2), x) },
+		nil,
+		func(k uint32, vals []int, out func(int)) {
+			s := 0
+			for _, v := range vals {
+				s += v
+			}
+			out(s)
+		},
+		func(uint32, int) int { return 16 }, intSize, JobOpts{})
+	m := env.C.Metrics()
+	if m.Jobs != 1 {
+		t.Fatalf("jobs = %d", m.Jobs)
+	}
+	if env.C.SimTime() < env.C.Profile.JobStartup {
+		t.Fatal("job must pay startup cost")
+	}
+	// Map phase re-reads the input from disk: 5 records * 8 bytes, plus the
+	// replicated write of the output.
+	if m.DiskBytes["Other"] < 40 {
+		t.Fatalf("disk bytes %v, map phase must read HDFS", m.DiskBytes)
+	}
+	if m.TotalShuffles() != 1 {
+		t.Fatalf("shuffles = %d, want 1", m.TotalShuffles())
+	}
+}
+
+func TestRunJob2JoinsTwoInputs(t *testing.T) {
+	env := testEnv(2, 4)
+	type tagged struct {
+		isRight bool
+		val     int
+	}
+	left := WriteFile(env, "l", []int{10, 20, 30}, intSize) // values 10k
+	right := WriteFile(env, "r", []int{1, 2, 3}, intSize)   // join keys via %10
+	out := RunJob2(env, "join", left,                       //
+		func(x int, emit Emit[uint32, tagged]) { emit(uint32(x/10), tagged{false, x}) },
+		right,
+		func(x int, emit Emit[uint32, tagged]) { emit(uint32(x), tagged{true, x * 100}) },
+		nil,
+		func(k uint32, vals []tagged, out func(int)) {
+			var l, r []int
+			for _, v := range vals {
+				if v.isRight {
+					r = append(r, v.val)
+				} else {
+					l = append(l, v.val)
+				}
+			}
+			for _, a := range l {
+				for _, b := range r {
+					out(a + b)
+				}
+			}
+		},
+		func(uint32, tagged) int { return 16 }, intSize, JobOpts{})
+	got := out.Collect()
+	sort.Ints(got)
+	want := []int{110, 220, 330}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestShuffleByteClassificationSingleNode(t *testing.T) {
+	env := testEnv(1, 4)
+	in := WriteFile(env, "in", []int{1, 2, 3, 4, 5, 6, 7, 8}, intSize)
+	env.C.ResetMetrics()
+	RunJob(env, "j", in,
+		func(x int, emit Emit[uint32, int]) { emit(uint32(x), x) },
+		nil,
+		func(k uint32, vals []int, out func(int)) { out(vals[0]) },
+		func(uint32, int) int { return 16 }, intSize, JobOpts{})
+	m := env.C.Metrics()
+	if m.TotalRemoteBytes() != 0 {
+		t.Fatalf("single-node job read %v remote bytes", m.TotalRemoteBytes())
+	}
+	perRec := float64(16 + env.C.Profile.RecordOverhead)
+	if m.TotalLocalBytes() != 8*perRec {
+		t.Fatalf("local bytes %v, want %v", m.TotalLocalBytes(), 8*perRec)
+	}
+}
+
+func TestCombinerReducesShuffleVolume(t *testing.T) {
+	run := func(withCombiner bool) float64 {
+		env := testEnv(4, 4)
+		data := make([]int, 400)
+		in := WriteFile(env, "in", data, intSize)
+		env.C.ResetMetrics()
+		var comb func(int, int) int
+		if withCombiner {
+			comb = func(a, b int) int { return a + b }
+		}
+		RunJob(env, "j", in,
+			func(x int, emit Emit[uint32, int]) { emit(0, 1) }, // all same key
+			comb,
+			func(k uint32, vals []int, out func(int)) { out(len(vals)) },
+			func(uint32, int) int { return 16 }, intSize, JobOpts{})
+		m := env.C.Metrics()
+		return m.TotalRemoteBytes() + m.TotalLocalBytes()
+	}
+	with, without := run(true), run(false)
+	if with >= without {
+		t.Fatalf("combiner must shrink shuffle: %v >= %v", with, without)
+	}
+}
+
+func TestJobFlopsAccounting(t *testing.T) {
+	env := testEnv(2, 2)
+	in := WriteFile(env, "in", []int{1, 2, 3, 4}, intSize)
+	env.C.ResetMetrics()
+	RunJob(env, "j", in,
+		func(x int, emit Emit[uint32, int]) { emit(uint32(x), x) },
+		nil,
+		func(k uint32, vals []int, out func(int)) { out(vals[0]) },
+		func(uint32, int) int { return 16 }, intSize,
+		JobOpts{MapFlops: 10, ReduceFlops: 5})
+	if got := env.C.Metrics().TotalFlops(); got != 4*10+4*5 {
+		t.Fatalf("flops = %v, want 60", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	env := testEnv(2, 2)
+	if env.Counter("missing") != 0 {
+		t.Fatal("unset counter must read 0")
+	}
+	env.IncrCounter("x", 3)
+	env.IncrCounter("x", 4)
+	env.IncrCounter("y", 1)
+	if env.Counter("x") != 7 || env.Counter("y") != 1 {
+		t.Fatalf("counters: x=%d y=%d", env.Counter("x"), env.Counter("y"))
+	}
+}

@@ -1,0 +1,204 @@
+// Package perfmodel is the closed-form analytic cost model of CSTF-COO,
+// CSTF-QCOO, and BIGtensor — Section 5 of the paper, extended with this
+// repository's calibrated constants. It predicts per-iteration shuffle
+// counts (exactly), shuffled bytes (joins exactly, reduces via an
+// expected-distinct-keys estimate), and modeled runtime (approximately),
+// without executing anything. The tests cross-check every prediction
+// against the simulator, which pins the documented algebra to the engines.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"cstf/internal/cluster"
+	"cstf/internal/tensor"
+)
+
+// Workload describes the tensor and job parameters the model needs.
+type Workload struct {
+	NNZ      int
+	Dims     []int
+	Distinct []int // per-mode count of indices with >=1 nonzero
+	Rank     int
+	Nodes    int
+	Parts    int // partitions (tasks) per dataset
+}
+
+// WorkloadOf extracts the model inputs from an actual tensor.
+func WorkloadOf(t *tensor.COO, rank, nodes, parts int) Workload {
+	w := Workload{
+		NNZ:   t.NNZ(),
+		Dims:  append([]int(nil), t.Dims...),
+		Rank:  rank,
+		Nodes: nodes,
+		Parts: parts,
+	}
+	for m := 0; m < t.Order(); m++ {
+		w.Distinct = append(w.Distinct, t.ModeStats(m).NonEmpty)
+	}
+	return w
+}
+
+// Prediction is the model output for one steady-state CP-ALS iteration.
+type Prediction struct {
+	Shuffles     int     // shuffle operations (exact)
+	ShuffleBytes float64 // remote+local shuffle bytes read
+	Seconds      float64 // modeled runtime (approximate)
+}
+
+// expectedCombined estimates how many records survive map-side combining
+// when nnz records with `distinct` uniform keys are spread over P source
+// partitions: per partition, E[distinct] = D*(1-(1-1/D)^(nnz/P)).
+func expectedCombined(nnz, distinct, parts int) float64 {
+	if distinct == 0 || nnz == 0 {
+		return 0
+	}
+	perPart := float64(nnz) / float64(parts)
+	d := float64(distinct)
+	return float64(parts) * d * (1 - math.Pow(1-1/d, perPart))
+}
+
+// stageSeconds applies the simulator's stage formula for an evenly
+// balanced stage.
+func stageSeconds(p cluster.Profile, nodes int, records, flops, bytes, cachedPerNode float64, wide bool) float64 {
+	cores := float64(p.CoresPerNode * nodes)
+	gc := 1 + p.GCCoeff*cachedPerNode/p.NodeMemory
+	t := (flops/p.CoreFlops+records*p.RecordCost)/cores*gc +
+		bytes/(p.NetBandwidth*float64(nodes))
+	if wide {
+		t += p.SchedBase + p.SchedPerNode*float64(nodes)
+	}
+	return t
+}
+
+// PredictCOO models one steady-state CSTF-COO iteration.
+func PredictCOO(w Workload, p cluster.Profile) Prediction {
+	order := len(w.Dims)
+	nnz := float64(w.NNZ)
+	r8 := float64(8 * w.Rank)
+	e := float64(tensor.EntryBytes(order))
+	ovh := float64(p.RecordOverhead)
+	cached := nnz * e * p.RawCacheFactor / float64(w.Nodes) // tensor cache per node
+
+	var pred Prediction
+	pred.Shuffles = order * order
+	for n := 0; n < order; n++ {
+		// Join chain: first join ships keyed entries, later joins ship
+		// entry+accumulator; the reduce ships combined rows.
+		joinBytes := nnz * (8 + e + ovh)
+		for j := 1; j < order-1; j++ {
+			joinBytes += nnz * (8 + e + r8 + ovh)
+		}
+		combined := expectedCombined(w.NNZ, w.Distinct[n], w.Parts)
+		reduceBytes := combined * (8 + r8 + ovh)
+		pred.ShuffleBytes += joinBytes + reduceBytes
+
+		// Records touched: keyBy + per-join (entries+factor rows+fold) +
+		// extract + reduce (map fold + wide fold).
+		records := nnz // keyBy
+		for j := 0; j < order-1; j++ {
+			jm := joinModesCOO(order, n)[j]
+			records += nnz + float64(w.Distinct[jm]) // join inputs
+			records += nnz                           // fold map
+		}
+		records += nnz            // extract
+		records += nnz + combined // reduce map-side + wide
+
+		flops := float64(order) * nnz * float64(w.Rank)
+		pred.Seconds += stageSeconds(p, w.Nodes, records, flops, joinBytes+reduceBytes, cached, false)
+		pred.Seconds += float64(order) * (p.SchedBase + p.SchedPerNode*float64(w.Nodes)) // N wide stages
+	}
+	return pred
+}
+
+func joinModesCOO(order, mode int) []int {
+	var out []int
+	for m := order - 1; m >= 0; m-- {
+		if m != mode {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// PredictQCOO models one steady-state CSTF-QCOO iteration.
+func PredictQCOO(w Workload, p cluster.Profile) Prediction {
+	order := len(w.Dims)
+	nnz := float64(w.NNZ)
+	r8 := float64(8 * w.Rank)
+	e := float64(tensor.EntryBytes(order))
+	ovh := float64(p.RecordOverhead)
+	qf := 1 + 0.40*float64(order-1)
+	cached := nnz * (8 + e + float64(order-1)*r8) * p.RawCacheFactor / float64(w.Nodes)
+
+	var pred Prediction
+	pred.Shuffles = 2 * order
+	for n := 0; n < order; n++ {
+		joinMode := (n - 1 + order) % order
+		joinBytes := nnz * (8 + e + float64(order-1)*r8 + ovh)
+		combined := expectedCombined(w.NNZ, w.Distinct[n], w.Parts)
+		reduceBytes := combined * (8 + r8 + ovh)
+		pred.ShuffleBytes += joinBytes + reduceBytes
+
+		records := qf*nnz + float64(w.Distinct[joinMode]) // join (queue records)
+		records += qf * nnz                               // rotate
+		records += qf * nnz                               // queue-reduce mapValues
+		records += nnz + combined                         // reduce
+
+		flops := float64(order) * nnz * float64(w.Rank)
+		pred.Seconds += stageSeconds(p, w.Nodes, records, flops, joinBytes+reduceBytes, cached, false)
+		pred.Seconds += 2 * (p.SchedBase + p.SchedPerNode*float64(w.Nodes)) // 2 wide stages
+	}
+	return pred
+}
+
+// PredictBigtensor models one BIGtensor CP-ALS iteration (3rd order only).
+func PredictBigtensor(w Workload, p cluster.Profile) (Prediction, error) {
+	if len(w.Dims) != 3 {
+		return Prediction{}, fmt.Errorf("perfmodel: BIGtensor supports order 3 only")
+	}
+	nnz := float64(w.NNZ)
+	r8 := float64(8 * w.Rank)
+	ovh := float64(p.RecordOverhead)
+	hf := p.HadoopRecordFactor
+	e := float64(tensor.EntryBytes(3))
+
+	var pred Prediction
+	// 4 shuffles per MTTKRP (Table 4) plus the gram job's reduce; the
+	// pseudo-inverse update job is map-only.
+	pred.Shuffles = 3 * 5
+	perMode := func(mode int) (float64, float64, float64) {
+		// jobs 1-2 shuffle tagged tensor entries (and factor rows); job 3
+		// shuffles both intermediates; job 4 ships combined rows.
+		interSize := 24 + r8 + ovh
+		j12 := 2 * (nnz * interSize) // intermediates from both join jobs
+		j3 := 2 * nnz * (16 + r8 + ovh)
+		combined := expectedCombined(w.NNZ, w.Distinct[mode], w.Parts)
+		j4 := combined * (8 + r8 + ovh)
+		bytes := j12 + j3 + j4
+
+		// Records: each job maps+reduces its inputs.
+		records := hf * (2*(nnz+nnz) + // jobs 1-2 map tensor + reduce
+			2*float64(w.Distinct[(mode+1)%3]+w.Distinct[(mode+2)%3]) +
+			2*nnz + 2*nnz + // job 3 map + reduce
+			nnz + combined) // job 4
+
+		// HDFS: tensor read twice, intermediates written (x replication)
+		// and read, outputs written.
+		rep := float64(p.HDFSReplication)
+		disk := 2*nnz*e + 2*nnz*(16+r8)*(rep+1) + nnz*(8+r8)*(rep+1) + combined*(8+r8)*rep
+		return bytes, records, disk
+	}
+	for mode := 0; mode < 3; mode++ {
+		bytes, records, disk := perMode(mode)
+		pred.ShuffleBytes += bytes
+		flops := 5 * nnz * float64(w.Rank)
+		sec := stageSeconds(p, w.Nodes, records, flops, bytes, 0, false)
+		sec += disk / (p.DiskBW * float64(w.Nodes))
+		sec += 6 * p.JobStartup // 4 MTTKRP + update + gram jobs
+		sec += 6 * (p.SchedBase + p.SchedPerNode*float64(w.Nodes))
+		pred.Seconds += sec
+	}
+	return pred, nil
+}

@@ -1,0 +1,155 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"cstf/internal/cluster"
+	"cstf/internal/core"
+	"cstf/internal/mapreduce"
+	"cstf/internal/rdd"
+	"cstf/internal/tensor"
+
+	"cstf/internal/bigtensor"
+)
+
+// The analytic model is validated against the simulator: shuffle counts
+// must match exactly, shuffled bytes closely (the only estimate is the
+// map-side-combine survival rate), and runtime approximately.
+
+type measured struct {
+	shuffles int
+	bytes    float64
+	seconds  float64
+}
+
+func measureCOO(t *testing.T, x *tensor.COO, rank, nodes, parts int) measured {
+	t.Helper()
+	c := cluster.New(nodes, cluster.CometProfile())
+	ctx := rdd.NewContext(c, parts)
+	s := core.NewCOOState(ctx, x, rank, 1)
+	for n := 0; n < x.Order(); n++ {
+		s.Step(n)
+	}
+	before := c.Metrics()
+	for n := 0; n < x.Order(); n++ {
+		s.Step(n)
+	}
+	d := c.Metrics().Sub(before)
+	return measured{d.TotalShuffles(), d.TotalRemoteBytes() + d.TotalLocalBytes(), d.TotalSimTime()}
+}
+
+func measureQCOO(t *testing.T, x *tensor.COO, rank, nodes, parts int) measured {
+	t.Helper()
+	c := cluster.New(nodes, cluster.CometProfile())
+	ctx := rdd.NewContext(c, parts)
+	s := core.NewQCOOState(ctx, x, rank, 1)
+	for n := 0; n < x.Order(); n++ {
+		s.Step(n)
+	}
+	before := c.Metrics()
+	for n := 0; n < x.Order(); n++ {
+		s.Step(n)
+	}
+	d := c.Metrics().Sub(before)
+	return measured{d.TotalShuffles(), d.TotalRemoteBytes() + d.TotalLocalBytes(), d.TotalSimTime()}
+}
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero reference", name)
+	}
+	if r := got / want; r < 1-tol || r > 1+tol {
+		t.Errorf("%s: predicted %.4g vs measured %.4g (ratio %.3f outside ±%.0f%%)",
+			name, got, want, r, 100*tol)
+	}
+}
+
+func TestPredictCOOAgainstSimulator(t *testing.T) {
+	x := tensor.GenUniform(7, 30000, 3000, 2500, 2000)
+	p := cluster.CometProfile()
+	for _, nodes := range []int{4, 16} {
+		parts := nodes * p.CoresPerNode
+		w := WorkloadOf(x, 2, nodes, parts)
+		pred := PredictCOO(w, p)
+		m := measureCOO(t, x, 2, nodes, parts)
+		if pred.Shuffles != m.shuffles {
+			t.Errorf("nodes=%d: predicted %d shuffles, measured %d", nodes, pred.Shuffles, m.shuffles)
+		}
+		within(t, "COO bytes", pred.ShuffleBytes, m.bytes, 0.05)
+		within(t, "COO seconds", pred.Seconds, m.seconds, 0.30)
+	}
+}
+
+func TestPredictQCOOAgainstSimulator(t *testing.T) {
+	x := tensor.GenUniform(11, 30000, 3000, 2500, 2000)
+	p := cluster.CometProfile()
+	parts := 8 * p.CoresPerNode
+	w := WorkloadOf(x, 2, 8, parts)
+	pred := PredictQCOO(w, p)
+	m := measureQCOO(t, x, 2, 8, parts)
+	if pred.Shuffles != m.shuffles {
+		t.Errorf("predicted %d shuffles, measured %d", pred.Shuffles, m.shuffles)
+	}
+	within(t, "QCOO bytes", pred.ShuffleBytes, m.bytes, 0.05)
+	within(t, "QCOO seconds", pred.Seconds, m.seconds, 0.30)
+}
+
+func TestPredictBigtensorAgainstSimulator(t *testing.T) {
+	x := tensor.GenUniform(13, 20000, 2000, 1500, 1200)
+	p := cluster.CometProfile()
+	parts := 8 * p.CoresPerNode
+	w := WorkloadOf(x, 2, 8, parts)
+	pred, err := PredictBigtensor(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := mapreduce.NewEnv(cluster.New(8, p), parts)
+	s, err := bigtensor.New(env, x, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := env.C.Metrics()
+	for n := 0; n < 3; n++ {
+		s.Step(n)
+	}
+	d := env.C.Metrics().Sub(before)
+	if pred.Shuffles != d.TotalShuffles() {
+		t.Errorf("predicted %d shuffles, measured %d", pred.Shuffles, d.TotalShuffles())
+	}
+	within(t, "BIG bytes", pred.ShuffleBytes, d.TotalRemoteBytes()+d.TotalLocalBytes(), 0.15)
+	within(t, "BIG seconds", pred.Seconds, d.TotalSimTime(), 0.35)
+
+	if _, err := PredictBigtensor(WorkloadOf(tensor.GenUniform(1, 100, 5, 5, 5, 5), 2, 4, 8), p); err == nil {
+		t.Error("4th-order prediction must error")
+	}
+}
+
+func TestPredictorPreservesTheCrossover(t *testing.T) {
+	// The whole point of a model: it must predict the paper's crossover
+	// without running anything. QCOO wins at 32 nodes, not at 4.
+	x := tensor.GenZipf(5, 30000, 0.8, 5000, 4000, 3000)
+	p := cluster.CometProfile()
+	ratio := func(nodes int) float64 {
+		w := WorkloadOf(x, 2, nodes, nodes*p.CoresPerNode)
+		return PredictCOO(w, p).Seconds / PredictQCOO(w, p).Seconds
+	}
+	if r4, r32 := ratio(4), ratio(32); r32 <= r4 {
+		t.Errorf("model must predict QCOO's advantage growing with nodes: %.3f @4 vs %.3f @32", r4, r32)
+	}
+}
+
+func TestExpectedCombined(t *testing.T) {
+	// All-distinct keys: nothing combines.
+	if got := expectedCombined(1000, 1000000, 10); math.Abs(got-1000) > 1 {
+		t.Fatalf("distinct-dominated: %v", got)
+	}
+	// One key: one record per partition survives.
+	if got := expectedCombined(1000, 1, 10); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("single key: %v", got)
+	}
+	if expectedCombined(0, 5, 4) != 0 || expectedCombined(5, 0, 4) != 0 {
+		t.Fatal("degenerate inputs must be 0")
+	}
+}

@@ -1,0 +1,19 @@
+package rdd
+
+// Broadcast is a read-only value shipped from the driver to every node
+// once (torrent-style), then referenced by task closures for free — how
+// CP-ALS distributes the rank-sized pseudo-inverse and normalization
+// vectors without joining them.
+type Broadcast[T any] struct {
+	value T
+}
+
+// NewBroadcast distributes v (of the given serialized size in bytes) to
+// all nodes, charging the broadcast network cost to the current phase.
+func NewBroadcast[T any](ctx *Context, v T, bytes int) *Broadcast[T] {
+	ctx.Cluster.ChargeBroadcast(float64(bytes))
+	return &Broadcast[T]{value: v}
+}
+
+// Value returns the broadcast value.
+func (b *Broadcast[T]) Value() T { return b.value }

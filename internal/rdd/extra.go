@@ -1,0 +1,249 @@
+package rdd
+
+import (
+	"cstf/internal/cluster"
+	"cstf/internal/rng"
+)
+
+// Additional standard dataset operations: GroupByKey, Union, Distinct,
+// Sample, Keys/Values helpers. None of them are on CSTF's hot path, but a
+// credible engine — and the ablation experiments — need them; GroupByKey
+// in particular exists to quantify what reduceByKey's map-side combine
+// saves (the classic Spark groupByKey-vs-reduceByKey guidance).
+
+// GroupByKey gathers all values sharing a key into one record, with NO
+// map-side combining: every input record crosses the shuffle. Prefer
+// ReduceByKey whenever the merge is associative.
+func GroupByKey[K comparable, V any](d *Dataset[KV[K, V]], os ...Option) *Dataset[KV[K, []V]] {
+	o := applyOpts("groupByKey", os)
+	outSize := func(r KV[K, []V]) int {
+		// Approximate: the grouped record is as big as its inputs.
+		n := 8
+		for range r.Val {
+			n += 16
+		}
+		return n
+	}
+	out := newDataset[KV[K, []V]](d.ctx, o.name, outSize)
+	out.keyed = true
+	out.compute = func() [][]KV[K, []V] {
+		ctx := d.ctx
+		P := ctx.Parts
+		in := d.materialize()
+		rc := o.costFactor * d.readCost()
+
+		var grouped [][]KV[K, V]
+		var tasks []cluster.Task
+		wide := !d.keyed
+		if wide {
+			grouped, tasks = shuffle(ctx, in, d.sizeOf)
+			for p := range tasks {
+				tasks[p].Flops = o.flopsPerRecord * tasks[p].Records
+				tasks[p].Records *= rc
+			}
+		} else {
+			grouped = in
+			tasks = make([]cluster.Task, P)
+			for p := range tasks {
+				tasks[p] = cluster.Task{
+					Node:    ctx.Cluster.NodeOf(p),
+					Records: rc * float64(len(in[p])),
+					Flops:   o.flopsPerRecord * float64(len(in[p])),
+				}
+			}
+		}
+
+		parts := make([][]KV[K, []V], P)
+		ctx.Cluster.Parallel(P, func(p int) {
+			m := make(map[K][]V, len(grouped[p]))
+			order := make([]K, 0, len(grouped[p]))
+			for i := range grouped[p] {
+				rec := grouped[p][i]
+				if _, ok := m[rec.Key]; !ok {
+					order = append(order, rec.Key)
+				}
+				m[rec.Key] = append(m[rec.Key], rec.Val)
+			}
+			recs := make([]KV[K, []V], 0, len(m))
+			for _, k := range order {
+				recs = append(recs, KV[K, []V]{Key: k, Val: m[k]})
+			}
+			parts[p] = recs
+		})
+		ctx.Cluster.RunStage(wide, tasks)
+		return parts
+	}
+	return out
+}
+
+// Union concatenates two datasets partition-wise (narrow, no shuffle).
+// The result is never key-partitioned: even if both inputs are, Spark
+// unions partition lists rather than aligning them, and so do we
+// (partition i holds a[i] ++ b[i] because both sides share the context's
+// partition count).
+func Union[T any](a, b *Dataset[T], os ...Option) *Dataset[T] {
+	if a.ctx != b.ctx {
+		panic("rdd: union across contexts")
+	}
+	o := applyOpts("union", os)
+	out := newDataset[T](a.ctx, o.name, a.sizeOf)
+	out.compute = func() [][]T {
+		inA := a.materialize()
+		inB := b.materialize()
+		P := a.ctx.Parts
+		parts := make([][]T, P)
+		counts := make([]int, P)
+		a.ctx.Cluster.Parallel(P, func(p int) {
+			merged := make([]T, 0, len(inA[p])+len(inB[p]))
+			merged = append(merged, inA[p]...)
+			merged = append(merged, inB[p]...)
+			parts[p] = merged
+			counts[p] = len(merged)
+		})
+		oc := o
+		narrowTasks(a.ctx, counts, oc)
+		return parts
+	}
+	return out
+}
+
+// Distinct removes duplicate records. Requires a comparable record type;
+// implemented as a key-only shuffle plus per-partition set semantics (one
+// wide stage), like Spark's distinct.
+func Distinct[T comparable](d *Dataset[T], os ...Option) *Dataset[T] {
+	o := applyOpts("distinct", os)
+	keyed := Map(d, func(t T) KV[T, struct{}] {
+		return KV[T, struct{}]{Key: t}
+	}, func(KV[T, struct{}]) int { return avgSize(d) }, os...)
+	reduced := ReduceByKey(keyed, func(a, _ struct{}) struct{} { return a }, os...)
+	out := MapValues(reduced, func(v struct{}) struct{} { return v },
+		func(KV[T, struct{}]) int { return avgSize(d) })
+	res := Map(out, func(r KV[T, struct{}]) T { return r.Key }, d.sizeOf, WithName(o.name))
+	return res
+}
+
+// avgSize estimates a record size for derived key-only datasets.
+func avgSize[T any](d *Dataset[T]) int { return 16 }
+
+// Sample keeps each record independently with probability frac,
+// deterministically in seed (narrow).
+func Sample[T any](d *Dataset[T], frac float64, seed uint64, os ...Option) *Dataset[T] {
+	if frac < 0 || frac > 1 {
+		panic("rdd: sample fraction out of [0, 1]")
+	}
+	o := applyOpts("sample", os)
+	out := newDataset[T](d.ctx, o.name, d.sizeOf)
+	out.keyed = d.keyed
+	out.compute = func() [][]T {
+		in := d.materialize()
+		P := d.ctx.Parts
+		parts := make([][]T, P)
+		counts := make([]int, P)
+		d.ctx.Cluster.Parallel(P, func(p int) {
+			src := rng.New(rng.Hash64(seed, uint64(p)))
+			var dst []T
+			for i := range in[p] {
+				if src.Float64() < frac {
+					dst = append(dst, in[p][i])
+				}
+			}
+			parts[p] = dst
+			counts[p] = len(in[p])
+		})
+		oc := o
+		oc.costFactor *= d.readCost()
+		narrowTasks(d.ctx, counts, oc)
+		return parts
+	}
+	return out
+}
+
+// Keys projects a keyed dataset to its keys (narrow).
+func Keys[K comparable, V any](d *Dataset[KV[K, V]], os ...Option) *Dataset[K] {
+	return Map(d, func(r KV[K, V]) K { return r.Key }, FixedSize[K](8), os...)
+}
+
+// Values projects a keyed dataset to its values (narrow).
+func Values[K comparable, V any](d *Dataset[KV[K, V]], sizeOf func(V) int, os ...Option) *Dataset[V] {
+	return Map(d, func(r KV[K, V]) V { return r.Val }, sizeOf, os...)
+}
+
+// AggregateByKey folds values into a per-key accumulator of a DIFFERENT
+// type than the values (Spark's aggregateByKey): map-side, each partition
+// folds its values with seq; the partial accumulators shuffle; the reduce
+// side merges them with comb. The output is hash-partitioned by key.
+func AggregateByKey[K comparable, V, A any](
+	d *Dataset[KV[K, V]],
+	zero func() A,
+	seq func(A, V) A,
+	comb func(A, A) A,
+	sizeOfAcc func(KV[K, A]) int,
+	os ...Option,
+) *Dataset[KV[K, A]] {
+	o := applyOpts("aggregateByKey", os)
+	out := newDataset[KV[K, A]](d.ctx, o.name, sizeOfAcc)
+	out.keyed = true
+	out.compute = func() [][]KV[K, A] {
+		ctx := d.ctx
+		P := ctx.Parts
+		in := d.materialize()
+		rc := o.costFactor * d.readCost()
+
+		// Map-side: fold into per-key accumulators.
+		partials := make([][]KV[K, A], P)
+		ctx.Cluster.Parallel(P, func(p int) {
+			m := make(map[K]A, len(in[p]))
+			var order []K
+			for i := range in[p] {
+				rec := in[p][i]
+				acc, ok := m[rec.Key]
+				if !ok {
+					acc = zero()
+					order = append(order, rec.Key)
+				}
+				m[rec.Key] = seq(acc, rec.Val)
+			}
+			recs := make([]KV[K, A], 0, len(m))
+			for _, k := range order {
+				recs = append(recs, KV[K, A]{Key: k, Val: m[k]})
+			}
+			partials[p] = recs
+		})
+		mapTasks := make([]cluster.Task, P)
+		for p := range mapTasks {
+			mapTasks[p] = cluster.Task{
+				Node:    ctx.Cluster.NodeOf(p),
+				Records: rc * float64(len(in[p])),
+				Flops:   o.flopsPerRecord * float64(len(in[p])),
+			}
+		}
+		ctx.Cluster.RunStage(false, mapTasks)
+
+		// Shuffle partials and merge.
+		shuffled, tasks := shuffle(ctx, partials, sizeOfAcc)
+		final := make([][]KV[K, A], P)
+		ctx.Cluster.Parallel(P, func(p int) {
+			m := make(map[K]A, len(shuffled[p]))
+			var order []K
+			for i := range shuffled[p] {
+				rec := shuffled[p][i]
+				if acc, ok := m[rec.Key]; ok {
+					m[rec.Key] = comb(acc, rec.Val)
+				} else {
+					m[rec.Key] = rec.Val
+					order = append(order, rec.Key)
+				}
+			}
+			recs := make([]KV[K, A], 0, len(m))
+			for _, k := range order {
+				recs = append(recs, KV[K, A]{Key: k, Val: m[k]})
+			}
+			final[p] = recs
+			tasks[p].Flops += o.flopsPerRecord * tasks[p].Records
+			tasks[p].Records *= o.costFactor
+		})
+		ctx.Cluster.RunStage(true, tasks)
+		return final
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package rdd
+
+import (
+	"sort"
+	"testing"
+
+	"cstf/internal/cluster"
+)
+
+func TestGroupByKeyCollectsAllValues(t *testing.T) {
+	ctx := testCtx(3, 6)
+	var recs []KV[uint32, int]
+	for i := 0; i < 120; i++ {
+		recs = append(recs, KV[uint32, int]{Key: uint32(i % 8), Val: i})
+	}
+	g := GroupByKey(FromSlice(ctx, "kv", recs, kvSize))
+	got := CollectMap(g)
+	if len(got) != 8 {
+		t.Fatalf("got %d groups", len(got))
+	}
+	for k, vals := range got {
+		if len(vals) != 15 {
+			t.Fatalf("key %d has %d values, want 15", k, len(vals))
+		}
+		for _, v := range vals {
+			if uint32(v%8) != k {
+				t.Fatalf("value %d in wrong group %d", v, k)
+			}
+		}
+	}
+	if !g.KeyPartitioned() {
+		t.Fatal("groupByKey output must be key-partitioned")
+	}
+}
+
+func TestGroupByKeyShufflesMoreThanReduceByKey(t *testing.T) {
+	// The classic guidance: with heavy key duplication, groupByKey moves
+	// every record while reduceByKey's map-side combine collapses them.
+	build := func() (*Context, *Dataset[KV[uint32, int]]) {
+		ctx := testCtx(4, 8)
+		var recs []KV[uint32, int]
+		for i := 0; i < 2000; i++ {
+			recs = append(recs, KV[uint32, int]{Key: uint32(i % 4), Val: 1})
+		}
+		return ctx, FromSlice(ctx, "kv", recs, kvSize)
+	}
+	ctxG, dg := build()
+	Count(GroupByKey(dg))
+	gBytes := ctxG.Cluster.Metrics().TotalRemoteBytes() + ctxG.Cluster.Metrics().TotalLocalBytes()
+
+	ctxR, dr := build()
+	Count(ReduceByKey(dr, func(a, b int) int { return a + b }))
+	rBytes := ctxR.Cluster.Metrics().TotalRemoteBytes() + ctxR.Cluster.Metrics().TotalLocalBytes()
+
+	if gBytes < 10*rBytes {
+		t.Fatalf("groupByKey shuffled %v B, reduceByKey %v B; expected >=10x gap", gBytes, rBytes)
+	}
+}
+
+func TestGroupByKeyOnPartitionedInputIsNarrow(t *testing.T) {
+	ctx := testCtx(4, 8)
+	var recs []KV[uint32, int]
+	for i := 0; i < 100; i++ {
+		recs = append(recs, KV[uint32, int]{Key: uint32(i % 5), Val: i})
+	}
+	pd := PartitionBy(FromSlice(ctx, "kv", recs, kvSize))
+	Count(pd)
+	before := ctx.Cluster.Metrics()
+	Count(GroupByKey(pd))
+	diff := ctx.Cluster.Metrics().Sub(before)
+	if diff.TotalShuffles() != 0 {
+		t.Fatalf("groupByKey on partitioned input shuffled %d times", diff.TotalShuffles())
+	}
+}
+
+func TestUnion(t *testing.T) {
+	ctx := testCtx(2, 4)
+	a := FromSlice(ctx, "a", seq(10), intSize)
+	b := FromSlice(ctx, "b", []int{100, 101}, intSize)
+	got := Collect(Union(a, b))
+	if len(got) != 12 {
+		t.Fatalf("union has %d records", len(got))
+	}
+	sort.Ints(got)
+	if got[11] != 101 || got[0] != 0 {
+		t.Fatalf("union contents wrong: %v", got)
+	}
+	// No shuffle.
+	if ctx.Cluster.Metrics().TotalShuffles() != 0 {
+		t.Fatal("union must be narrow")
+	}
+}
+
+func TestUnionAcrossContextsPanics(t *testing.T) {
+	a := FromSlice(testCtx(1, 2), "a", seq(3), intSize)
+	b := FromSlice(testCtx(1, 2), "b", seq(3), intSize)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Union(a, b)
+}
+
+func TestDistinct(t *testing.T) {
+	ctx := testCtx(3, 6)
+	data := []int{1, 2, 3, 1, 2, 3, 1, 2, 3, 7}
+	got := Collect(Distinct(FromSlice(ctx, "d", data, intSize)))
+	sort.Ints(got)
+	want := []int{1, 2, 3, 7}
+	if len(got) != 4 {
+		t.Fatalf("distinct: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("distinct: %v", got)
+		}
+	}
+}
+
+func TestSampleDeterministicAndProportional(t *testing.T) {
+	ctx := testCtx(2, 4)
+	d := FromSlice(ctx, "d", seq(10000), intSize)
+	s1 := Collect(Sample(d, 0.3, 42))
+	s2 := Collect(Sample(d, 0.3, 42))
+	if len(s1) != len(s2) {
+		t.Fatal("sampling must be deterministic in seed")
+	}
+	if len(s1) < 2500 || len(s1) > 3500 {
+		t.Fatalf("sampled %d of 10000 at frac 0.3", len(s1))
+	}
+	if n := Count(Sample(d, 0, 1)); n != 0 {
+		t.Fatalf("frac 0 kept %d", n)
+	}
+	if n := Count(Sample(d, 1, 1)); n != 10000 {
+		t.Fatalf("frac 1 kept %d", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad fraction must panic")
+		}
+	}()
+	Sample(d, 1.5, 1)
+}
+
+func TestKeysValues(t *testing.T) {
+	ctx := testCtx(2, 4)
+	recs := []KV[uint32, int]{{1, 10}, {2, 20}}
+	d := FromSlice(ctx, "kv", recs, kvSize)
+	ks := Collect(Keys(d))
+	vs := Collect(Values(d, intSize))
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	sort.Ints(vs)
+	if len(ks) != 2 || ks[0] != 1 || ks[1] != 2 {
+		t.Fatalf("keys %v", ks)
+	}
+	if len(vs) != 2 || vs[0] != 10 || vs[1] != 20 {
+		t.Fatalf("values %v", vs)
+	}
+}
+
+func TestPersistSerializedAccountingAndReadCost(t *testing.T) {
+	ctx := testCtx(2, 4)
+	d := FromSlice(ctx, "kv", seq(100), intSize).PersistSerialized()
+	// Serialized footprint = wire bytes (no raw-object expansion).
+	if got := ctx.Cluster.CachedBytes(); got != 800 {
+		t.Fatalf("serialized cached bytes %v, want 800", got)
+	}
+	d.Unpersist()
+	if ctx.Cluster.CachedBytes() != 0 {
+		t.Fatal("unpersist must release serialized cache")
+	}
+
+	// Reading a serialized cache must charge more engine time than reading
+	// a raw cache (the DeserFactor).
+	run := func(serialized bool) float64 {
+		c := cluster.New(2, cluster.LaptopProfile())
+		cx := NewContext(c, 4)
+		src := FromSlice(cx, "kv", seq(50000), intSize)
+		if serialized {
+			src.PersistSerialized()
+		} else {
+			src.Persist()
+		}
+		base := c.SimTime()
+		Count(Map(src, func(x int) int { return x + 1 }, intSize))
+		return c.SimTime() - base
+	}
+	raw, ser := run(false), run(true)
+	if ser <= raw {
+		t.Fatalf("serialized read (%v) must cost more than raw read (%v)", ser, raw)
+	}
+}
+
+func TestPersistSerializedSmallerFootprintThanRaw(t *testing.T) {
+	mk := func(serialized bool) float64 {
+		ctx := testCtx(2, 4)
+		d := FromSlice(ctx, "kv", seq(1000), intSize)
+		if serialized {
+			d.PersistSerialized()
+		} else {
+			d.Persist()
+		}
+		return ctx.Cluster.CachedBytes()
+	}
+	if raw, ser := mk(false), mk(true); ser >= raw {
+		t.Fatalf("serialized footprint (%v) must be below raw (%v)", ser, raw)
+	}
+}
+
+func TestAggregateByKey(t *testing.T) {
+	ctx := testCtx(3, 6)
+	var recs []KV[uint32, int]
+	for i := 0; i < 90; i++ {
+		recs = append(recs, KV[uint32, int]{Key: uint32(i % 3), Val: i})
+	}
+	d := FromSlice(ctx, "kv", recs, kvSize)
+	// Accumulator type differs from the value type: (count, sum) stats.
+	type stats struct {
+		n   int
+		sum int
+	}
+	agg := AggregateByKey(d,
+		func() stats { return stats{} },
+		func(a stats, v int) stats { return stats{a.n + 1, a.sum + v} },
+		func(a, b stats) stats { return stats{a.n + b.n, a.sum + b.sum} },
+		FixedSize[KV[uint32, stats]](24),
+	)
+	got := CollectMap(agg)
+	if len(got) != 3 {
+		t.Fatalf("keys: %d", len(got))
+	}
+	for k, s := range got {
+		if s.n != 30 {
+			t.Fatalf("key %d count %d", k, s.n)
+		}
+		// Sum of arithmetic sequence k, k+3, ..., k+87.
+		want := 30*int(k) + 3*(29*30/2)
+		if s.sum != want {
+			t.Fatalf("key %d sum %d, want %d", k, s.sum, want)
+		}
+	}
+	if !agg.KeyPartitioned() {
+		t.Fatal("aggregateByKey output must be key-partitioned")
+	}
+}
+
+func TestAggregateByKeyShufflesOnlyPartials(t *testing.T) {
+	// 2000 records, 2 keys: only ~parts*keys accumulators may shuffle.
+	ctx := testCtx(4, 4)
+	var recs []KV[uint32, int]
+	for i := 0; i < 2000; i++ {
+		recs = append(recs, KV[uint32, int]{Key: uint32(i % 2), Val: 1})
+	}
+	d := FromSlice(ctx, "kv", recs, kvSize)
+	agg := AggregateByKey(d,
+		func() int { return 0 },
+		func(a, v int) int { return a + v },
+		func(a, b int) int { return a + b },
+		FixedSize[KV[uint32, int]](16),
+	)
+	got := CollectMap(agg)
+	if got[0] != 1000 || got[1] != 1000 {
+		t.Fatalf("sums: %v", got)
+	}
+	m := ctx.Cluster.Metrics()
+	perRec := float64(16 + ctx.Cluster.Profile.RecordOverhead)
+	if total := m.TotalRemoteBytes() + m.TotalLocalBytes(); total > 8*perRec {
+		t.Fatalf("shuffled %v bytes; map-side fold should cap at %v", total, 8*perRec)
+	}
+}

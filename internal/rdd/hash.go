@@ -1,0 +1,15 @@
+package rdd
+
+import "cstf/internal/rng"
+
+// HashKey maps a key to a well-distributed 64-bit hash. The same function
+// is used by every shuffle in a context, so independently partitioned
+// datasets with equal keys are co-partitioned — the property Spark's
+// HashPartitioner provides and CSTF's join placement relies on.
+func HashKey[K comparable](k K) uint64 { return rng.HashAny(k) }
+
+// PartitionOf returns the partition a key belongs to in a context with the
+// given partition count.
+func PartitionOf[K comparable](k K, parts int) int {
+	return int(HashKey(k) % uint64(parts))
+}

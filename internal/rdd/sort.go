@@ -1,0 +1,223 @@
+package rdd
+
+import (
+	"sort"
+
+	"cstf/internal/cluster"
+	"cstf/internal/rng"
+)
+
+// SortByKey, outer joins, cogroup, zip, and fold: the remaining standard
+// pair-dataset surface. SortByKey uses sampled range partitioning like
+// Spark's RangePartitioner: draw a key sample, pick P-1 splitters, shuffle
+// each record to its key range, sort partitions locally. The result is
+// globally ordered across the partition sequence.
+
+// SortByKey returns the dataset ordered by the given less function:
+// partition boundaries respect the order (every key in partition i sorts
+// before every key in partition i+1) and each partition is sorted. The
+// output is NOT hash-partitioned (it is range-partitioned), so joins
+// against it will re-shuffle.
+func SortByKey[K comparable, V any](d *Dataset[KV[K, V]], less func(a, b K) bool, os ...Option) *Dataset[KV[K, V]] {
+	o := applyOpts("sortByKey", os)
+	out := newDataset[KV[K, V]](d.ctx, o.name, d.sizeOf)
+	out.compute = func() [][]KV[K, V] {
+		ctx := d.ctx
+		P := ctx.Parts
+		in := d.materialize()
+
+		// Sample up to ~20 keys per partition to pick splitters.
+		var sample []K
+		src := rng.New(0x5027)
+		for p := 0; p < P; p++ {
+			n := len(in[p])
+			for i := 0; i < 20 && i < n; i++ {
+				sample = append(sample, in[p][src.Intn(n)].Key)
+			}
+		}
+		sort.Slice(sample, func(i, j int) bool { return less(sample[i], sample[j]) })
+		splitters := make([]K, 0, P-1)
+		if len(sample) > 0 {
+			for i := 1; i < P; i++ {
+				splitters = append(splitters, sample[i*len(sample)/P])
+			}
+		}
+		partOf := func(k K) int {
+			// First splitter >= k determines the partition (binary search).
+			lo, hi := 0, len(splitters)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if less(splitters[mid], k) {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			return lo
+		}
+
+		parts, tasks := shuffleBy(ctx, in, d.sizeOf, partOf)
+		ctx.Cluster.Parallel(P, func(p int) {
+			sort.SliceStable(parts[p], func(i, j int) bool {
+				return less(parts[p][i].Key, parts[p][j].Key)
+			})
+			tasks[p].Flops = o.flopsPerRecord * tasks[p].Records
+			tasks[p].Records *= o.costFactor * d.readCost()
+		})
+		ctx.Cluster.RunStage(true, tasks)
+		return parts
+	}
+	return out
+}
+
+// Opt is an optional value, produced by outer joins for the side that may
+// be missing.
+type Opt[T any] struct {
+	Present bool
+	Val     T
+}
+
+// Some wraps a present value.
+func Some[T any](v T) Opt[T] { return Opt[T]{Present: true, Val: v} }
+
+// LeftOuterJoin joins keeping every left record; right values are optional.
+func LeftOuterJoin[K comparable, V, W any](a *Dataset[KV[K, V]], b *Dataset[KV[K, W]], sizeOf func(KV[K, Pair[V, Opt[W]]]) int, os ...Option) *Dataset[KV[K, Pair[V, Opt[W]]]] {
+	cg := CoGroup(a, b, func(r KV[K, Pair[[]V, []W]]) int { return 16 }, os...)
+	return FlatMap(cg, func(r KV[K, Pair[[]V, []W]]) []KV[K, Pair[V, Opt[W]]] {
+		var out []KV[K, Pair[V, Opt[W]]]
+		for _, v := range r.Val.A {
+			if len(r.Val.B) == 0 {
+				out = append(out, KV[K, Pair[V, Opt[W]]]{Key: r.Key, Val: Pair[V, Opt[W]]{A: v}})
+				continue
+			}
+			for _, w := range r.Val.B {
+				out = append(out, KV[K, Pair[V, Opt[W]]]{Key: r.Key, Val: Pair[V, Opt[W]]{A: v, B: Some(w)}})
+			}
+		}
+		return out
+	}, sizeOf, WithName("leftOuterJoin"))
+}
+
+// CoGroup groups both datasets' values by key: each output record holds
+// every V and every W sharing the key. Sides that are not hash-partitioned
+// shuffle, like Join.
+func CoGroup[K comparable, V, W any](a *Dataset[KV[K, V]], b *Dataset[KV[K, W]], sizeOf func(KV[K, Pair[[]V, []W]]) int, os ...Option) *Dataset[KV[K, Pair[[]V, []W]]] {
+	if a.ctx != b.ctx {
+		panic("rdd: cogroup across contexts")
+	}
+	o := applyOpts("cogroup", os)
+	out := newDataset[KV[K, Pair[[]V, []W]]](a.ctx, o.name, sizeOf)
+	out.keyed = true
+	out.compute = func() [][]KV[K, Pair[[]V, []W]] {
+		ctx := a.ctx
+		P := ctx.Parts
+		inA := a.materialize()
+		inB := b.materialize()
+
+		tasks := make([]cluster.Task, P)
+		for p := range tasks {
+			tasks[p].Node = ctx.Cluster.NodeOf(p)
+		}
+		wide := false
+		if !a.keyed {
+			wide = true
+			var ta []cluster.Task
+			inA, ta = shuffle(ctx, inA, a.sizeOf)
+			for p := range tasks {
+				tasks[p].Records += ta[p].Records
+				tasks[p].RemoteBytes += ta[p].RemoteBytes
+				tasks[p].LocalBytes += ta[p].LocalBytes
+			}
+		} else {
+			for p := range tasks {
+				tasks[p].Records += float64(len(inA[p]))
+			}
+		}
+		if !b.keyed {
+			wide = true
+			var tb []cluster.Task
+			inB, tb = shuffle(ctx, inB, b.sizeOf)
+			for p := range tasks {
+				tasks[p].Records += tb[p].Records
+				tasks[p].RemoteBytes += tb[p].RemoteBytes
+				tasks[p].LocalBytes += tb[p].LocalBytes
+			}
+		} else {
+			for p := range tasks {
+				tasks[p].Records += float64(len(inB[p]))
+			}
+		}
+
+		parts := make([][]KV[K, Pair[[]V, []W]], P)
+		ctx.Cluster.Parallel(P, func(p int) {
+			groups := map[K]*Pair[[]V, []W]{}
+			var order []K
+			get := func(k K) *Pair[[]V, []W] {
+				if g, ok := groups[k]; ok {
+					return g
+				}
+				g := &Pair[[]V, []W]{}
+				groups[k] = g
+				order = append(order, k)
+				return g
+			}
+			for i := range inA[p] {
+				g := get(inA[p][i].Key)
+				g.A = append(g.A, inA[p][i].Val)
+			}
+			for i := range inB[p] {
+				g := get(inB[p][i].Key)
+				g.B = append(g.B, inB[p][i].Val)
+			}
+			recs := make([]KV[K, Pair[[]V, []W]], 0, len(order))
+			for _, k := range order {
+				recs = append(recs, KV[K, Pair[[]V, []W]]{Key: k, Val: *groups[k]})
+			}
+			parts[p] = recs
+		})
+		for p := range tasks {
+			tasks[p].Flops = o.flopsPerRecord * tasks[p].Records
+			tasks[p].Records *= o.costFactor
+		}
+		ctx.Cluster.RunStage(wide, tasks)
+		return parts
+	}
+	return out
+}
+
+// ZipWithIndex pairs every record with its global 0-based position in
+// partition order (narrow: per-partition offsets come from partition
+// sizes, like Spark's zipWithIndex which runs a count job first).
+func ZipWithIndex[T any](d *Dataset[T], os ...Option) *Dataset[Pair[T, int64]] {
+	o := applyOpts("zipWithIndex", os)
+	out := newDataset[Pair[T, int64]](d.ctx, o.name, func(p Pair[T, int64]) int { return d.sizeOf(p.A) + 8 })
+	out.compute = func() [][]Pair[T, int64] {
+		in := d.materialize()
+		P := d.ctx.Parts
+		offsets := make([]int64, P)
+		var acc int64
+		for p := 0; p < P; p++ {
+			offsets[p] = acc
+			acc += int64(len(in[p]))
+		}
+		parts := make([][]Pair[T, int64], P)
+		counts := make([]int, P)
+		d.ctx.Cluster.Parallel(P, func(p int) {
+			recs := make([]Pair[T, int64], len(in[p]))
+			for i := range in[p] {
+				recs[i] = Pair[T, int64]{A: in[p][i], B: offsets[p] + int64(i)}
+			}
+			parts[p] = recs
+			counts[p] = len(in[p])
+		})
+		narrowTasks(d.ctx, counts, o)
+		return parts
+	}
+	return out
+}
+
+// Fold reduces every record into a single value with an associative,
+// commutative op and the given identity (a convenience over Aggregate).
+func Fold[T any](d *Dataset[T], zero T, op func(T, T) T, flopsPerRecord float64) T {
+	return Aggregate(d, func() T { return zero }, op, op, flopsPerRecord)
+}

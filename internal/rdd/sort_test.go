@@ -1,0 +1,152 @@
+package rdd
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cstf/internal/rng"
+)
+
+func TestSortByKeyGlobalOrder(t *testing.T) {
+	f := func(seed uint64) bool {
+		ctx := testCtx(3, 6)
+		src := rng.New(seed)
+		n := 200 + src.Intn(300)
+		recs := make([]KV[uint32, int], n)
+		for i := range recs {
+			recs[i] = KV[uint32, int]{Key: uint32(src.Intn(1000)), Val: i}
+		}
+		d := FromSlice(ctx, "kv", recs, kvSize)
+		sorted := SortByKey(d, func(a, b uint32) bool { return a < b })
+		parts := sorted.materialize()
+
+		var prev uint32
+		first := true
+		total := 0
+		for _, part := range parts {
+			for _, rec := range part {
+				if !first && rec.Key < prev {
+					return false
+				}
+				prev = rec.Key
+				first = false
+				total++
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortByKeyIsOneShuffleAndNotHashPartitioned(t *testing.T) {
+	ctx := testCtx(4, 8)
+	recs := make([]KV[uint32, int], 500)
+	for i := range recs {
+		recs[i] = KV[uint32, int]{Key: uint32(i * 7 % 501), Val: i}
+	}
+	d := FromSlice(ctx, "kv", recs, kvSize)
+	s := SortByKey(d, func(a, b uint32) bool { return a < b })
+	Count(s)
+	if got := ctx.Cluster.Metrics().TotalShuffles(); got != 1 {
+		t.Fatalf("sortByKey shuffles = %d, want 1", got)
+	}
+	if s.KeyPartitioned() {
+		t.Fatal("range-partitioned output must not claim hash partitioning")
+	}
+}
+
+func TestSortByKeyEmptyAndSingle(t *testing.T) {
+	ctx := testCtx(2, 4)
+	if n := Count(SortByKey(FromSlice(ctx, "e", []KV[uint32, int]{}, kvSize),
+		func(a, b uint32) bool { return a < b })); n != 0 {
+		t.Fatalf("empty sort count %d", n)
+	}
+	one := []KV[uint32, int]{{5, 50}}
+	got := Collect(SortByKey(FromSlice(ctx, "s", one, kvSize),
+		func(a, b uint32) bool { return a < b }))
+	if len(got) != 1 || got[0].Key != 5 {
+		t.Fatalf("single sort: %v", got)
+	}
+}
+
+func TestCoGroup(t *testing.T) {
+	ctx := testCtx(3, 6)
+	a := FromSlice(ctx, "a", []KV[uint32, int]{{1, 10}, {1, 11}, {2, 20}}, kvSize)
+	b := FromSlice(ctx, "b", []KV[uint32, int]{{1, 100}, {3, 300}}, kvSize)
+	got := CollectMap(CoGroup(a, b, func(KV[uint32, Pair[[]int, []int]]) int { return 32 }))
+	if len(got) != 3 {
+		t.Fatalf("cogroup keys: %d", len(got))
+	}
+	g1 := got[1]
+	sort.Ints(g1.A)
+	if len(g1.A) != 2 || g1.A[0] != 10 || g1.A[1] != 11 || len(g1.B) != 1 || g1.B[0] != 100 {
+		t.Fatalf("group 1: %+v", g1)
+	}
+	if len(got[2].B) != 0 || len(got[3].A) != 0 {
+		t.Fatalf("one-sided groups wrong: %+v", got)
+	}
+}
+
+func TestLeftOuterJoin(t *testing.T) {
+	ctx := testCtx(2, 4)
+	left := FromSlice(ctx, "l", []KV[uint32, int]{{1, 10}, {2, 20}}, kvSize)
+	right := FromSlice(ctx, "r", []KV[uint32, int]{{1, 100}}, kvSize)
+	got := Collect(LeftOuterJoin(left, right,
+		func(KV[uint32, Pair[int, Opt[int]]]) int { return 24 }))
+	if len(got) != 2 {
+		t.Fatalf("left outer join records: %d", len(got))
+	}
+	for _, rec := range got {
+		switch rec.Key {
+		case 1:
+			if !rec.Val.B.Present || rec.Val.B.Val != 100 {
+				t.Fatalf("key 1: %+v", rec.Val)
+			}
+		case 2:
+			if rec.Val.B.Present {
+				t.Fatalf("key 2 must have no right value: %+v", rec.Val)
+			}
+		default:
+			t.Fatalf("unexpected key %d", rec.Key)
+		}
+	}
+}
+
+func TestZipWithIndex(t *testing.T) {
+	ctx := testCtx(3, 5)
+	d := FromSlice(ctx, "n", seq(137), intSize)
+	z := Collect(ZipWithIndex(d))
+	if len(z) != 137 {
+		t.Fatalf("zip count %d", len(z))
+	}
+	seen := map[int64]bool{}
+	for _, p := range z {
+		if p.B < 0 || p.B >= 137 || seen[p.B] {
+			t.Fatalf("bad index %d", p.B)
+		}
+		seen[p.B] = true
+	}
+	// No shuffle.
+	if ctx.Cluster.Metrics().TotalShuffles() != 0 {
+		t.Fatal("zipWithIndex must be narrow")
+	}
+}
+
+func TestFold(t *testing.T) {
+	ctx := testCtx(2, 4)
+	d := FromSlice(ctx, "n", seq(11), intSize)
+	if got := Fold(d, 0, func(a, b int) int { return a + b }, 1); got != 55 {
+		t.Fatalf("fold sum %d", got)
+	}
+	if got := Fold(d, 0, func(a, b int) int {
+		if b > a {
+			return b
+		}
+		return a
+	}, 1); got != 10 {
+		t.Fatalf("fold max %d", got)
+	}
+}

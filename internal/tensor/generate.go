@@ -1,0 +1,135 @@
+package tensor
+
+import (
+	"cstf/internal/rng"
+)
+
+// Synthetic tensor generators. The FROSTT datasets the paper evaluates are
+// multi-gigabyte downloads; these generators produce deterministic tensors
+// with the same order, mode-size ratios, and fiber-occupancy skew at a
+// configurable scale (see internal/workload for the Table 5 configs).
+
+// GenUniform generates approximately nnz uniform-random nonzeros (duplicate
+// coordinates are merged, so the exact count can be slightly lower). Values
+// are uniform in [0, 1). This models the paper's synt3d dataset.
+func GenUniform(seed uint64, nnz int, dims ...int) *COO {
+	t := New(dims...)
+	src := rng.New(seed)
+	t.Entries = make([]Entry, 0, nnz)
+	for len(t.Entries) < nnz {
+		var e Entry
+		for m, d := range dims {
+			e.Idx[m] = uint32(src.Intn(d))
+		}
+		e.Val = src.Float64()
+		t.Entries = append(t.Entries, e)
+	}
+	t.DedupSum()
+	return t
+}
+
+// GenZipf generates approximately nnz nonzeros whose per-mode indices
+// follow a Zipf distribution with the given exponent, then shuffles index
+// identity with a hash permutation so the skew is not concentrated at index
+// zero. Real web-crawl tensors (delicious, flickr, NELL) have exactly this
+// kind of heavy-tailed fiber occupancy.
+func GenZipf(seed uint64, nnz int, theta float64, dims ...int) *COO {
+	t := New(dims...)
+	src := rng.New(seed)
+	zipfs := make([]*rng.Zipf, len(dims))
+	for m, d := range dims {
+		zipfs[m] = rng.NewZipf(d, theta)
+	}
+	t.Entries = make([]Entry, 0, nnz)
+	for len(t.Entries) < nnz {
+		var e Entry
+		for m, d := range dims {
+			raw := zipfs[m].Next(src)
+			// Pseudo-random permutation of [0, d) so hot indices are spread out.
+			e.Idx[m] = uint32(rng.Hash64(seed, uint64(m), uint64(raw)) % uint64(d))
+		}
+		e.Val = src.Float64()
+		t.Entries = append(t.Entries, e)
+	}
+	t.DedupSum()
+	return t
+}
+
+// GenLowRankDense generates a tensor holding a rank-r CP model at EVERY
+// coordinate (plus optional Gaussian noise). Unlike GenLowRank, the result
+// really is a rank-r tensor, so CP-ALS must reach a near-perfect fit on it
+// — the strongest end-to-end correctness check available for the solvers.
+// Use only for small dims (the entry count is the full dense volume).
+func GenLowRankDense(seed uint64, r int, noise float64, dims ...int) *COO {
+	t := New(dims...)
+	src := rng.New(seed)
+	order := len(dims)
+	factorVal := func(m, i, col int) float64 {
+		return 0.1 + rng.UniformAt(seed, uint64(m), uint64(i), uint64(col))
+	}
+	idx := make([]int, order)
+	var emit func(m int)
+	emit = func(m int) {
+		if m == order {
+			var v float64
+			for col := 0; col < r; col++ {
+				p := 1.0
+				for n := 0; n < order; n++ {
+					p *= factorVal(n, idx[n], col)
+				}
+				v += p
+			}
+			if noise > 0 {
+				v += noise * src.NormFloat64()
+			}
+			t.Append(v, idx...)
+			return
+		}
+		for i := 0; i < dims[m]; i++ {
+			idx[m] = i
+			emit(m + 1)
+		}
+	}
+	emit(0)
+	return t
+}
+
+// GenLowRank generates a tensor that is a rank-r CP model sampled at
+// approximately nnz random coordinates (plus optional Gaussian noise).
+// Note the sampling mask makes the resulting sparse tensor NOT globally
+// rank-r (unsampled coordinates are zero); use GenLowRankDense when a
+// truly low-rank tensor is required.
+func GenLowRank(seed uint64, nnz, r int, noise float64, dims ...int) *COO {
+	t := New(dims...)
+	src := rng.New(seed)
+	order := len(dims)
+
+	// Factor row (m, i) is a pure function of the seed, so the planted
+	// model is reproducible without storing the factors.
+	factorVal := func(m, i, col int) float64 {
+		return 0.1 + rng.UniformAt(seed, uint64(m), uint64(i), uint64(col))
+	}
+
+	t.Entries = make([]Entry, 0, nnz)
+	for len(t.Entries) < nnz {
+		var e Entry
+		for m, d := range dims {
+			e.Idx[m] = uint32(src.Intn(d))
+		}
+		var v float64
+		for col := 0; col < r; col++ {
+			p := 1.0
+			for m := 0; m < order; m++ {
+				p *= factorVal(m, int(e.Idx[m]), col)
+			}
+			v += p
+		}
+		if noise > 0 {
+			v += noise * src.NormFloat64()
+		}
+		e.Val = v
+		t.Entries = append(t.Entries, e)
+	}
+	t.DedupSum()
+	return t
+}

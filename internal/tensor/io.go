@@ -1,0 +1,155 @@
+package tensor
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// FROSTT .tns text format: one nonzero per line, whitespace-separated
+// 1-based indices followed by the value. Lines starting with '#' and blank
+// lines are ignored. This is the interchange format of the datasets in
+// Table 5 of the paper (frostt.io).
+
+// ReadTNS parses a .tns stream. If dims is nil the mode sizes are inferred
+// as the per-mode maximum index.
+func ReadTNS(r io.Reader, dims []int) (*COO, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var entries []Entry
+	order := 0
+	maxIdx := make([]uint32, 0, MaxOrder)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if order == 0 {
+			order = len(fields) - 1
+			if order < 1 || order > MaxOrder {
+				return nil, fmt.Errorf("tensor: line %d: order %d out of range", lineNo, order)
+			}
+			maxIdx = make([]uint32, order)
+		}
+		if len(fields) != order+1 {
+			return nil, fmt.Errorf("tensor: line %d: expected %d fields, got %d", lineNo, order+1, len(fields))
+		}
+		var e Entry
+		for m := 0; m < order; m++ {
+			v, err := strconv.ParseUint(fields[m], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("tensor: line %d: bad index %q: %v", lineNo, fields[m], err)
+			}
+			if v == 0 {
+				return nil, fmt.Errorf("tensor: line %d: .tns indices are 1-based, got 0", lineNo)
+			}
+			e.Idx[m] = uint32(v - 1)
+			if e.Idx[m]+1 > maxIdx[m] {
+				maxIdx[m] = e.Idx[m] + 1
+			}
+		}
+		val, err := strconv.ParseFloat(fields[order], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tensor: line %d: bad value %q: %v", lineNo, fields[order], err)
+		}
+		e.Val = val
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if order == 0 {
+		return nil, fmt.Errorf("tensor: empty .tns input")
+	}
+
+	if dims == nil {
+		dims = make([]int, order)
+		for m := range dims {
+			dims[m] = int(maxIdx[m])
+		}
+	} else if len(dims) != order {
+		return nil, fmt.Errorf("tensor: declared order %d != data order %d", len(dims), order)
+	} else {
+		for m := range dims {
+			if int(maxIdx[m]) > dims[m] {
+				return nil, fmt.Errorf("tensor: mode %d has index %d beyond declared size %d", m, maxIdx[m], dims[m])
+			}
+		}
+	}
+	t := New(dims...)
+	t.Entries = entries
+	return t, nil
+}
+
+// WriteTNS writes t in FROSTT .tns format (1-based indices).
+func WriteTNS(w io.Writer, t *COO) error {
+	bw := bufio.NewWriter(w)
+	order := t.Order()
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		for m := 0; m < order; m++ {
+			if _, err := fmt.Fprintf(bw, "%d ", e.Idx[m]+1); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "%g\n", e.Val); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadTNSFile reads a .tns file from disk, inferring mode sizes.
+// Files ending in .gz are transparently decompressed — FROSTT distributes
+// its tensors as .tns.gz.
+func LoadTNSFile(path string) (*COO, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("tensor: %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	return ReadTNS(r, nil)
+}
+
+// SaveTNSFile writes t to a .tns file (gzip-compressed when the path ends
+// in .gz).
+func SaveTNSFile(path string, t *COO) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	if err := WriteTNS(w, t); err != nil {
+		f.Close()
+		return err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}

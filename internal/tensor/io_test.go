@@ -1,0 +1,115 @@
+package tensor
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTNSRoundTrip(t *testing.T) {
+	x := GenUniform(3, 300, 15, 25, 35)
+	var buf bytes.Buffer
+	if err := WriteTNS(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	// Declared dims: read back with explicit sizes (max index may be < dim).
+	y, err := ReadTNS(bytes.NewReader(buf.Bytes()), []int{15, 25, 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.NNZ() != x.NNZ() {
+		t.Fatalf("nnz %d != %d", y.NNZ(), x.NNZ())
+	}
+	for i := range x.Entries {
+		if x.Entries[i] != y.Entries[i] {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, x.Entries[i], y.Entries[i])
+		}
+	}
+}
+
+func TestTNSInferDims(t *testing.T) {
+	in := "# a comment\n\n1 1 1 2.5\n3 2 4 -1\n"
+	x, err := ReadTNS(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Order() != 3 || x.Dims[0] != 3 || x.Dims[1] != 2 || x.Dims[2] != 4 {
+		t.Fatalf("inferred dims %v", x.Dims)
+	}
+	if x.At(0, 0, 0) != 2.5 || x.At(2, 1, 3) != -1 {
+		t.Fatal("values wrong")
+	}
+}
+
+func TestTNSErrors(t *testing.T) {
+	cases := map[string]string{
+		"zero index":      "0 1 1 5\n",
+		"bad field count": "1 2 3 4 5 extra mismatch\n1 2 3\n",
+		"bad index":       "x 1 1 5\n",
+		"bad value":       "1 1 1 zzz\n",
+		"empty":           "# nothing\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTNS(strings.NewReader(in), nil); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Index beyond declared dims.
+	if _, err := ReadTNS(strings.NewReader("5 1 1 2\n"), []int{3, 3, 3}); err == nil {
+		t.Error("expected out-of-bounds error")
+	}
+	// Declared order mismatch.
+	if _, err := ReadTNS(strings.NewReader("1 1 2\n"), []int{3, 3, 3}); err == nil {
+		t.Error("expected order mismatch error")
+	}
+}
+
+func TestTNSFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.tns")
+	x := GenUniform(9, 100, 8, 8, 8)
+	// Ensure max index hits the declared dims so inference round-trips.
+	x.Append(1, 7, 7, 7)
+	x.DedupSum()
+	if err := SaveTNSFile(path, x); err != nil {
+		t.Fatal(err)
+	}
+	y, err := LoadTNSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.NNZ() != x.NNZ() || y.Dims[0] != 8 {
+		t.Fatalf("round trip: nnz=%d dims=%v", y.NNZ(), y.Dims)
+	}
+	if _, err := LoadTNSFile(filepath.Join(dir, "missing.tns")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestTNSGzipRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.tns.gz")
+	x := GenUniform(21, 300, 12, 11, 10)
+	x.Append(1, 11, 10, 9) // pin the max indices for inference
+	x.DedupSum()
+	if err := SaveTNSFile(path, x); err != nil {
+		t.Fatal(err)
+	}
+	y, err := LoadTNSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.NNZ() != x.NNZ() {
+		t.Fatalf("gzip round trip: nnz %d vs %d", y.NNZ(), x.NNZ())
+	}
+	// A non-gzip file with a .gz name must error, not crash.
+	bad := filepath.Join(dir, "bad.tns.gz")
+	if err := os.WriteFile(bad, []byte("1 1 1 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTNSFile(bad); err == nil {
+		t.Fatal("expected gzip header error")
+	}
+}

@@ -1,0 +1,187 @@
+package tensor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Additional tensor utilities: mode permutation (useful for mode-order
+// experiments and for validating mode symmetry), per-mode fiber statistics
+// (the skew that drives load balance), and a compact binary interchange
+// format for large tensors where .tns text parsing dominates.
+
+// Permute returns a new tensor whose mode m is the receiver's mode perm[m].
+// perm must be a permutation of 0..order-1. Values are unchanged:
+// Permute(perm).At(i_0..) == At(i_perm[0]..).
+func (t *COO) Permute(perm []int) *COO {
+	order := t.Order()
+	if len(perm) != order {
+		panic("tensor: permutation length mismatch")
+	}
+	seen := make([]bool, order)
+	for _, p := range perm {
+		if p < 0 || p >= order || seen[p] {
+			panic(fmt.Sprintf("tensor: invalid permutation %v", perm))
+		}
+		seen[p] = true
+	}
+	dims := make([]int, order)
+	for m, p := range perm {
+		dims[m] = t.Dims[p]
+	}
+	out := New(dims...)
+	out.Entries = make([]Entry, len(t.Entries))
+	for i := range t.Entries {
+		src := &t.Entries[i]
+		var e Entry
+		for m, p := range perm {
+			e.Idx[m] = src.Idx[p]
+		}
+		e.Val = src.Val
+		out.Entries[i] = e
+	}
+	return out
+}
+
+// FiberStats summarizes the nonzero distribution over one mode's indices.
+type FiberStats struct {
+	Mode     int
+	NonEmpty int     // indices with at least one nonzero
+	MaxCount int     // nonzeros in the heaviest slice
+	MeanOcc  float64 // nnz / non-empty indices
+	Skew     float64 // MaxCount / MeanOcc (1 = perfectly balanced)
+}
+
+// ModeStats computes fiber statistics for a mode — the quantity that
+// determines reduce-side load balance in the distributed MTTKRPs.
+func (t *COO) ModeStats(mode int) FiberStats {
+	if mode < 0 || mode >= t.Order() {
+		panic("tensor: mode out of range")
+	}
+	counts := map[uint32]int{}
+	for i := range t.Entries {
+		counts[t.Entries[i].Idx[mode]]++
+	}
+	st := FiberStats{Mode: mode, NonEmpty: len(counts)}
+	for _, c := range counts {
+		if c > st.MaxCount {
+			st.MaxCount = c
+		}
+	}
+	if st.NonEmpty > 0 {
+		st.MeanOcc = float64(t.NNZ()) / float64(st.NonEmpty)
+		st.Skew = float64(st.MaxCount) / st.MeanOcc
+	}
+	return st
+}
+
+// Scale multiplies every nonzero by s.
+func (t *COO) Scale(s float64) {
+	for i := range t.Entries {
+		t.Entries[i].Val *= s
+	}
+}
+
+// MaxAbs returns the largest absolute nonzero value.
+func (t *COO) MaxAbs() float64 {
+	var m float64
+	for i := range t.Entries {
+		if v := math.Abs(t.Entries[i].Val); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Binary format: magic, order, dims, nnz, then per entry `order` uint32
+// indices and a float64 value, all little-endian. Roughly 4x smaller and
+// 10x faster to parse than .tns text.
+
+var binMagic = [8]byte{'C', 'S', 'T', 'F', 'B', 'I', 'N', '1'}
+
+// WriteBinary writes the tensor in the CSTFBIN1 binary format.
+func WriteBinary(w io.Writer, t *COO) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	order := uint32(t.Order())
+	if err := binary.Write(bw, binary.LittleEndian, order); err != nil {
+		return err
+	}
+	for _, d := range t.Dims {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(d)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(t.NNZ())); err != nil {
+		return err
+	}
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		for m := 0; m < int(order); m++ {
+			if err := binary.Write(bw, binary.LittleEndian, e.Idx[m]); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, e.Val); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the CSTFBIN1 binary format.
+func ReadBinary(r io.Reader) (*COO, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("tensor: reading magic: %w", err)
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("tensor: not a CSTFBIN1 file")
+	}
+	var order uint32
+	if err := binary.Read(br, binary.LittleEndian, &order); err != nil {
+		return nil, err
+	}
+	if order < 1 || order > MaxOrder {
+		return nil, fmt.Errorf("tensor: order %d out of range", order)
+	}
+	dims := make([]int, order)
+	for m := range dims {
+		var d uint64
+		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+			return nil, err
+		}
+		if d == 0 || d > 1<<32 {
+			return nil, fmt.Errorf("tensor: bad mode size %d", d)
+		}
+		dims[m] = int(d)
+	}
+	var nnz uint64
+	if err := binary.Read(br, binary.LittleEndian, &nnz); err != nil {
+		return nil, err
+	}
+	t := New(dims...)
+	t.Entries = make([]Entry, 0, nnz)
+	for i := uint64(0); i < nnz; i++ {
+		var e Entry
+		for m := 0; m < int(order); m++ {
+			if err := binary.Read(br, binary.LittleEndian, &e.Idx[m]); err != nil {
+				return nil, fmt.Errorf("tensor: entry %d: %w", i, err)
+			}
+			if e.Idx[m] >= uint32(dims[m]) {
+				return nil, fmt.Errorf("tensor: entry %d index %d out of range for mode %d", i, e.Idx[m], m)
+			}
+		}
+		if err := binary.Read(br, binary.LittleEndian, &e.Val); err != nil {
+			return nil, fmt.Errorf("tensor: entry %d: %w", i, err)
+		}
+		t.Entries = append(t.Entries, e)
+	}
+	return t, nil
+}

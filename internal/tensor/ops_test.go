@@ -1,0 +1,169 @@
+package tensor
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cstf/internal/rng"
+)
+
+func TestPermuteRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := GenUniform(seed, 100, 7, 6, 5)
+		perm := []int{2, 0, 1}
+		inv := []int{1, 2, 0}
+		y := x.Permute(perm)
+		if y.Dims[0] != 5 || y.Dims[1] != 7 || y.Dims[2] != 6 {
+			return false
+		}
+		z := y.Permute(inv)
+		if z.NNZ() != x.NNZ() {
+			return false
+		}
+		z.Sort()
+		x.Sort()
+		for i := range x.Entries {
+			if x.Entries[i] != z.Entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermuteValueSemantics(t *testing.T) {
+	x := New(4, 5, 6)
+	x.Append(3.5, 1, 2, 3)
+	y := x.Permute([]int{2, 0, 1})
+	if y.At(3, 1, 2) != 3.5 {
+		t.Fatalf("permuted value not found where expected")
+	}
+}
+
+func TestPermuteValidation(t *testing.T) {
+	x := GenUniform(1, 10, 4, 4, 4)
+	for _, bad := range [][]int{{0, 1}, {0, 0, 1}, {0, 1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Permute(%v) must panic", bad)
+				}
+			}()
+			x.Permute(bad)
+		}()
+	}
+}
+
+func TestModeStats(t *testing.T) {
+	x := New(5, 5)
+	x.Append(1, 0, 0)
+	x.Append(1, 0, 1)
+	x.Append(1, 0, 2)
+	x.Append(1, 1, 3)
+	st := x.ModeStats(0)
+	if st.NonEmpty != 2 || st.MaxCount != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	if math.Abs(st.MeanOcc-2) > 1e-12 || math.Abs(st.Skew-1.5) > 1e-12 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestModeStatsSkewDetectsZipf(t *testing.T) {
+	uni := GenUniform(3, 5000, 2000, 100, 100)
+	skewed := GenZipf(3, 5000, 0.9, 2000, 100, 100)
+	if skewed.ModeStats(0).Skew <= 2*uni.ModeStats(0).Skew {
+		t.Fatalf("zipf skew %v should far exceed uniform skew %v",
+			skewed.ModeStats(0).Skew, uni.ModeStats(0).Skew)
+	}
+}
+
+func TestScaleAndMaxAbs(t *testing.T) {
+	x := New(3, 3)
+	x.Append(-4, 0, 0)
+	x.Append(2, 1, 1)
+	if x.MaxAbs() != 4 {
+		t.Fatalf("maxabs %v", x.MaxAbs())
+	}
+	x.Scale(0.5)
+	if x.At(0, 0) != -2 || x.At(1, 1) != 1 {
+		t.Fatal("scale wrong")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		order := 3 + src.Intn(3)
+		dims := make([]int, order)
+		for i := range dims {
+			dims[i] = 3 + src.Intn(20)
+		}
+		x := GenUniform(seed, 200, dims...)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, x); err != nil {
+			return false
+		}
+		y, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if y.Order() != x.Order() || y.NNZ() != x.NNZ() {
+			return false
+		}
+		for i := range x.Entries {
+			if x.Entries[i] != y.Entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a tensor")); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+	if _, err := ReadBinary(strings.NewReader("CSTFBIN1")); err == nil {
+		t.Fatal("truncated header must be rejected")
+	}
+	// Valid header, out-of-range index.
+	x := GenUniform(1, 10, 4, 4, 4)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt the first entry's first index to a huge value.
+	off := 8 + 4 + 3*8 + 8
+	data[off] = 0xFF
+	data[off+1] = 0xFF
+	data[off+2] = 0xFF
+	data[off+3] = 0xFF
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("out-of-range index must be rejected")
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	x := GenUniform(5, 5000, 100000, 100000, 100000)
+	var bin, txt bytes.Buffer
+	if err := WriteBinary(&bin, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTNS(&txt, x); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= txt.Len() {
+		t.Fatalf("binary (%d B) should be smaller than text (%d B)", bin.Len(), txt.Len())
+	}
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDatasetsMatchTable5(t *testing.T) {
+	// The headline Table 5 columns must match the paper.
+	want := map[string]struct {
+		order   int
+		maxMode float64 // millions
+		nnz     float64 // millions
+		density float64
+	}{
+		"delicious3d": {3, 17.3, 140, 6.5e-12},
+		"nell1":       {3, 25.5, 144, 9.3e-13},
+		"synt3d":      {3, 15.0, 200, 5.3e-12},
+		"flickr":      {4, 28.2, 113, 1.1e-14},
+		"delicious4d": {4, 17.3, 140, 4.3e-15},
+	}
+	ds := Datasets()
+	if len(ds) != 5 {
+		t.Fatalf("expected 5 datasets, got %d", len(ds))
+	}
+	for _, c := range ds {
+		w, ok := want[c.Name]
+		if !ok {
+			t.Fatalf("unexpected dataset %q", c.Name)
+		}
+		if c.Order() != w.order {
+			t.Errorf("%s: order %d, want %d", c.Name, c.Order(), w.order)
+		}
+		if got := float64(c.MaxModeSize()) / 1e6; math.Abs(got-w.maxMode) > 0.35 {
+			t.Errorf("%s: max mode %.1fM, want %.1fM", c.Name, got, w.maxMode)
+		}
+		if got := float64(c.NNZ) / 1e6; math.Abs(got-w.nnz) > 2 {
+			t.Errorf("%s: nnz %.0fM, want %.0fM", c.Name, got, w.nnz)
+		}
+		if got := c.Density(); got/w.density > 1.5 || w.density/got > 1.5 {
+			t.Errorf("%s: density %.2g, want %.2g", c.Name, got, w.density)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName("nell1")
+	if err != nil || c.Name != "nell1" {
+		t.Fatalf("ByName(nell1): %v, %v", c, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestScaledDims(t *testing.T) {
+	c, _ := ByName("delicious4d")
+	dims := c.ScaledDims(1e-3)
+	if dims[1] != 17263 { // ceil(17262471/1000)
+		t.Fatalf("scaled URL mode %d", dims[1])
+	}
+	if dims[3] < minModeSize {
+		t.Fatalf("day mode collapsed to %d", dims[3])
+	}
+	// Scale 1 returns the original dims.
+	full := c.ScaledDims(1)
+	for i := range full {
+		if full[i] != c.Dims[i] {
+			t.Fatalf("scale 1 altered dims: %v", full)
+		}
+	}
+}
+
+func TestGenerateShapeAndDeterminism(t *testing.T) {
+	c, _ := ByName("delicious3d")
+	const scale = 2e-5
+	a := c.Generate(scale)
+	b := c.Generate(scale)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("generation must be deterministic")
+	}
+	if a.Order() != 3 {
+		t.Fatalf("order %d", a.Order())
+	}
+	wantNNZ := c.ScaledNNZ(scale)
+	if a.NNZ() < wantNNZ*9/10 {
+		t.Fatalf("nnz %d far below target %d", a.NNZ(), wantNNZ)
+	}
+	// Mode-size ratios preserved: mode 1 (URLs) must dominate.
+	if a.Dims[1] <= a.Dims[0] || a.Dims[1] <= a.Dims[2] {
+		t.Fatalf("mode ratio broken: %v", a.Dims)
+	}
+}
+
+func TestGenerateSyntheticIsUniform(t *testing.T) {
+	c, _ := ByName("synt3d")
+	x := c.Generate(1e-5)
+	// Uniform data: no mode-0 index should dominate.
+	counts := map[uint32]int{}
+	for i := range x.Entries {
+		counts[x.Entries[i].Idx[0]]++
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	mean := float64(x.NNZ()) / float64(x.Dims[0])
+	if float64(max) > 4*mean {
+		t.Fatalf("uniform dataset has a fiber with %d nonzeros (mean %.1f)", max, mean)
+	}
+}
+
+func TestGenerateValidatesScale(t *testing.T) {
+	c, _ := ByName("synt3d")
+	for _, bad := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("scale %v must panic", bad)
+				}
+			}()
+			c.Generate(bad)
+		}()
+	}
+}
+
+func TestTable5Row(t *testing.T) {
+	c, _ := ByName("nell1")
+	row := c.Table5Row()
+	if !strings.Contains(row, "nell1") || !strings.Contains(row, "25.5M") {
+		t.Fatalf("row %q", row)
+	}
+}

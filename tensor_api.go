@@ -1,0 +1,129 @@
+package cstf
+
+import (
+	"io"
+	"math"
+	"os"
+
+	"cstf/internal/cpals"
+	"cstf/internal/tensor"
+)
+
+// Extended tensor utilities on the public API: binary I/O, mode
+// permutation, per-mode occupancy statistics, and model verification.
+
+// Permute returns a new tensor whose mode m is this tensor's mode perm[m].
+func (t *Tensor) Permute(perm ...int) *Tensor {
+	return &Tensor{coo: t.coo.Permute(perm)}
+}
+
+// ModeStats summarizes the nonzero distribution over one mode: how many
+// indices are occupied, the heaviest slice, and the skew that drives
+// distributed load balance.
+type ModeStats struct {
+	Mode     int
+	NonEmpty int
+	MaxCount int
+	MeanOcc  float64
+	Skew     float64
+}
+
+// Stats computes occupancy statistics for a mode.
+func (t *Tensor) Stats(mode int) ModeStats {
+	s := t.coo.ModeStats(mode)
+	return ModeStats{Mode: s.Mode, NonEmpty: s.NonEmpty, MaxCount: s.MaxCount, MeanOcc: s.MeanOcc, Skew: s.Skew}
+}
+
+// WriteBinary writes the tensor in the compact CSTFBIN1 binary format
+// (about 4x smaller and much faster to parse than .tns text).
+func (t *Tensor) WriteBinary(w io.Writer) error { return tensor.WriteBinary(w, t.coo) }
+
+// SaveBinary writes the tensor to a CSTFBIN1 file.
+func (t *Tensor) SaveBinary(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tensor.WriteBinary(f, t.coo); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBinary parses a CSTFBIN1 stream.
+func ReadBinary(r io.Reader) (*Tensor, error) {
+	coo, err := tensor.ReadBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Tensor{coo: coo}, nil
+}
+
+// LoadBinaryTensor reads a CSTFBIN1 file from disk.
+func LoadBinaryTensor(path string) (*Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// Residual evaluates how well a decomposition explains a tensor:
+// ||X - X_hat||_F / ||X||_F, computed exactly with one pass over the
+// nonzeros plus the rank-sized gram identity for the dense part. 0 is a
+// perfect fit; Fit() == 1 - Residual() when evaluated on the training
+// tensor.
+func (d *Decomposition) Residual(t *Tensor) float64 {
+	normX := t.Norm()
+	if normX == 0 {
+		return 0
+	}
+	rank := d.Rank()
+	// ||X_hat||^2 via the gram identity.
+	h := make([]float64, rank*rank)
+	for i := range h {
+		h[i] = 1
+	}
+	for _, f := range d.Factors {
+		for a := 0; a < rank; a++ {
+			for b := 0; b < rank; b++ {
+				var g float64
+				for i := 0; i < f.Rows(); i++ {
+					g += f.At(i, a) * f.At(i, b)
+				}
+				h[a*rank+b] *= g
+			}
+		}
+	}
+	var modelSq float64
+	for a := 0; a < rank; a++ {
+		for b := 0; b < rank; b++ {
+			modelSq += d.Lambda[a] * h[a*rank+b] * d.Lambda[b]
+		}
+	}
+	// <X, X_hat> over the nonzeros.
+	var inner float64
+	for i := 0; i < t.NNZ(); i++ {
+		idx, val := t.Entry(i)
+		inner += val * d.At(idx...)
+	}
+	residSq := normX*normX + modelSq - 2*inner
+	if residSq < 0 {
+		residSq = 0
+	}
+	return math.Sqrt(residSq) / normX
+}
+
+// CoreConsistency computes the CORCONDIA diagnostic of Bro & Kiers for
+// this decomposition against the tensor it was fit to: ~100 means the CP
+// structure (and hence the chosen rank) is appropriate; values falling
+// toward 0 or below indicate over-factoring. Supported for orders up to 4.
+func (d *Decomposition) CoreConsistency(t *Tensor) (float64, error) {
+	res := &cpals.Result{Lambda: d.Lambda}
+	for _, f := range d.Factors {
+		res.Factors = append(res.Factors, f.d)
+	}
+	return cpals.CoreConsistency(t.coo, res)
+}
