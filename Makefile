@@ -1,0 +1,30 @@
+# Developer entry points. `make ci` is the gate CI runs; it must stay green.
+
+GO ?= go
+
+# Packages that carry concurrency (worker pools, shared caches, simulated
+# cluster): these also run under the race detector in `make ci`.
+RACE_PKGS := ./internal/cpals ./internal/la ./internal/par ./internal/tensor ./internal/rdd ./internal/cluster
+
+.PHONY: ci fmt vet build test race bench
+
+ci: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem .

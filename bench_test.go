@@ -263,6 +263,90 @@ func itoa(n int) string {
 	return string(buf[i:])
 }
 
+// BenchmarkParallelMTTKRP measures the row-partitioned shared-memory MTTKRP
+// (cpals.MTTKRPWorkers) on a ~1M-nnz Zipf tensor across worker counts. The
+// acceptance bar for the parallel execution layer is >= 2x wall-clock at 4+
+// workers versus workers=1 on multicore hardware, with bitwise-identical
+// output — the bitwise part is asserted here at setup, the speedup is read
+// off the per-subbenchmark ns/op.
+func BenchmarkParallelMTTKRP(b *testing.B) {
+	x := tensor.GenZipf(1, 1_200_000, 0.5, 120_000, 90_000, 60_000)
+	rank := 16
+	factors := make([]*la.Dense, 3)
+	for n := range factors {
+		factors[n] = cpals.InitFactor(1, n, x.Dims[n], rank)
+	}
+	x.ModeIndex(0) // build the sort/segment index outside the timer
+
+	ref := cpals.MTTKRPWorkers(x, 0, factors, 1, nil, nil)
+	chk := cpals.MTTKRPWorkers(x, 0, factors, 4, nil, nil)
+	if d := la.MaxAbsDiff(ref, chk); d != 0 {
+		b.Fatalf("parallel MTTKRP not bitwise deterministic: %g", d)
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			ws := &cpals.Workspace{}
+			b.SetBytes(int64(x.NNZ() * tensor.EntryBytes(3)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cpals.MTTKRPWorkers(x, 0, factors, workers, ws.Out(0, x.Dims[0], rank, workers), ws)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSolveIteration measures one full shared-memory CP-ALS
+// iteration (MTTKRP + grams + normalization + fit, all on the worker pool)
+// across worker counts.
+func BenchmarkParallelSolveIteration(b *testing.B) {
+	x := tensor.GenZipf(2, 600_000, 0.5, 60_000, 50_000, 40_000)
+	for _, workers := range []int{1, 4} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cpals.Solve(x, cpals.Options{
+					Rank: 8, MaxIters: 1, Seed: 1, Parallelism: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelCSFMTTKRP measures the fiber-chunked parallel CSF kernel
+// against its serial walk.
+func BenchmarkParallelCSFMTTKRP(b *testing.B) {
+	x := tensor.GenZipf(3, 600_000, 0.6, 60_000, 50_000, 40_000)
+	x.DedupSum()
+	rank := 16
+	factors := make([]*la.Dense, 3)
+	for n := range factors {
+		factors[n] = cpals.InitFactor(1, n, x.Dims[n], rank)
+	}
+	csf := cpals.BuildCSFs(x)[0]
+	for _, workers := range []int{1, 4} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cpals.MTTKRPCSFWorkers(csf, factors, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkDecomposeBestRestarts measures concurrent multi-start CP-ALS
+// through the public API.
+func BenchmarkDecomposeBestRestarts(b *testing.B) {
+	x := cstf.ZipfTensor(4, 50_000, 0.5, 2_000, 1_500, 1_000)
+	for i := 0; i < b.N; i++ {
+		if _, err := cstf.DecomposeBest(x, cstf.Options{
+			Algorithm: cstf.Serial, Rank: 4, MaxIters: 3, NoConvergenceCheck: true,
+		}, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCSFvsCOOKernel compares the two serial MTTKRP kernels: the
 // per-nonzero COO loop (Algorithm 2) and the SPLATT-style CSF tree.
 func BenchmarkCSFvsCOOKernel(b *testing.B) {

@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -33,6 +35,8 @@ func main() {
 	tol := flag.Float64("tol", 1e-5, "fit-improvement stopping tolerance (0 disables)")
 	nodes := flag.Int("nodes", 4, "simulated worker nodes for distributed algorithms")
 	seed := flag.Uint64("seed", 42, "deterministic initialization seed")
+	parallel := flag.Int("parallel", 0, "worker goroutines for shared-memory kernels (0 = all cores)")
+	progress := flag.Bool("progress", false, "print the fit after every ALS iteration")
 	factors := flag.String("factors", "", "directory to write factor matrices (optional)")
 	trace := flag.String("trace", "", "write a Chrome trace of the modeled execution to this file")
 	flag.Parse()
@@ -64,22 +68,32 @@ func main() {
 	fmt.Println("input:", x)
 
 	o := cstf.Options{
-		Algorithm: cstf.Algorithm(*algo),
-		Rank:      *rank,
-		MaxIters:  *iters,
-		Tol:       *tol,
-		Seed:      *seed,
-		Nodes:     *nodes,
+		Algorithm:   cstf.Algorithm(*algo),
+		Rank:        *rank,
+		MaxIters:    *iters,
+		Tol:         *tol,
+		Seed:        *seed,
+		Nodes:       *nodes,
+		Parallelism: *parallel,
 	}
 	if *tol == 0 {
-		o.Tol = cstf.NoTol
+		o.NoConvergenceCheck = true
 	}
 	if *dataset != "" {
 		o.WorkScale = 1 / *scale // report full-scale-equivalent modeled time
 	}
 	o.TracePath = *trace
+	if *progress {
+		o.OnIteration = func(iter int, fit float64) bool {
+			fmt.Printf("iter %3d  fit %.6f\n", iter+1, fit)
+			return false
+		}
+	}
 
-	dec, err := cstf.Decompose(x, o)
+	// Ctrl-C aborts between ALS iterations with a clean error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	dec, err := cstf.DecomposeContext(ctx, x, o)
 	if err != nil {
 		fatal(err)
 	}

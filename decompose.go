@@ -1,6 +1,7 @@
 package cstf
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"cstf/internal/cpals"
 	"cstf/internal/la"
 	"cstf/internal/mapreduce"
+	"cstf/internal/par"
 	"cstf/internal/rdd"
 	"cstf/internal/rng"
 )
@@ -34,15 +36,54 @@ const (
 )
 
 // Options configures Decompose. Zero values select the documented
-// defaults.
+// defaults:
+//
+//	Field               Zero-value default
+//	---------------------------------------------------------------------
+//	Algorithm           QCOO
+//	Rank                8
+//	MaxIters            25
+//	Tol                 1e-5
+//	NoConvergenceCheck  false (the Tol test runs)
+//	Parallelism         runtime.GOMAXPROCS(0)
+//	Seed                0 (still fully deterministic)
+//	Nodes               4 simulated nodes
+//	WorkScale           1
+//	OnIteration         nil (no progress callback)
+//	Profile             cluster.CometProfile()
+//	TracePath           "" (no trace written)
 type Options struct {
 	Algorithm Algorithm // default QCOO
 	Rank      int       // decomposition rank R; default 8
 	MaxIters  int       // maximum ALS iterations; default 25
-	Tol       float64   // fit-improvement stopping tolerance; default 1e-5 (0 keeps default; use NoTol to disable)
-	Seed      uint64    // deterministic initialization seed
-	Nodes     int       // simulated worker nodes for distributed algorithms; default 4
-	WorkScale float64   // cost-model multiplier when t is a 1/s-scale stand-in; default 1
+
+	// Tol is the fit-improvement stopping tolerance; iteration stops once
+	// |fit(k) - fit(k-1)| < Tol. The zero value keeps the 1e-5 default.
+	// To run exactly MaxIters iterations set NoConvergenceCheck instead
+	// (the legacy NoTol sentinel still works but is deprecated).
+	Tol float64
+
+	// NoConvergenceCheck disables the Tol test entirely, so exactly
+	// MaxIters iterations run. This replaces the NoTol sentinel.
+	NoConvergenceCheck bool
+
+	// Parallelism is the number of worker goroutines the shared-memory
+	// numeric kernels (serial MTTKRP, gram matrices, normalization, fit
+	// reductions) fan out to, and the concurrency of DecomposeBest
+	// restarts. <= 0 selects runtime.GOMAXPROCS(0). Factors are bitwise
+	// identical for every value — partitioning is row-aligned and
+	// reductions merge in a fixed block order.
+	Parallelism int
+
+	Seed      uint64  // deterministic initialization seed
+	Nodes     int     // simulated worker nodes for distributed algorithms; default 4
+	WorkScale float64 // cost-model multiplier when t is a 1/s-scale stand-in; default 1
+
+	// OnIteration, when non-nil, is called after every completed ALS
+	// iteration with the 0-based iteration number and the model fit;
+	// returning true stops the run early, keeping the factors computed so
+	// far. Honored by Serial, COO, and QCOO; BigTensor reports fit 0.
+	OnIteration func(iter int, fit float64) (stop bool)
 
 	// Profile overrides the cluster cost profile (default: CometProfile).
 	Profile *cluster.Profile
@@ -54,6 +95,9 @@ type Options struct {
 }
 
 // NoTol disables the convergence test so exactly MaxIters iterations run.
+//
+// Deprecated: set Options.NoConvergenceCheck instead. NoTol remains only so
+// existing callers compile and behave as before.
 const NoTol = -1.0
 
 func (o Options) withDefaults() Options {
@@ -70,6 +114,12 @@ func (o Options) withDefaults() Options {
 		o.Tol = 1e-5
 	} else if o.Tol == NoTol {
 		o.Tol = 0
+	}
+	if o.NoConvergenceCheck {
+		o.Tol = 0
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = par.Workers(0)
 	}
 	if o.Nodes == 0 {
 		o.Nodes = 4
@@ -114,7 +164,13 @@ type Decomposition struct {
 	Factors []*Matrix // one per mode, column-normalized
 	Fits    []float64 // fit after each iteration (empty for BigTensor)
 	Iters   int
-	Metrics Metrics // zero for the serial algorithm
+	Metrics Metrics // zero for the serial algorithm; summed over restarts for DecomposeBest
+
+	// Restart and Seed identify which initialization produced this
+	// result: Restart is the 0-based restart index (always 0 for plain
+	// Decompose) and Seed the derived initialization seed actually used.
+	Restart int
+	Seed    uint64
 }
 
 // Fit returns the final model fit in [0, 1] (1 is exact).
@@ -176,10 +232,21 @@ func (d *Decomposition) TopK(mode, r, k int) []Component {
 	return out
 }
 
-// Decompose runs CP-ALS on t with the selected algorithm.
+// Decompose runs CP-ALS on t with the selected algorithm. It is
+// DecomposeContext with a background context.
 func Decompose(t *Tensor, o Options) (*Decomposition, error) {
+	return DecomposeContext(context.Background(), t, o)
+}
+
+// DecomposeContext runs CP-ALS on t with the selected algorithm, checking
+// ctx for cancellation between ALS iterations: a cancelled context aborts
+// the run and returns ctx's error. All four algorithms honor it.
+func DecomposeContext(ctx context.Context, t *Tensor, o Options) (*Decomposition, error) {
 	o = o.withDefaults()
-	opts := cpals.Options{Rank: o.Rank, MaxIters: o.MaxIters, Tol: o.Tol, Seed: o.Seed}
+	opts := cpals.Options{
+		Rank: o.Rank, MaxIters: o.MaxIters, Tol: o.Tol, Seed: o.Seed,
+		Parallelism: o.Parallelism, Ctx: ctx, OnIteration: o.OnIteration,
+	}
 
 	profile := cluster.CometProfile()
 	if o.Profile != nil {
@@ -202,12 +269,12 @@ func Decompose(t *Tensor, o Options) (*Decomposition, error) {
 		res, err = cpals.Solve(t.coo, opts)
 	case COO:
 		c = newCluster()
-		ctx := rdd.NewContext(c, o.Nodes*profile.CoresPerNode)
-		res, err = core.SolveCOO(ctx, t.coo, opts)
+		rctx := rdd.NewContext(c, o.Nodes*profile.CoresPerNode)
+		res, err = core.SolveCOO(rctx, t.coo, opts)
 	case QCOO:
 		c = newCluster()
-		ctx := rdd.NewContext(c, o.Nodes*profile.CoresPerNode)
-		res, err = core.SolveQCOO(ctx, t.coo, opts)
+		rctx := rdd.NewContext(c, o.Nodes*profile.CoresPerNode)
+		res, err = core.SolveQCOO(rctx, t.coo, opts)
 	case BigTensor:
 		c = newCluster()
 		env := mapreduce.NewEnv(c, o.Nodes*profile.CoresPerNode)
@@ -223,6 +290,7 @@ func Decompose(t *Tensor, o Options) (*Decomposition, error) {
 		Lambda: res.Lambda,
 		Fits:   res.Fits,
 		Iters:  res.Iters,
+		Seed:   o.Seed,
 	}
 	for _, f := range res.Factors {
 		out.Factors = append(out.Factors, &Matrix{d: f})
@@ -259,25 +327,70 @@ func Decompose(t *Tensor, o Options) (*Decomposition, error) {
 // derived from o.Seed and returns the result with the highest fit — the
 // standard remedy for CP-ALS's sensitivity to its starting point. Only
 // meaningful for algorithms that report per-iteration fits (Serial, COO,
-// QCOO).
+// QCOO). It is DecomposeBestContext with a background context.
 func DecomposeBest(t *Tensor, o Options, restarts int) (*Decomposition, error) {
+	return DecomposeBestContext(context.Background(), t, o, restarts)
+}
+
+// DecomposeBestContext is DecomposeBest with cancellation. The restarts run
+// CONCURRENTLY, up to o.Parallelism at a time; each restart's result
+// depends only on its derived seed, so the outcome is identical to the
+// sequential loop. The winner — highest fit, ties broken by the lowest
+// restart index — carries its restart index and seed in
+// Decomposition.Restart/Seed, and for distributed algorithms its Metrics
+// are replaced by the SUM of the simulated cost over all restarts (the
+// cluster ran every restart, not just the winner).
+func DecomposeBestContext(ctx context.Context, t *Tensor, o Options, restarts int) (*Decomposition, error) {
 	if restarts <= 0 {
 		return nil, fmt.Errorf("cstf: restarts must be positive, got %d", restarts)
 	}
-	var best *Decomposition
-	for r := 0; r < restarts; r++ {
+	o = o.withDefaults()
+	decs := make([]*Decomposition, restarts)
+	errs := make([]error, restarts)
+	par.Run(o.Parallelism, restarts, func(r int) {
 		or := o
-		or.Seed = rng.Hash64(o.Seed, uint64(r))
-		dec, err := Decompose(t, or)
+		or.Seed = RestartSeed(o.Seed, r)
+		dec, err := DecomposeContext(ctx, t, or)
+		if err != nil {
+			errs[r] = err
+			return
+		}
+		dec.Restart = r
+		decs[r] = dec
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		if best == nil || dec.Fit() > best.Fit() {
+	}
+	best := decs[0]
+	total := Metrics{SecondsByMode: map[string]float64{}}
+	for _, dec := range decs {
+		if dec.Fit() > best.Fit() {
 			best = dec
 		}
+		m := dec.Metrics
+		total.SimSeconds += m.SimSeconds
+		total.RemoteBytes += m.RemoteBytes
+		total.LocalBytes += m.LocalBytes
+		total.Shuffles += m.Shuffles
+		total.Flops += m.Flops
+		total.HadoopJobs += m.HadoopJobs
+		for phase, s := range m.SecondsByMode {
+			total.SecondsByMode[phase] += s
+		}
 	}
+	if len(total.SecondsByMode) == 0 {
+		total.SecondsByMode = nil
+	}
+	best.Metrics = total
 	return best, nil
 }
+
+// RestartSeed returns the initialization seed DecomposeBest derives for
+// restart r of a run whose Options.Seed is base. Exposed so callers can
+// reproduce a winning restart with plain Decompose.
+func RestartSeed(base uint64, r int) uint64 { return rng.Hash64(base, uint64(r)) }
 
 // EstimateRank fits ranks 1..maxRank serially and reports each rank's fit
 // and CORCONDIA core consistency, plus the recommended rank (the largest

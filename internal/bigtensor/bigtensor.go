@@ -343,15 +343,25 @@ func Solve(env *mapreduce.Env, t *tensor.COO, opts cpals.Options) (*cpals.Result
 	if err != nil {
 		return nil, err
 	}
+	iters := 0
 	for it := 0; it < opts.MaxIters; it++ {
+		if err := opts.Interrupted(); err != nil {
+			return nil, err
+		}
 		for n := 0; n < 3; n++ {
 			s.Step(n)
+		}
+		iters = it + 1
+		// BIGtensor has no cheap in-band fit; report 0 so progress
+		// callbacks can still count and stop iterations.
+		if opts.OnIteration != nil && opts.OnIteration(it, 0) {
+			break
 		}
 	}
 	res := &cpals.Result{
 		Lambda:  s.lambda,
 		Factors: s.Factors(),
-		Iters:   opts.MaxIters,
+		Iters:   iters,
 	}
 	res.Fits = []float64{driverFit(t, res)}
 	return res, nil

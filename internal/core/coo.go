@@ -189,12 +189,18 @@ func SolveCOO(ctx *rdd.Context, t *tensor.COO, opts cpals.Options) (*cpals.Resul
 	s := NewCOOState(ctx, t, opts.Rank, opts.Seed)
 	res := &cpals.Result{}
 	for it := 0; it < opts.MaxIters; it++ {
+		if err := opts.Interrupted(); err != nil {
+			return nil, err
+		}
 		for n := 0; n < s.order; n++ {
 			s.Step(n)
 		}
 		res.Iters = it + 1
 		fit := s.Fit()
 		res.Fits = append(res.Fits, fit)
+		if opts.OnIteration != nil && opts.OnIteration(it, fit) {
+			break
+		}
 		if opts.Tol > 0 && it > 0 && math.Abs(fit-res.Fits[it-1]) < opts.Tol {
 			break
 		}

@@ -7,10 +7,12 @@
 package cpals
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"cstf/internal/la"
+	"cstf/internal/par"
 	"cstf/internal/rng"
 	"cstf/internal/tensor"
 )
@@ -112,6 +114,23 @@ type Options struct {
 	MaxIters int     // maximum ALS iterations
 	Tol      float64 // stop when fit improves less than Tol (0 disables)
 	Seed     uint64  // deterministic initialization seed
+
+	// Parallelism is the number of worker goroutines the shared-memory
+	// kernels (MTTKRP, grams, normalization, fit reductions) fan out to.
+	// <= 0 selects runtime.GOMAXPROCS(0). Results are bitwise identical
+	// for every value.
+	Parallelism int
+
+	// Ctx, when non-nil, is checked between ALS iterations; a cancelled
+	// context aborts the solve with the context's error. Every solver in
+	// this repository (serial, COO, QCOO, BigTensor) honors it.
+	Ctx context.Context
+
+	// OnIteration, when non-nil, is invoked after each completed ALS
+	// iteration with the iteration number (0-based) and the fit; a true
+	// return stops the solve early, keeping the factors computed so far.
+	// Solvers without per-iteration fits (BigTensor) report fit 0.
+	OnIteration func(iter int, fit float64) (stop bool)
 }
 
 // Validate normalizes and checks the options against a tensor.
@@ -126,6 +145,23 @@ func (o *Options) Validate(t *tensor.COO) error {
 		return fmt.Errorf("cpals: tensor has no nonzeros")
 	}
 	return nil
+}
+
+// Workers resolves the effective worker count.
+func (o *Options) Workers() int { return par.Workers(o.Parallelism) }
+
+// Interrupted reports the context's error if Ctx is set and cancelled.
+// Solvers call it between ALS iterations.
+func (o *Options) Interrupted() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Ctx.Done():
+		return o.Ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // ModelNormSq returns ||X_hat||_F^2 = lambda^T (hadamard of all grams) lambda.
@@ -159,6 +195,11 @@ func FitFrom(normX float64, lastM, lastFactor *la.Dense, lambda []float64, grams
 			inner += mrow[r] * arow[r] * lambda[r]
 		}
 	}
+	return fitFromInner(normX, inner, lambda, grams)
+}
+
+// fitFromInner finishes the fit computation once <X, X_hat> is known.
+func fitFromInner(normX, inner float64, lambda []float64, grams []*la.Dense) float64 {
 	modelSq := ModelNormSq(lambda, grams)
 	residSq := normX*normX + modelSq - 2*inner
 	if residSq < 0 {
@@ -189,54 +230,85 @@ func HadamardOfGramsExcept(grams []*la.Dense, mode int) *la.Dense {
 	return v
 }
 
-// Solve runs serial CP-ALS (Algorithm 1 generalized to N-order tensors).
-// It is the correctness reference for the distributed solvers and is exact
-// CP-ALS: MTTKRP, pseudo-inverse of the gram Hadamard, column
-// normalization, gram refresh, convergence on fit.
+// Solve runs shared-memory CP-ALS (Algorithm 1 generalized to N-order
+// tensors). It is the correctness reference for the distributed solvers and
+// is exact CP-ALS: MTTKRP, pseudo-inverse of the gram Hadamard, column
+// normalization, gram refresh, convergence on fit. Every numeric stage fans
+// out over opts.Parallelism worker goroutines with deterministic blocked
+// reductions, so the factors are bitwise identical for every worker count.
 func Solve(t *tensor.COO, opts Options) (*Result, error) {
 	if err := opts.Validate(t); err != nil {
 		return nil, err
 	}
 	order := t.Order()
 	rank := opts.Rank
+	w := opts.Workers()
 
 	factors := make([]*la.Dense, order)
 	grams := make([]*la.Dense, order)
 	for n := 0; n < order; n++ {
-		factors[n] = InitFactor(opts.Seed, n, t.Dims[n], rank)
-		grams[n] = factors[n].Gram()
+		factors[n] = initFactorWorkers(opts.Seed, n, t.Dims[n], rank, w)
+		grams[n] = la.GramParallel(factors[n], w)
 	}
 
 	normX := t.Norm()
 	res := &Result{Factors: factors}
 	var lambda []float64
 	var lastM *la.Dense
+	ws := &Workspace{}
 
 	for it := 0; it < opts.MaxIters; it++ {
+		if err := opts.Interrupted(); err != nil {
+			return nil, err
+		}
 		for n := 0; n < order; n++ {
-			m := MTTKRP(t, n, factors)
+			m := MTTKRPWorkers(t, n, factors, w, ws.Out(n, t.Dims[n], rank, w), ws)
 			v := HadamardOfGramsExcept(grams, n)
 			pinv := la.Pinv(v)
 			// A_n = M * pinv(V), row by row.
 			a := factors[n]
-			for i := 0; i < a.Rows; i++ {
-				la.VecMatInto(a.Row(i), m.Row(i), pinv)
-			}
-			lambda = a.NormalizeColumns()
-			grams[n] = a.Gram()
+			la.RowBlocksApply(w, a.Rows, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					la.VecMatInto(a.Row(i), m.Row(i), pinv)
+				}
+			})
+			lambda = la.NormalizeColumnsParallel(a, w)
+			grams[n] = la.GramParallel(a, w)
 			lastM = m
 		}
 		res.Iters = it + 1
-		fit := FitFrom(normX, lastM, factors[order-1], lambda, grams)
+		fit := FitFromWorkers(normX, lastM, factors[order-1], lambda, grams, w)
 		res.Fits = append(res.Fits, fit)
+		if opts.OnIteration != nil && opts.OnIteration(it, fit) {
+			break
+		}
 		if opts.Tol > 0 && it > 0 {
 			if math.Abs(fit-res.Fits[it-1]) < opts.Tol {
 				break
 			}
 		}
 	}
+	// The MTTKRP outputs of the final iteration alias the workspace; the
+	// last one feeds the fit above and factor updates have already
+	// consumed the rest, so nothing in Result retains ws.
 	res.Lambda = lambda
 	return res, nil
+}
+
+// initFactorWorkers fills the deterministic initial factor matrix on the
+// worker pool; FactorInitValue is elementwise, so any row partitioning
+// yields the identical matrix.
+func initFactorWorkers(seed uint64, mode, rows, rank, workers int) *la.Dense {
+	m := la.NewDense(rows, rank)
+	la.RowBlocksApply(workers, rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for r := range row {
+				row[r] = FactorInitValue(seed, mode, i, r)
+			}
+		}
+	})
+	return m
 }
 
 // SolveBest runs CP-ALS `restarts` times with different initialization

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // MaxOrder bounds the tensor order an Entry can carry. The paper evaluates
@@ -27,6 +28,9 @@ type Entry struct {
 type COO struct {
 	Dims    []int // size of each mode; len(Dims) is the order
 	Entries []Entry
+
+	mu      sync.Mutex   // guards modeIdx
+	modeIdx []*ModeIndex // lazily built per-mode sort/segment indexes
 }
 
 // New returns an empty tensor with the given mode sizes.
@@ -72,6 +76,7 @@ func (t *COO) Append(val float64, idx ...int) {
 	}
 	e.Val = val
 	t.Entries = append(t.Entries, e)
+	t.InvalidateIndex()
 }
 
 // Norm returns the Frobenius norm of the tensor.
@@ -107,6 +112,7 @@ func (t *COO) Sort() {
 	sort.Slice(t.Entries, func(i, j int) bool {
 		return Less(ord, &t.Entries[i], &t.Entries[j])
 	})
+	t.InvalidateIndex()
 }
 
 // DedupSum sorts the tensor and merges duplicate coordinates by summing
@@ -133,6 +139,7 @@ func (t *COO) DedupSum() {
 		out = append(out, cur)
 	}
 	t.Entries = out
+	t.InvalidateIndex()
 }
 
 // MaxModeSize returns the largest mode size (the "Max mode size" column of
