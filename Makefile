@@ -3,8 +3,9 @@
 GO ?= go
 
 # Packages that carry concurrency (worker pools, shared caches, simulated
-# cluster): these also run under the race detector in `make ci`.
-RACE_PKGS := ./internal/cpals ./internal/la ./internal/par ./internal/tensor ./internal/rdd ./internal/cluster
+# cluster) or fault-recovery paths: these also run under the race detector
+# in `make ci`.
+RACE_PKGS := ./internal/cpals ./internal/la ./internal/par ./internal/tensor ./internal/rdd ./internal/cluster ./internal/chaos ./internal/mapreduce ./internal/core
 
 .PHONY: ci fmt vet build test race bench
 

@@ -1,0 +1,136 @@
+package cstf
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"cstf/internal/la"
+)
+
+// Iteration-granular checkpointing. A checkpoint captures everything CP-ALS
+// needs to continue from an iteration boundary — the normalized factor
+// matrices, lambda, and the fit history — plus enough identity (algorithm,
+// rank, dims, seed) to reject a mismatched resume. Files are written with
+// gob encoding to a temp file and renamed into place, so a crash mid-write
+// never leaves a truncated checkpoint behind.
+
+// checkpointData is the on-disk checkpoint record.
+type checkpointData struct {
+	Algorithm string
+	Rank      int
+	Seed      uint64
+	Iter      int // completed ALS iterations (the StartIter to resume with)
+	Dims      []int
+	Lambda    []float64
+	Fits      []float64   // fit after each of the Iter completed iterations
+	Factors   [][]float64 // one row-major matrix per mode, Dims[n] x Rank
+}
+
+// checkpointFrom snapshots live solver state (which the checkpoint hook only
+// borrows) into an owned record.
+func checkpointFrom(alg Algorithm, rank int, seed uint64, iter int, dims []int, lambda []float64, factors []*la.Dense, fits []float64) *checkpointData {
+	cp := &checkpointData{
+		Algorithm: string(alg),
+		Rank:      rank,
+		Seed:      seed,
+		Iter:      iter,
+		Dims:      append([]int(nil), dims...),
+		Lambda:    la.VecClone(lambda),
+		Fits:      append([]float64(nil), fits...),
+	}
+	for _, f := range factors {
+		cp.Factors = append(cp.Factors, la.VecClone(f.Data))
+	}
+	return cp
+}
+
+// writeCheckpoint atomically replaces path with the encoded record.
+func writeCheckpoint(path string, cp *checkpointData) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("cstf: checkpoint: %w", err)
+	}
+	if err := gob.NewEncoder(f).Encode(cp); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cstf: checkpoint encode: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cstf: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cstf: checkpoint: %w", err)
+	}
+	return nil
+}
+
+func readCheckpoint(path string) (*checkpointData, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cstf: checkpoint: %w", err)
+	}
+	defer f.Close()
+	cp := &checkpointData{}
+	if err := gob.NewDecoder(f).Decode(cp); err != nil {
+		return nil, fmt.Errorf("cstf: checkpoint decode %s: %w", path, err)
+	}
+	return cp, nil
+}
+
+// DecomposeResume continues an interrupted run from the checkpoint at path.
+// It is DecomposeResumeContext with a background context.
+func DecomposeResume(t *Tensor, path string, o Options) (*Decomposition, error) {
+	return DecomposeResumeContext(context.Background(), t, path, o)
+}
+
+// DecomposeResumeContext loads the checkpoint at path, validates it against
+// the tensor and options (algorithm, rank, dims must match), and resumes the
+// solve at the checkpointed iteration. The options should match the original
+// run; MaxIters still bounds the TOTAL iteration count, so a run
+// checkpointed at iteration k executes at most MaxIters-k more. Because ALS
+// is a deterministic fixed-point iteration, the resumed run follows the
+// original trajectory and reaches the same final fit as an uninterrupted
+// solve. With CheckpointEvery/CheckpointPath still set, the resumed run
+// keeps checkpointing (typically over the same file).
+func DecomposeResumeContext(ctx context.Context, t *Tensor, path string, o Options) (*Decomposition, error) {
+	o = o.withDefaults()
+	cp, err := readCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	if cp.Algorithm != string(o.Algorithm) {
+		return nil, fmt.Errorf("cstf: checkpoint is for algorithm %q, options select %q", cp.Algorithm, o.Algorithm)
+	}
+	if cp.Rank != o.Rank {
+		return nil, fmt.Errorf("cstf: checkpoint rank %d != options rank %d", cp.Rank, o.Rank)
+	}
+	dims := t.Dims()
+	if len(cp.Dims) != len(dims) {
+		return nil, fmt.Errorf("cstf: checkpoint order %d != tensor order %d", len(cp.Dims), len(dims))
+	}
+	for n := range dims {
+		if cp.Dims[n] != dims[n] {
+			return nil, fmt.Errorf("cstf: checkpoint dims %v != tensor dims %v", cp.Dims, dims)
+		}
+	}
+	if len(cp.Factors) != len(dims) || len(cp.Lambda) != cp.Rank || cp.Iter <= 0 {
+		return nil, fmt.Errorf("cstf: malformed checkpoint %s", path)
+	}
+	rs := resumeState{
+		startIter: cp.Iter,
+		lambda:    cp.Lambda,
+		fits:      cp.Fits,
+	}
+	for n, data := range cp.Factors {
+		if len(data) != dims[n]*cp.Rank {
+			return nil, fmt.Errorf("cstf: checkpoint factor %d has %d values, want %d", n, len(data), dims[n]*cp.Rank)
+		}
+		rs.factors = append(rs.factors, la.NewDenseFrom(dims[n], cp.Rank, data))
+	}
+	return decompose(ctx, t, o, rs)
+}

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all|fig2|fig3|fig4|fig5|table4|table5|ablations|json")
+	exp := flag.String("exp", "all", "experiment to run: all|fig2|fig3|fig4|fig5|table4|table5|ablations|faults|json")
 	scale := flag.Float64("scale", 1e-3, "dataset scale in (0, 1]")
 	rank := flag.Int("rank", 2, "decomposition rank")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
@@ -157,6 +157,24 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(experiments.RenderAblationPartitions(parts))
+	}
+	if run("faults") {
+		ran = true
+		crashes, err := experiments.CrashSweep(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderCrashSweep(crashes))
+		stragglers, err := experiments.StragglerSweep(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderStragglerSweep(stragglers))
+		checkpoints, err := experiments.CheckpointSweep(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderCheckpointSweep(checkpoints))
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))

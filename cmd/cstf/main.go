@@ -39,6 +39,10 @@ func main() {
 	progress := flag.Bool("progress", false, "print the fit after every ALS iteration")
 	factors := flag.String("factors", "", "directory to write factor matrices (optional)")
 	trace := flag.String("trace", "", "write a Chrome trace of the modeled execution to this file")
+	chaosSpec := flag.String("chaos", "", `inject faults, e.g. "crashes=1,stragglers=2,slow=4,net=0.5,seed=7" (keys: crashes, disks, stragglers, slow, netdrops, net, horizon, spec, seed)`)
+	checkpoint := flag.String("checkpoint", "", "checkpoint file for -checkpoint-every / -resume")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "write -checkpoint after every N completed iterations (0 disables)")
+	resume := flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
 	flag.Parse()
 
 	if *list {
@@ -83,6 +87,20 @@ func main() {
 		o.WorkScale = 1 / *scale // report full-scale-equivalent modeled time
 	}
 	o.TracePath = *trace
+	if *chaosSpec != "" {
+		cs, err := parseChaos(*chaosSpec)
+		if err != nil {
+			fatal(err)
+		}
+		o.Chaos = cs
+	}
+	if *checkpointEvery > 0 || *resume {
+		if *checkpoint == "" {
+			fatal(fmt.Errorf("-checkpoint-every and -resume require -checkpoint"))
+		}
+	}
+	o.CheckpointEvery = *checkpointEvery
+	o.CheckpointPath = *checkpoint
 	if *progress {
 		o.OnIteration = func(iter int, fit float64) bool {
 			fmt.Printf("iter %3d  fit %.6f\n", iter+1, fit)
@@ -93,7 +111,12 @@ func main() {
 	// Ctrl-C aborts between ALS iterations with a clean error.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	dec, err := cstf.DecomposeContext(ctx, x, o)
+	var dec *cstf.Decomposition
+	if *resume {
+		dec, err = cstf.DecomposeResumeContext(ctx, x, *checkpoint, o)
+	} else {
+		dec, err = cstf.DecomposeContext(ctx, x, o)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -113,6 +136,34 @@ func main() {
 		if m.HadoopJobs > 0 {
 			fmt.Printf("  hadoop jobs:    %d\n", m.HadoopJobs)
 		}
+		if m.NodeCrashes > 0 || m.DiskFailures > 0 || m.TaskFailures > 0 ||
+			m.StragglerStages > 0 || m.CheckpointSeconds > 0 {
+			fmt.Println("fault tolerance:")
+			if m.NodeCrashes > 0 {
+				fmt.Printf("  node crashes:    %d (lost cache %.2f MB)\n", m.NodeCrashes, m.LostCacheBytes/1e6)
+			}
+			if m.DiskFailures > 0 {
+				fmt.Printf("  disk failures:   %d\n", m.DiskFailures)
+			}
+			if m.RecomputedPartitions > 0 {
+				fmt.Printf("  recomputed:      %d partitions from lineage\n", m.RecomputedPartitions)
+			}
+			if m.ReReplicatedBytes > 0 {
+				fmt.Printf("  re-replicated:   %.2f MB\n", m.ReReplicatedBytes/1e6)
+			}
+			if m.TaskFailures > 0 {
+				fmt.Printf("  task retries:    %d (stage retries %d)\n", m.TaskFailures, m.StageRetries)
+			}
+			if m.StragglerStages > 0 {
+				fmt.Printf("  straggler stages: %d (speculative tasks %d)\n", m.StragglerStages, m.SpeculativeTasks)
+			}
+			if m.RecoverySeconds > 0 {
+				fmt.Printf("  recovery time:   %.1f s\n", m.RecoverySeconds)
+			}
+			if m.CheckpointSeconds > 0 {
+				fmt.Printf("  checkpoint time: %.1f s\n", m.CheckpointSeconds)
+			}
+		}
 	}
 
 	if *factors != "" {
@@ -127,6 +178,48 @@ func main() {
 			fmt.Println("wrote", path)
 		}
 	}
+}
+
+// parseChaos parses the -chaos "key=value,key=value" spec.
+func parseChaos(s string) (*cstf.ChaosSpec, error) {
+	cs := &cstf.ChaosSpec{}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("-chaos: %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "crashes":
+			_, err = fmt.Sscanf(v, "%d", &cs.NodeCrashes)
+		case "disks":
+			_, err = fmt.Sscanf(v, "%d", &cs.DiskFailures)
+		case "stragglers":
+			_, err = fmt.Sscanf(v, "%d", &cs.Stragglers)
+		case "slow":
+			_, err = fmt.Sscanf(v, "%g", &cs.StragglerFactor)
+		case "netdrops":
+			_, err = fmt.Sscanf(v, "%d", &cs.NetDrops)
+		case "net":
+			_, err = fmt.Sscanf(v, "%g", &cs.NetFactor)
+		case "horizon":
+			_, err = fmt.Sscanf(v, "%d", &cs.HorizonStages)
+		case "spec":
+			_, err = fmt.Sscanf(v, "%g", &cs.Speculation)
+		case "seed":
+			_, err = fmt.Sscanf(v, "%d", &cs.Seed)
+		default:
+			return nil, fmt.Errorf("-chaos: unknown key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("-chaos: bad value for %q: %v", k, err)
+		}
+	}
+	return cs, nil
 }
 
 func writeFactor(path string, f *cstf.Matrix) error {

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"cstf/internal/bigtensor"
+	"cstf/internal/chaos"
 	"cstf/internal/cluster"
 	"cstf/internal/core"
 	"cstf/internal/cpals"
@@ -92,6 +93,45 @@ type Options struct {
 	// trace-event JSON (chrome://tracing, Perfetto) of the modeled
 	// execution timeline to this file.
 	TracePath string
+
+	// Chaos, when non-nil, injects a deterministic fault schedule into the
+	// simulated cluster: node crashes (recovered by lineage recomputation on
+	// the Spark engine, HDFS re-replication on the Hadoop engine), disk
+	// failures, per-node stragglers, and transient network degradation.
+	// Distributed algorithms only.
+	Chaos *ChaosSpec
+
+	// CheckpointEvery, with CheckpointPath, writes an iteration-granular
+	// checkpoint of the factor matrices after every CheckpointEvery-th
+	// completed ALS iteration. Distributed runs charge the replicated HDFS
+	// write to the "Checkpoint" phase. DecomposeResume restarts from the
+	// file.
+	CheckpointEvery int
+	CheckpointPath  string
+}
+
+// ChaosSpec configures deterministic fault injection. Events are scheduled
+// by a pure function of (Seed, event index) against the cluster's stage
+// clock, so a given spec replays bitwise-identically across runs and host
+// parallelism. Zero-valued fields keep the documented defaults.
+type ChaosSpec struct {
+	Seed          uint64 // fault-schedule seed (independent of Options.Seed)
+	HorizonStages uint64 // stages the events are spread over; default 100
+
+	NodeCrashes  int // executors lost (cache dropped, recovery charged)
+	DiskFailures int // HDFS block losses (executor survives)
+
+	Stragglers      int     // slow-node windows
+	StragglerFactor float64 // compute slowdown of a straggling node; default 4
+	StragglerStages uint64  // window length in stages; default Horizon/4+1
+
+	NetDrops  int     // degraded-network windows
+	NetFactor float64 // bandwidth multiplier while degraded; default 0.5
+	NetStages uint64  // window length in stages; default Horizon/4+1
+
+	// Speculation, when > 0, enables speculative execution for nodes whose
+	// slowdown is at least this threshold (Spark's spark.speculation).
+	Speculation float64
 }
 
 // NoTol disables the convergence test so exactly MaxIters iterations run.
@@ -156,6 +196,20 @@ type Metrics struct {
 	Flops         float64 // floating-point operations charged
 	HadoopJobs    int     // MapReduce jobs launched (BigTensor only)
 	SecondsByMode map[string]float64
+
+	// Fault-tolerance counters, nonzero only when Chaos or task-failure
+	// injection was active.
+	NodeCrashes          int     // node-crash faults delivered
+	DiskFailures         int     // disk-failure faults delivered
+	TaskFailures         int     // task attempts that failed and were retried
+	StageRetries         int     // full-stage re-executions
+	StragglerStages      int     // stages run with a straggling node
+	SpeculativeTasks     int     // tasks rescued by speculative execution
+	RecomputedPartitions int     // RDD partitions rebuilt from lineage
+	LostCacheBytes       float64 // cached bytes destroyed by crashes
+	ReReplicatedBytes    float64 // HDFS bytes copied to restore replication
+	RecoverySeconds      float64 // modeled time spent in recovery work
+	CheckpointSeconds    float64 // modeled time spent writing checkpoints
 }
 
 // Decomposition is a computed CP model [lambda; A_1 ... A_N].
@@ -242,10 +296,34 @@ func Decompose(t *Tensor, o Options) (*Decomposition, error) {
 // ctx for cancellation between ALS iterations: a cancelled context aborts
 // the run and returns ctx's error. All four algorithms honor it.
 func DecomposeContext(ctx context.Context, t *Tensor, o Options) (*Decomposition, error) {
-	o = o.withDefaults()
+	return decompose(ctx, t, o.withDefaults(), resumeState{})
+}
+
+// resumeState carries a loaded checkpoint into the solver options.
+type resumeState struct {
+	startIter int
+	factors   []*la.Dense
+	lambda    []float64
+	fits      []float64
+}
+
+func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Decomposition, error) {
 	opts := cpals.Options{
 		Rank: o.Rank, MaxIters: o.MaxIters, Tol: o.Tol, Seed: o.Seed,
 		Parallelism: o.Parallelism, Ctx: ctx, OnIteration: o.OnIteration,
+		StartIter: rs.startIter, InitFactors: rs.factors,
+		InitLambda: rs.lambda, InitFits: rs.fits,
+	}
+	if o.CheckpointEvery > 0 && o.CheckpointPath != "" {
+		opts.CheckpointEvery = o.CheckpointEvery
+		alg, rank, seed, dims := o.Algorithm, o.Rank, o.Seed, t.Dims()
+		path := o.CheckpointPath
+		opts.OnCheckpoint = func(iter int, lambda []float64, factors []*la.Dense, fits []float64) error {
+			return writeCheckpoint(path, checkpointFrom(alg, rank, seed, iter, dims, lambda, factors, fits))
+		}
+	}
+	if o.Chaos != nil && o.Algorithm == Serial {
+		return nil, fmt.Errorf("cstf: chaos injection requires a distributed algorithm")
 	}
 
 	profile := cluster.CometProfile()
@@ -257,6 +335,12 @@ func DecomposeContext(ctx context.Context, t *Tensor, o Options) (*Decomposition
 		c.SetWorkScale(o.WorkScale)
 		if o.TracePath != "" {
 			c.EnableTrace()
+		}
+		if o.Chaos != nil {
+			c.SetFaultInjector(chaosPlan(o.Chaos, o.Nodes))
+			if o.Chaos.Speculation > 0 {
+				c.EnableSpeculation(o.Chaos.Speculation)
+			}
 		}
 		return c
 	}
@@ -270,14 +354,17 @@ func DecomposeContext(ctx context.Context, t *Tensor, o Options) (*Decomposition
 	case COO:
 		c = newCluster()
 		rctx := rdd.NewContext(c, o.Nodes*profile.CoresPerNode)
+		rctx.EnableRecovery()
 		res, err = core.SolveCOO(rctx, t.coo, opts)
 	case QCOO:
 		c = newCluster()
 		rctx := rdd.NewContext(c, o.Nodes*profile.CoresPerNode)
+		rctx.EnableRecovery()
 		res, err = core.SolveQCOO(rctx, t.coo, opts)
 	case BigTensor:
 		c = newCluster()
 		env := mapreduce.NewEnv(c, o.Nodes*profile.CoresPerNode)
+		env.EnableRecovery()
 		res, err = bigtensor.Solve(env, t.coo, opts)
 	default:
 		return nil, fmt.Errorf("cstf: unknown algorithm %q", o.Algorithm)
@@ -318,9 +405,37 @@ func DecomposeContext(ctx context.Context, t *Tensor, o Options) (*Decomposition
 			Flops:         m.TotalFlops(),
 			HadoopJobs:    m.Jobs,
 			SecondsByMode: m.SimTime,
+
+			NodeCrashes:          m.NodeCrashes,
+			DiskFailures:         m.DiskFailures,
+			TaskFailures:         m.TaskFailures,
+			StageRetries:         m.StageRetries,
+			StragglerStages:      m.StragglerStages,
+			SpeculativeTasks:     m.SpeculativeTasks,
+			RecomputedPartitions: m.RecomputedPartitions,
+			LostCacheBytes:       m.LostCacheBytes,
+			ReReplicatedBytes:    m.ReReplicatedBytes,
+			RecoverySeconds:      m.SimTime[cluster.PhaseRecovery],
+			CheckpointSeconds:    m.SimTime[cluster.PhaseCheckpoint],
 		}
 	}
 	return out, nil
+}
+
+// chaosPlan translates the public spec into the internal fault plan.
+func chaosPlan(cs *ChaosSpec, nodes int) *chaos.FaultPlan {
+	return chaos.NewPlan(cs.Seed, chaos.Spec{
+		Nodes:           nodes,
+		Horizon:         cs.HorizonStages,
+		Crashes:         cs.NodeCrashes,
+		DiskFailures:    cs.DiskFailures,
+		Stragglers:      cs.Stragglers,
+		StragglerFactor: cs.StragglerFactor,
+		StragglerStages: cs.StragglerStages,
+		NetDrops:        cs.NetDrops,
+		NetFactor:       cs.NetFactor,
+		NetStages:       cs.NetStages,
+	})
 }
 
 // DecomposeBest runs Decompose `restarts` times with initialization seeds

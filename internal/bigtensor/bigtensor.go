@@ -105,6 +105,47 @@ func ones(n int) []float64 {
 	return v
 }
 
+// NewFromFactors rebuilds a Solver from checkpointed state: the tensor is
+// re-uploaded and the NORMALIZED factors written to HDFS as-is (scales of 1),
+// with their grams recomputed on the driver. Because BIGtensor's iteration
+// state is exactly {tensor, factors, scales, grams}, a restored solver
+// continues the original ALS trajectory.
+func NewFromFactors(env *mapreduce.Env, t *tensor.COO, rank int, factors []*la.Dense, lambda []float64) (*Solver, error) {
+	if t.Order() != 3 {
+		return nil, fmt.Errorf("bigtensor: only 3rd-order tensors are supported (got order %d)", t.Order())
+	}
+	if len(factors) != 3 {
+		return nil, fmt.Errorf("bigtensor: %d factors for an order-3 tensor", len(factors))
+	}
+	env.C.SetPhase("Other")
+	s := &Solver{
+		env:    env,
+		dims:   append([]int(nil), t.Dims...),
+		rank:   rank,
+		normX:  t.Norm(),
+		lambda: la.VecClone(lambda),
+	}
+	s.tf = mapreduce.WriteFile(env, "tensor", t.Entries,
+		func(tensor.Entry) int { return tensor.EntryBytes(3) })
+	rowSize := func(frow) int { return 8 * (1 + rank) }
+	for n := 0; n < 3; n++ {
+		f := factors[n]
+		if f == nil || f.Rows != t.Dims[n] || f.Cols != rank {
+			return nil, fmt.Errorf("bigtensor: factors[%d] must be %dx%d", n, t.Dims[n], rank)
+		}
+		f = f.Clone()
+		rows := make([]frow, f.Rows)
+		for i := range rows {
+			rows[i] = frow{Idx: uint32(i), Vec: f.Row(i)}
+		}
+		s.ff = append(s.ff, mapreduce.WriteFile(env, fmt.Sprintf("factor-%d", n), rows, rowSize))
+		s.scales = append(s.scales, ones(rank))
+		s.grams = append(s.grams, f.Gram())
+		env.C.ChargeDriver(float64(t.Dims[n] * rank * rank))
+	}
+	return s, nil
+}
+
 // joinMsg is the tagged-union value of the reduce-side joins in jobs 1-2.
 type joinMsg struct {
 	isRow bool
@@ -339,23 +380,41 @@ func Solve(env *mapreduce.Env, t *tensor.COO, opts cpals.Options) (*cpals.Result
 	if err := opts.Validate(t); err != nil {
 		return nil, err
 	}
-	s, err := New(env, t, opts.Rank, opts.Seed)
+	var s *Solver
+	var err error
+	if opts.InitFactors != nil {
+		s, err = NewFromFactors(env, t, opts.Rank, opts.InitFactors, opts.InitLambda)
+	} else {
+		s, err = New(env, t, opts.Rank, opts.Seed)
+	}
 	if err != nil {
 		return nil, err
 	}
-	iters := 0
-	for it := 0; it < opts.MaxIters; it++ {
+	if err := env.Err(); err != nil {
+		return nil, err
+	}
+	iters := opts.StartIter
+	for it := opts.StartIter; it < opts.MaxIters; it++ {
 		if err := opts.Interrupted(); err != nil {
 			return nil, err
 		}
 		for n := 0; n < 3; n++ {
 			s.Step(n)
+			if err := env.Err(); err != nil {
+				return nil, err
+			}
 		}
 		iters = it + 1
 		// BIGtensor has no cheap in-band fit; report 0 so progress
 		// callbacks can still count and stop iterations.
 		if opts.OnIteration != nil && opts.OnIteration(it, 0) {
 			break
+		}
+		if opts.CheckpointEvery > 0 && opts.OnCheckpoint != nil && (it+1)%opts.CheckpointEvery == 0 {
+			env.C.ChargeCheckpointWrite(checkpointBytes(s.dims, s.rank))
+			if err := opts.OnCheckpoint(it+1, s.lambda, s.Factors(), nil); err != nil {
+				return nil, err
+			}
 		}
 	}
 	res := &cpals.Result{
@@ -365,6 +424,16 @@ func Solve(env *mapreduce.Env, t *tensor.COO, opts cpals.Options) (*cpals.Result
 	}
 	res.Fits = []float64{driverFit(t, res)}
 	return res, nil
+}
+
+// checkpointBytes is the serialized size of one factor-set checkpoint (all
+// factor matrices plus lambda, 8 bytes per element).
+func checkpointBytes(dims []int, rank int) float64 {
+	var bytes float64
+	for _, d := range dims {
+		bytes += float64(d) * float64(rank) * 8
+	}
+	return bytes + float64(rank)*8
 }
 
 // driverFit evaluates the model fit with a driver-side pass over the

@@ -1,0 +1,275 @@
+// Package chaos builds deterministic fault schedules for the simulated
+// cluster. A FaultPlan is a seeded list of events — node crashes, per-node
+// stragglers, transient network degradation, and HDFS disk failures —
+// pinned to the cluster's stage clock rather than wall time, so the same
+// plan replays bitwise-identically across runs and across host-parallelism
+// settings. The plan implements cluster.FaultInjector: permanent faults
+// (crashes, disk failures) are delivered exactly once at the first stage
+// boundary at or past their scheduled stage, while transient conditions
+// (stragglers, slow networks) apply to every stage inside their window.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cstf/internal/cluster"
+	"cstf/internal/rng"
+)
+
+// Kind enumerates the fault types a plan can schedule.
+type Kind int
+
+const (
+	// NodeCrash kills a node's executor at a stage boundary: its cached
+	// partitions are lost and must be recomputed from lineage (rdd) and its
+	// HDFS block replicas re-replicated (mapreduce). Delivered once.
+	NodeCrash Kind = iota
+	// Straggler slows one node's execution by Factor for Duration stages.
+	Straggler
+	// NetDegrade multiplies every node's shuffle-fetch bandwidth by Factor
+	// (in (0,1)) for Duration stages.
+	NetDegrade
+	// DiskFailure destroys the HDFS block replicas stored on one node; the
+	// executor itself survives. Delivered once.
+	DiskFailure
+)
+
+func (k Kind) String() string {
+	switch k {
+	case NodeCrash:
+		return "node-crash"
+	case Straggler:
+		return "straggler"
+	case NetDegrade:
+		return "net-degrade"
+	case DiskFailure:
+		return "disk-failure"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault. Stage is the 1-based stage-sequence number
+// it targets (permanent faults fire at the boundary before that stage;
+// transient ones cover stages [Stage, Stage+Duration)).
+type Event struct {
+	Kind     Kind
+	Stage    uint64
+	Node     int     // target node (NodeCrash, Straggler, DiskFailure)
+	Factor   float64 // slowdown multiplier (>1) or bandwidth multiplier (<1)
+	Duration uint64  // window length in stages (transient kinds only)
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case NodeCrash, DiskFailure:
+		return fmt.Sprintf("%v node=%d @stage %d", e.Kind, e.Node, e.Stage)
+	case Straggler:
+		return fmt.Sprintf("%v node=%d x%.2g @stages [%d,%d)", e.Kind, e.Node, e.Factor, e.Stage, e.Stage+e.Duration)
+	default:
+		return fmt.Sprintf("%v x%.2g @stages [%d,%d)", e.Kind, e.Factor, e.Stage, e.Stage+e.Duration)
+	}
+}
+
+// FaultPlan is an immutable fault schedule plus delivery state. The zero
+// value is an empty plan (no faults). A plan must not be shared between
+// clusters: delivery state is per-run. Use Clone for a fresh replay.
+type FaultPlan struct {
+	Seed   uint64
+	Events []Event
+
+	mu        sync.Mutex
+	delivered []bool // per event, for permanent kinds
+}
+
+var _ cluster.FaultInjector = (*FaultPlan)(nil)
+
+// Spec parameterizes NewPlan's random schedule.
+type Spec struct {
+	Nodes   int    // cluster size events target
+	Horizon uint64 // stages the schedule spreads over (e.g. a run's stage count)
+
+	Crashes         int     // node crashes to schedule
+	Stragglers      int     // straggler windows to schedule
+	StragglerFactor float64 // slowdown multiplier (default 4)
+	StragglerStages uint64  // straggler window length (default Horizon/4)
+	NetDrops        int     // network degradation windows
+	NetFactor       float64 // bandwidth multiplier in (0,1) (default 0.5)
+	NetStages       uint64  // degradation window length (default Horizon/4)
+	DiskFailures    int     // HDFS disk failures to schedule
+}
+
+func (s *Spec) withDefaults() Spec {
+	out := *s
+	if out.Nodes <= 0 {
+		out.Nodes = 1
+	}
+	if out.Horizon == 0 {
+		out.Horizon = 100
+	}
+	if out.StragglerFactor <= 1 {
+		out.StragglerFactor = 4
+	}
+	if out.StragglerStages == 0 {
+		out.StragglerStages = out.Horizon/4 + 1
+	}
+	if out.NetFactor <= 0 || out.NetFactor >= 1 {
+		out.NetFactor = 0.5
+	}
+	if out.NetStages == 0 {
+		out.NetStages = out.Horizon/4 + 1
+	}
+	return out
+}
+
+// NewPlan builds a deterministic schedule from (seed, spec): event stages
+// and target nodes are drawn with the repo's stateless counter rng, then
+// sorted by stage. Identical (seed, spec) always produce an identical plan.
+func NewPlan(seed uint64, spec Spec) *FaultPlan {
+	s := spec.withDefaults()
+	p := &FaultPlan{Seed: seed}
+	draw := func(kind, i uint64, span uint64) uint64 {
+		if span == 0 {
+			return 0
+		}
+		return uint64(rng.UniformAt(seed, 0xC4A05, kind, i) * float64(span))
+	}
+	node := func(kind, i uint64) int {
+		return int(rng.UniformAt(seed, 0xC4A06, kind, i) * float64(s.Nodes))
+	}
+	for i := 0; i < s.Crashes; i++ {
+		p.Events = append(p.Events, Event{
+			Kind:  NodeCrash,
+			Stage: 1 + draw(uint64(NodeCrash), uint64(i), s.Horizon),
+			Node:  node(uint64(NodeCrash), uint64(i)),
+		})
+	}
+	for i := 0; i < s.Stragglers; i++ {
+		p.Events = append(p.Events, Event{
+			Kind:     Straggler,
+			Stage:    1 + draw(uint64(Straggler), uint64(i), s.Horizon),
+			Node:     node(uint64(Straggler), uint64(i)),
+			Factor:   s.StragglerFactor,
+			Duration: s.StragglerStages,
+		})
+	}
+	for i := 0; i < s.NetDrops; i++ {
+		p.Events = append(p.Events, Event{
+			Kind:     NetDegrade,
+			Stage:    1 + draw(uint64(NetDegrade), uint64(i), s.Horizon),
+			Factor:   s.NetFactor,
+			Duration: s.NetStages,
+		})
+	}
+	for i := 0; i < s.DiskFailures; i++ {
+		p.Events = append(p.Events, Event{
+			Kind:  DiskFailure,
+			Stage: 1 + draw(uint64(DiskFailure), uint64(i), s.Horizon),
+			Node:  node(uint64(DiskFailure), uint64(i)),
+		})
+	}
+	sortEvents(p.Events)
+	return p
+}
+
+// NewPlanFromEvents builds a plan from an explicit event list (tests and
+// experiments use this to pin a crash to an exact stage).
+func NewPlanFromEvents(events ...Event) *FaultPlan {
+	p := &FaultPlan{Events: append([]Event(nil), events...)}
+	sortEvents(p.Events)
+	return p
+}
+
+func sortEvents(ev []Event) {
+	sort.SliceStable(ev, func(i, j int) bool { return ev[i].Stage < ev[j].Stage })
+}
+
+// Clone returns a copy of the plan with fresh (undelivered) state, for
+// replaying the same schedule on another cluster.
+func (p *FaultPlan) Clone() *FaultPlan {
+	return &FaultPlan{Seed: p.Seed, Events: append([]Event(nil), p.Events...)}
+}
+
+// Validate reports the first structurally invalid event, if any.
+func (p *FaultPlan) Validate(nodes int) error {
+	for i, e := range p.Events {
+		switch e.Kind {
+		case NodeCrash, DiskFailure:
+			if e.Node < 0 || (nodes > 0 && e.Node >= nodes) {
+				return fmt.Errorf("chaos: event %d (%v): node %d out of range [0,%d)", i, e.Kind, e.Node, nodes)
+			}
+		case Straggler:
+			if e.Node < 0 || (nodes > 0 && e.Node >= nodes) {
+				return fmt.Errorf("chaos: event %d (%v): node %d out of range [0,%d)", i, e.Kind, e.Node, nodes)
+			}
+			if e.Factor <= 1 {
+				return fmt.Errorf("chaos: event %d (%v): slowdown factor %g must be > 1", i, e.Kind, e.Factor)
+			}
+		case NetDegrade:
+			if e.Factor <= 0 || e.Factor >= 1 {
+				return fmt.Errorf("chaos: event %d (%v): bandwidth factor %g must be in (0,1)", i, e.Kind, e.Factor)
+			}
+		default:
+			return fmt.Errorf("chaos: event %d: unknown kind %d", i, int(e.Kind))
+		}
+	}
+	return nil
+}
+
+// TakeFaults implements cluster.FaultInjector: it pops every undelivered
+// NodeCrash and DiskFailure scheduled at or before stage seq. Each event is
+// delivered exactly once for the lifetime of the plan.
+func (p *FaultPlan) TakeFaults(seq uint64) (crashedNodes, failedDisks []int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.delivered == nil {
+		p.delivered = make([]bool, len(p.Events))
+	}
+	for i, e := range p.Events {
+		if p.delivered[i] || e.Stage > seq {
+			continue
+		}
+		switch e.Kind {
+		case NodeCrash:
+			p.delivered[i] = true
+			crashedNodes = append(crashedNodes, e.Node)
+		case DiskFailure:
+			p.delivered[i] = true
+			failedDisks = append(failedDisks, e.Node)
+		}
+	}
+	return crashedNodes, failedDisks
+}
+
+// StageConditions implements cluster.FaultInjector: a pure function of
+// (seq, nodes) reporting the transient conditions stage seq runs under.
+// Overlapping windows compose multiplicatively.
+func (p *FaultPlan) StageConditions(seq uint64, nodes int) ([]float64, float64) {
+	var slow []float64
+	net := 1.0
+	for _, e := range p.Events {
+		if seq < e.Stage || seq >= e.Stage+e.Duration {
+			continue
+		}
+		switch e.Kind {
+		case Straggler:
+			if e.Node < 0 || e.Node >= nodes || e.Factor <= 1 {
+				continue
+			}
+			if slow == nil {
+				slow = make([]float64, nodes)
+				for i := range slow {
+					slow[i] = 1
+				}
+			}
+			slow[e.Node] *= e.Factor
+		case NetDegrade:
+			if e.Factor > 0 && e.Factor < 1 {
+				net *= e.Factor
+			}
+		}
+	}
+	return slow, net
+}

@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNewPlanDeterministic(t *testing.T) {
+	spec := Spec{Nodes: 8, Horizon: 40, Crashes: 2, Stragglers: 3, NetDrops: 1, DiskFailures: 2}
+	a := NewPlan(7, spec)
+	b := NewPlan(7, spec)
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatalf("same seed/spec produced different plans:\n%v\n%v", a.Events, b.Events)
+	}
+	c := NewPlan(8, spec)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatalf("different seeds produced identical plans")
+	}
+	if err := a.Validate(spec.Nodes); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	for i := 1; i < len(a.Events); i++ {
+		if a.Events[i].Stage < a.Events[i-1].Stage {
+			t.Fatalf("events not sorted by stage: %v", a.Events)
+		}
+	}
+}
+
+func TestTakeFaultsDeliversOnce(t *testing.T) {
+	p := NewPlanFromEvents(
+		Event{Kind: NodeCrash, Stage: 3, Node: 1},
+		Event{Kind: DiskFailure, Stage: 5, Node: 2},
+		Event{Kind: NodeCrash, Stage: 9, Node: 0},
+	)
+	if cr, dk := p.TakeFaults(2); len(cr) != 0 || len(dk) != 0 {
+		t.Fatalf("stage 2 should deliver nothing, got crashes=%v disks=%v", cr, dk)
+	}
+	// Stage 6 is past both stage-3 and stage-5 events: late delivery still
+	// happens, once.
+	cr, dk := p.TakeFaults(6)
+	if len(cr) != 1 || cr[0] != 1 || len(dk) != 1 || dk[0] != 2 {
+		t.Fatalf("stage 6 delivery wrong: crashes=%v disks=%v", cr, dk)
+	}
+	if cr, dk = p.TakeFaults(6); len(cr) != 0 || len(dk) != 0 {
+		t.Fatalf("redelivery: crashes=%v disks=%v", cr, dk)
+	}
+	if cr, _ = p.TakeFaults(100); len(cr) != 1 || cr[0] != 0 {
+		t.Fatalf("stage 100 should deliver the stage-9 crash, got %v", cr)
+	}
+}
+
+func TestStageConditionsWindowsAndPurity(t *testing.T) {
+	p := NewPlanFromEvents(
+		Event{Kind: Straggler, Stage: 4, Node: 1, Factor: 3, Duration: 2},
+		Event{Kind: Straggler, Stage: 5, Node: 1, Factor: 2, Duration: 2},
+		Event{Kind: NetDegrade, Stage: 4, Factor: 0.5, Duration: 1},
+	)
+	if slow, net := p.StageConditions(3, 4); slow != nil || net != 1 {
+		t.Fatalf("stage 3 should be clean, got slow=%v net=%g", slow, net)
+	}
+	slow, net := p.StageConditions(4, 4)
+	if slow == nil || slow[1] != 3 || net != 0.5 {
+		t.Fatalf("stage 4: slow=%v net=%g", slow, net)
+	}
+	// Overlap at stage 5 composes multiplicatively; the net window ended.
+	slow, net = p.StageConditions(5, 4)
+	if slow == nil || slow[1] != 6 || net != 1 {
+		t.Fatalf("stage 5: slow=%v net=%g", slow, net)
+	}
+	// Purity: repeated queries (and queries after TakeFaults) are identical.
+	p.TakeFaults(10)
+	slow2, net2 := p.StageConditions(5, 4)
+	if !reflect.DeepEqual(slow, slow2) || net != net2 {
+		t.Fatalf("StageConditions not pure: %v/%g vs %v/%g", slow, net, slow2, net2)
+	}
+}
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	cases := []Event{
+		{Kind: NodeCrash, Stage: 1, Node: 9},
+		{Kind: Straggler, Stage: 1, Node: 0, Factor: 0.5, Duration: 1},
+		{Kind: NetDegrade, Stage: 1, Factor: 1.5, Duration: 1},
+		{Kind: Kind(42), Stage: 1},
+	}
+	for _, e := range cases {
+		if err := NewPlanFromEvents(e).Validate(4); err == nil {
+			t.Errorf("Validate accepted bad event %+v", e)
+		}
+	}
+	ok := NewPlanFromEvents(
+		Event{Kind: NodeCrash, Stage: 1, Node: 3},
+		Event{Kind: Straggler, Stage: 2, Node: 0, Factor: 2, Duration: 5},
+		Event{Kind: NetDegrade, Stage: 3, Factor: 0.25, Duration: 5},
+	)
+	if err := ok.Validate(4); err != nil {
+		t.Errorf("Validate rejected good plan: %v", err)
+	}
+}
+
+func TestCloneResetsDelivery(t *testing.T) {
+	p := NewPlanFromEvents(Event{Kind: NodeCrash, Stage: 2, Node: 0})
+	if cr, _ := p.TakeFaults(5); len(cr) != 1 {
+		t.Fatalf("expected delivery, got %v", cr)
+	}
+	q := p.Clone()
+	if cr, _ := q.TakeFaults(5); len(cr) != 1 {
+		t.Fatalf("clone should redeliver, got %v", cr)
+	}
+	if cr, _ := p.TakeFaults(5); len(cr) != 0 {
+		t.Fatalf("original should stay delivered, got %v", cr)
+	}
+}

@@ -1,0 +1,73 @@
+package chaos
+
+import "testing"
+
+// FuzzFaultPlan checks the FaultInjector contract over arbitrary seeds and
+// specs: generated plans validate, every permanent event is delivered
+// exactly once regardless of the query schedule, and StageConditions is a
+// pure in-bounds function of (seq, nodes).
+func FuzzFaultPlan(f *testing.F) {
+	f.Add(uint64(1), 4, uint64(20), 1, 1, 1, 1)
+	f.Add(uint64(42), 8, uint64(100), 3, 2, 2, 3)
+	f.Add(uint64(0), 1, uint64(0), 0, 0, 0, 0)
+	f.Fuzz(func(t *testing.T, seed uint64, nodes int, horizon uint64, crashes, stragglers, netDrops, disks int) {
+		if nodes < 0 || nodes > 64 || horizon > 1<<16 {
+			t.Skip()
+		}
+		clamp := func(n int) int {
+			if n < 0 {
+				return 0
+			}
+			if n > 8 {
+				return 8
+			}
+			return n
+		}
+		spec := Spec{
+			Nodes: nodes, Horizon: horizon,
+			Crashes: clamp(crashes), Stragglers: clamp(stragglers),
+			NetDrops: clamp(netDrops), DiskFailures: clamp(disks),
+		}
+		p := NewPlan(seed, spec)
+		effNodes := spec.withDefaults().Nodes
+		if err := p.Validate(effNodes); err != nil {
+			t.Fatalf("generated plan invalid: %v", err)
+		}
+		want := spec.Crashes + spec.DiskFailures
+
+		// Deliver through an adversarial query schedule: odd steps first,
+		// then a catch-all. Total deliveries must equal the permanent events.
+		got := 0
+		for seq := uint64(1); seq <= spec.withDefaults().Horizon+2; seq += 2 {
+			cr, dk := p.TakeFaults(seq)
+			got += len(cr) + len(dk)
+		}
+		cr, dk := p.TakeFaults(1 << 62)
+		got += len(cr) + len(dk)
+		if got != want {
+			t.Fatalf("delivered %d permanent events, scheduled %d", got, want)
+		}
+		if cr, dk = p.TakeFaults(1 << 62); len(cr)+len(dk) != 0 {
+			t.Fatalf("redelivery after drain: %v %v", cr, dk)
+		}
+
+		for seq := uint64(1); seq < 40; seq++ {
+			s1, n1 := p.StageConditions(seq, effNodes)
+			s2, n2 := p.StageConditions(seq, effNodes)
+			if n1 != n2 || len(s1) != len(s2) {
+				t.Fatalf("StageConditions impure at seq %d", seq)
+			}
+			if n1 <= 0 || n1 > 1 {
+				t.Fatalf("net factor %g out of (0,1] at seq %d", n1, seq)
+			}
+			for i := range s1 {
+				if s1[i] != s2[i] {
+					t.Fatalf("StageConditions impure at seq %d node %d", seq, i)
+				}
+				if s1[i] < 1 {
+					t.Fatalf("slowdown %g < 1 at seq %d node %d", s1[i], seq, i)
+				}
+			}
+		}
+	})
+}

@@ -41,6 +41,13 @@ type Cluster struct {
 	tracing     bool
 	trace       []TraceEvent
 
+	injector      FaultInjector // scheduled faults (see fault.go), may be nil
+	inFault       bool          // suppress fault delivery during recovery stages
+	specThreshold float64       // speculative execution threshold (0 = off)
+	crashFns      []func(node int)
+	diskFns       []func(node int)
+	abortErr      error // sticky job-abort error (*StageFailure, *DataLoss)
+
 	pool chan struct{} // host-side worker tokens for Parallel
 }
 
@@ -182,12 +189,16 @@ func (c *Cluster) CachedBytes() float64 {
 //	          + remote/NetBandwidth + local/LocalBW + disk/DiskBW
 //	          + TaskOverhead * ceil(tasks(n)/Cores)
 //	stageTime = max_n busy(n) + [wide] (SchedBase + SchedPerNode*Nodes)
+//
+// Fault handling: scheduled faults (SetFaultInjector) are delivered at the
+// stage boundary before accounting begins; per-node slowdowns and network
+// degradation from the injector apply to the stage's busy times; and if a
+// task exhausts its retry budget the whole stage is re-executed up to
+// maxStageAttempts times (each failed attempt paying its cost plus
+// Profile.StageRetryBackoff) before the job aborts with a *StageFailure.
 func (c *Cluster) RunStage(wide bool, tasks []Task) {
+	c.deliverFaults()
 	p := c.Profile
-	type nodeAcc struct {
-		flops, records, remote, local, disk float64
-		tasks                               int
-	}
 	acc := make([]nodeAcc, c.Nodes)
 	var flopsTot, recTot, remoteTot, localTot, diskTot float64
 	for _, t := range tasks {
@@ -211,49 +222,52 @@ func (c *Cluster) RunStage(wide bool, tasks []Task) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stageSeq++
-	if c.failRate > 0 {
-		// Deterministically re-execute failed tasks: attempt i of task t
-		// fails while U(seed, stage, t, i) < rate, up to 3 retries. The
-		// retried attempts add their full cost back onto the task's node.
-		for ti := range tasks {
-			t := &tasks[ti]
-			retries := 0
-			for attempt := 0; attempt < 3; attempt++ {
-				if rng.UniformAt(c.failSeed, c.stageSeq, uint64(ti), uint64(attempt)) >= c.failRate {
-					break
-				}
-				retries++
-			}
-			if retries > 0 {
-				r := float64(retries)
-				a := &acc[t.Node]
-				a.flops += t.Flops * r
-				a.records += t.Records * r
-				a.remote += t.RemoteBytes * r
-				a.local += t.LocalBytes * r
-				a.disk += t.DiskBytes * r
-				c.metrics.TaskFailures += retries
+
+	slow, netFactor := []float64(nil), 1.0
+	if c.injector != nil {
+		slow, netFactor = c.injector.StageConditions(c.stageSeq, c.Nodes)
+		if netFactor <= 0 || netFactor > 1 {
+			netFactor = 1
+		}
+		anySlow := false
+		for _, s := range slow {
+			if s > 1 {
+				anySlow = true
+				break
 			}
 		}
-	}
-	cores := float64(p.CoresPerNode)
-	ws := c.workScale
-	var maxBusy float64
-	for n := 0; n < c.Nodes; n++ {
-		a := acc[n]
-		if a.tasks == 0 {
-			continue
+		if anySlow {
+			c.metrics.StragglerStages++
+			c.recordTrace("straggler", false, c.simTime, 0, len(tasks), 0, 0, 0)
 		}
-		gc := 1 + p.GCCoeff*ws*c.cachedBytes[n]/p.NodeMemory
-		busy := ws * ((a.flops/p.CoreFlops+a.records*p.RecordCost)/cores*gc +
-			a.remote/p.NetBandwidth + a.local/p.LocalBW + a.disk/p.DiskBW)
-		waves := (a.tasks + p.CoresPerNode - 1) / p.CoresPerNode
-		busy += p.TaskOverhead * float64(waves)
-		if busy > maxBusy {
-			maxBusy = busy
+		if netFactor < 1 {
+			c.recordTrace("net-degraded", false, c.simTime, 0, len(tasks), 0, 0, 0)
 		}
 	}
-	t := maxBusy
+
+	var busy float64
+	for sa := 0; sa < maxStageAttempts; sa++ {
+		b, dead := c.runAttempt(sa, wide, tasks, acc, slow, netFactor)
+		busy = b
+		if !dead {
+			break
+		}
+		c.metrics.StageRetries++
+		if sa == maxStageAttempts-1 {
+			// Out of stage attempts: the job aborts. The final attempt is
+			// still charged below so the clock and trace stay consistent.
+			if c.abortErr == nil {
+				c.abortErr = &StageFailure{Stage: c.stageSeq, Phase: c.phase, Wide: wide}
+			}
+			break
+		}
+		d := b + p.StageRetryBackoff
+		c.recordTrace("stage-retry", wide, c.simTime, d, len(tasks), 0, 0, 0)
+		c.simTime += d
+		c.metrics.SimTime[c.phase] += d
+	}
+
+	t := busy
 	if wide {
 		t += p.SchedBase + p.SchedPerNode*float64(c.Nodes)
 		c.metrics.Shuffles[c.phase]++
@@ -271,18 +285,119 @@ func (c *Cluster) RunStage(wide bool, tasks []Task) {
 	c.metrics.Tasks += len(tasks)
 }
 
+type nodeAcc struct {
+	flops, records, remote, local, disk float64
+	tasks                               int
+}
+
+// runAttempt prices one execution attempt of a stage: deterministic task
+// retries (attempt sa uses rng keys sa*attemptStride+0..maxTaskRetries, so
+// attempt 0 reproduces the historical draw sequence), injector slowdowns,
+// network degradation, and speculative backups on straggling nodes. It
+// returns the attempt's wall time and whether some task exhausted its retry
+// cap, which forces a full stage re-execution. Caller holds c.mu.
+func (c *Cluster) runAttempt(sa int, wide bool, tasks []Task, acc []nodeAcc, slow []float64, netFactor float64) (float64, bool) {
+	p := c.Profile
+	var ext []nodeAcc // retry surcharge per node
+	deadTask := false
+	if c.failRate > 0 {
+		ext = make([]nodeAcc, c.Nodes)
+		// Attempt a of task t fails while U(seed, stage, t, key(a)) < rate;
+		// each failed attempt re-pays the task's cost, and a task that fails
+		// maxTaskRetries+1 times in a row kills this stage attempt.
+		for ti := range tasks {
+			t := &tasks[ti]
+			retries := 0
+			alive := false
+			for a := 0; a <= maxTaskRetries; a++ {
+				key := uint64(sa)*attemptStride + uint64(a)
+				if rng.UniformAt(c.failSeed, c.stageSeq, uint64(ti), key) >= c.failRate {
+					alive = true
+					break
+				}
+				if retries < maxTaskRetries {
+					retries++
+				}
+			}
+			if retries > 0 {
+				r := float64(retries)
+				e := &ext[t.Node]
+				e.flops += t.Flops * r
+				e.records += t.Records * r
+				e.remote += t.RemoteBytes * r
+				e.local += t.LocalBytes * r
+				e.disk += t.DiskBytes * r
+				c.metrics.TaskFailures += retries
+			}
+			if !alive {
+				deadTask = true
+			}
+		}
+	}
+	cores := float64(p.CoresPerNode)
+	ws := c.workScale
+	var maxBusy float64
+	for n := 0; n < c.Nodes; n++ {
+		a := acc[n]
+		if ext != nil {
+			e := ext[n]
+			a.flops += e.flops
+			a.records += e.records
+			a.remote += e.remote
+			a.local += e.local
+			a.disk += e.disk
+		}
+		if a.tasks == 0 {
+			continue
+		}
+		gc := 1 + p.GCCoeff*ws*c.cachedBytes[n]/p.NodeMemory
+		healthy := ws * ((a.flops/p.CoreFlops+a.records*p.RecordCost)/cores*gc +
+			a.remote/(p.NetBandwidth*netFactor) + a.local/p.LocalBW + a.disk/p.DiskBW)
+		waves := (a.tasks + p.CoresPerNode - 1) / p.CoresPerNode
+		healthy += p.TaskOverhead * float64(waves)
+		busy := healthy
+		if n < len(slow) && slow[n] > 1 {
+			busy = healthy * slow[n]
+			if c.specThreshold > 0 && slow[n] >= c.specThreshold {
+				// Speculative copies on healthy resources finish after the
+				// launch delay plus a healthy execution; the stage takes
+				// whichever finishes first.
+				if spec := healthy + p.SpecLaunchDelay; spec < busy {
+					busy = spec
+					c.metrics.SpeculativeTasks += a.tasks
+				}
+			}
+		}
+		if busy > maxBusy {
+			maxBusy = busy
+		}
+	}
+	return maxBusy, deadTask
+}
+
 // InjectTaskFailures makes every task fail independently with the given
-// probability (deterministically in seed); failed tasks are retried up to
-// three times, re-paying their cost each attempt, the way Spark and Hadoop
-// recover from lost executors. Rate 0 disables injection.
-func (c *Cluster) InjectTaskFailures(rate float64, seed uint64) {
+// probability; failed tasks are retried up to maxTaskRetries times,
+// re-paying their cost each attempt, the way Spark and Hadoop recover from
+// lost executors. A task that fails every retry kills its stage attempt,
+// triggering bounded stage re-execution and eventually a job abort (Err).
+// Rate 0 disables injection; rates outside [0, 1) return an error.
+//
+// Determinism contract: whether attempt a of task index t in stage s fails
+// is rng.UniformAt(seed, s, t, key(a)) < rate, where s is the cluster's
+// stage-sequence counter (incremented once per RunStage, in driver issue
+// order) and key(a) spaces stage re-execution attempts apart. The draw
+// depends only on (seed, stage order, task index), never on wall time,
+// goroutine interleaving, or host parallelism, so a failure schedule
+// replays bitwise-identically across runs.
+func (c *Cluster) InjectTaskFailures(rate float64, seed uint64) error {
 	if rate < 0 || rate >= 1 {
-		panic("cluster: failure rate must be in [0, 1)")
+		return fmt.Errorf("cluster: failure rate must be in [0, 1), got %g", rate)
 	}
 	c.mu.Lock()
 	c.failRate = rate
 	c.failSeed = seed
 	c.mu.Unlock()
+	return nil
 }
 
 // ChargeBroadcast charges the cost of distributing `bytes` of driver state

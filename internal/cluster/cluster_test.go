@@ -263,12 +263,19 @@ func TestInjectTaskFailuresAddsTimeDeterministically(t *testing.T) {
 
 func TestInjectTaskFailuresValidation(t *testing.T) {
 	c := New(2, LaptopProfile())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("rate 1.0 must panic")
+	for _, rate := range []float64{1.0, 1.5, -0.1} {
+		if err := c.InjectTaskFailures(rate, 1); err == nil {
+			t.Errorf("rate %g must be rejected", rate)
 		}
-	}()
-	c.InjectTaskFailures(1.0, 1)
+	}
+	// A rejected rate must not change the cluster's configuration.
+	c.RunStage(false, []Task{{Node: 0, Records: 10}})
+	if c.Metrics().TaskFailures != 0 {
+		t.Fatal("rejected rate leaked into the cluster")
+	}
+	if err := c.InjectTaskFailures(0.5, 1); err != nil {
+		t.Fatalf("valid rate rejected: %v", err)
+	}
 }
 
 func TestTraceRecordsEventsAndExports(t *testing.T) {

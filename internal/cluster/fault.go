@@ -1,0 +1,237 @@
+package cluster
+
+import "fmt"
+
+// Fault injection: a FaultInjector schedules failures against the cluster's
+// deterministic stage clock, and the cluster turns them into the recovery
+// behaviour of the frameworks it simulates — lost executors (cached
+// partitions dropped, listeners notified so engines can recompute or
+// re-replicate), per-node stragglers, degraded networks, and bounded
+// task/stage re-execution with a typed abort error once retries run out.
+// Everything is keyed on (seed, stage sequence), so a fault schedule is
+// bitwise reproducible regardless of host parallelism.
+
+// Phase labels for fault-tolerance work, alongside the algorithm phases
+// ("MTTKRP-n", "Other") the engines set.
+const (
+	// PhaseRecovery labels crash detection, lineage recomputation, and
+	// HDFS re-replication time.
+	PhaseRecovery = "Recovery"
+	// PhaseCheckpoint labels checkpoint write/restore time.
+	PhaseCheckpoint = "Checkpoint"
+)
+
+// FaultInjector supplies deterministic fault events keyed to the cluster's
+// stage clock. Stage sequence numbers are assigned by the driver in issue
+// order (stages execute synchronously), so the same plan replays identically
+// across runs and host-parallelism settings.
+type FaultInjector interface {
+	// TakeFaults pops the permanent faults due at or before stage seq:
+	// node crashes (the executor and its cached partitions are lost) and
+	// disk failures (the node's HDFS block replicas are lost, the executor
+	// survives). Each event must be delivered exactly once; the cluster
+	// calls TakeFaults at every stage boundary with an increasing seq.
+	TakeFaults(seq uint64) (crashedNodes, failedDisks []int)
+
+	// StageConditions reports the transient conditions stage seq executes
+	// under: per-node compute slowdown factors (nil, or length nodes with
+	// 1 meaning healthy) and a network bandwidth multiplier in (0, 1]
+	// (values <= 0 are treated as 1). Must be a pure function of
+	// (seq, nodes) — it is consulted once per stage attempt.
+	StageConditions(seq uint64, nodes int) (slowdown []float64, netFactor float64)
+}
+
+// Bounded re-execution, matching the Spark/Hadoop defaults of 3 retries
+// per task and a handful of stage attempts before the job fails.
+const (
+	maxTaskRetries   = 3 // re-executions of one task within a stage attempt
+	maxStageAttempts = 3 // full-stage re-executions before aborting
+	// attemptStride spaces the rng keys of consecutive stage attempts so
+	// task-failure draws never collide across attempts. Attempt 0 uses keys
+	// 0..maxTaskRetries, reproducing the pre-fault-plan draw sequence.
+	attemptStride = 16
+)
+
+// StageFailure is the typed error Err returns after a stage exhausted both
+// the per-task retry cap and the bounded stage re-execution attempts.
+type StageFailure struct {
+	Stage uint64 // stage sequence number that failed
+	Phase string // metrics phase at failure time
+	Wide  bool   // the failed stage began with a shuffle read
+}
+
+func (e *StageFailure) Error() string {
+	return fmt.Sprintf("cluster: stage %d (phase %s) failed after %d attempts of %d task retries each",
+		e.Stage, e.Phase, maxStageAttempts, maxTaskRetries)
+}
+
+// DataLoss is the typed error Err returns when a fault destroyed state that
+// has no surviving copy to recover from (e.g. an HDFS block with
+// replication 1).
+type DataLoss struct {
+	Node   int
+	Detail string
+}
+
+func (e *DataLoss) Error() string {
+	return fmt.Sprintf("cluster: unrecoverable data loss on node %d: %s", e.Node, e.Detail)
+}
+
+// SetFaultInjector installs the fault schedule consulted at every stage
+// boundary. Pass nil to remove it. Injected faults are deterministic: the
+// injector sees only the stage clock, never wall time or goroutine order.
+func (c *Cluster) SetFaultInjector(fi FaultInjector) {
+	c.mu.Lock()
+	c.injector = fi
+	c.mu.Unlock()
+}
+
+// EnableSpeculation turns on speculative execution: when a stage runs on a
+// node whose slowdown factor is at least `threshold` (> 1), the scheduler
+// launches backup copies of its tasks on healthy resources after
+// Profile.SpecLaunchDelay, and the stage finishes with whichever copy is
+// first — Spark's spark.speculation / Hadoop's speculative execution.
+// threshold <= 0 disables it.
+func (c *Cluster) EnableSpeculation(threshold float64) {
+	c.mu.Lock()
+	c.specThreshold = threshold
+	c.mu.Unlock()
+}
+
+// OnNodeCrash registers a listener invoked when a node crash is delivered.
+// Engines use it to drop lost partitions (rdd) or re-replicate HDFS blocks
+// (mapreduce). Listeners run at a stage boundary and may issue recovery
+// stages themselves; fault delivery is suppressed while they run.
+func (c *Cluster) OnNodeCrash(fn func(node int)) {
+	c.mu.Lock()
+	c.crashFns = append(c.crashFns, fn)
+	c.mu.Unlock()
+}
+
+// OnDiskFailure registers a listener for disk-failure faults (HDFS block
+// replicas on the node are lost; the executor survives).
+func (c *Cluster) OnDiskFailure(fn func(node int)) {
+	c.mu.Lock()
+	c.diskFns = append(c.diskFns, fn)
+	c.mu.Unlock()
+}
+
+// Err returns the sticky abort error (a *StageFailure or *DataLoss), or nil.
+// Engines check it between stages/iterations; the cluster itself keeps
+// accounting after an abort so metrics stay consistent.
+func (c *Cluster) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.abortErr
+}
+
+// Fail records an unrecoverable error (first one wins). Engines call it
+// when recovery is impossible, e.g. data loss with no surviving replica.
+func (c *Cluster) Fail(err error) {
+	c.mu.Lock()
+	if c.abortErr == nil {
+		c.abortErr = err
+	}
+	c.mu.Unlock()
+}
+
+// NoteRecomputed counts partitions rebuilt from lineage (rdd recovery).
+func (c *Cluster) NoteRecomputed(partitions int) {
+	c.mu.Lock()
+	c.metrics.RecomputedPartitions += partitions
+	c.mu.Unlock()
+}
+
+// NoteReReplicated counts HDFS bytes copied to restore replication after a
+// crash or disk failure (mapreduce recovery).
+func (c *Cluster) NoteReReplicated(bytes float64) {
+	c.mu.Lock()
+	c.metrics.ReReplicatedBytes += bytes
+	c.mu.Unlock()
+}
+
+// ChargeCheckpointWrite models writing `bytes` of driver state (e.g. the
+// collected factor matrices) to replicated HDFS under the Checkpoint phase:
+// one stage with the bytes spread evenly across the nodes, each share paying
+// the profile's replication factor in disk traffic.
+func (c *Cluster) ChargeCheckpointWrite(bytes float64) {
+	rep := float64(c.Profile.HDFSReplication)
+	if rep < 1 {
+		rep = 1
+	}
+	tasks := make([]Task, c.Nodes)
+	share := bytes / float64(c.Nodes)
+	for n := range tasks {
+		tasks[n] = Task{Node: n, DiskBytes: share * rep}
+	}
+	old := c.Phase()
+	c.SetPhase(PhaseCheckpoint)
+	c.RunStage(false, tasks)
+	c.SetPhase(old)
+}
+
+// deliverFaults pops the injector's permanent faults due at the next stage
+// and applies them: a crashed node loses its executor (cached bytes are
+// dropped, LostCacheBytes/NodeCrashes counted, the profile's RecoveryDelay
+// charged while the replacement registers), then listeners run so engines
+// can mark lost partitions or re-replicate blocks. Listeners may execute
+// recovery stages; re-entrant delivery is suppressed so those stages cannot
+// recursively pop faults.
+func (c *Cluster) deliverFaults() {
+	c.mu.Lock()
+	if c.injector == nil || c.inFault {
+		c.mu.Unlock()
+		return
+	}
+	crashes, disks := c.injector.TakeFaults(c.stageSeq + 1)
+	crashes = c.validNodes(crashes)
+	disks = c.validNodes(disks)
+	if len(crashes) == 0 && len(disks) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	c.inFault = true
+	for _, n := range crashes {
+		lost := c.cachedBytes[n]
+		c.cachedBytes[n] = 0
+		c.metrics.NodeCrashes++
+		c.metrics.LostCacheBytes += lost
+		d := c.Profile.RecoveryDelay
+		c.recordTrace("node-crash", false, c.simTime, d, 0, 0, 0, 0)
+		c.simTime += d
+		c.metrics.SimTime[PhaseRecovery] += d
+	}
+	for range disks {
+		c.metrics.DiskFailures++
+		c.recordTrace("disk-failure", false, c.simTime, 0, 0, 0, 0, 0)
+	}
+	crashFns := append([]func(int){}, c.crashFns...)
+	diskFns := append([]func(int){}, c.diskFns...)
+	c.mu.Unlock()
+
+	for _, n := range crashes {
+		for _, fn := range crashFns {
+			fn(n)
+		}
+	}
+	for _, n := range disks {
+		for _, fn := range diskFns {
+			fn(n)
+		}
+	}
+
+	c.mu.Lock()
+	c.inFault = false
+	c.mu.Unlock()
+}
+
+// validNodes drops out-of-range node indices from an injector's event list.
+func (c *Cluster) validNodes(nodes []int) []int {
+	out := nodes[:0]
+	for _, n := range nodes {
+		if n >= 0 && n < c.Nodes {
+			out = append(out, n)
+		}
+	}
+	return out
+}

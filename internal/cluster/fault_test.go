@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// stubInjector is a minimal FaultInjector for cluster-level tests.
+type stubInjector struct {
+	crashAt   map[uint64][]int // stage -> nodes to crash
+	disksAt   map[uint64][]int
+	slow      map[uint64][]float64
+	net       map[uint64]float64
+	delivered map[uint64]bool
+}
+
+func (s *stubInjector) TakeFaults(seq uint64) ([]int, []int) {
+	if s.delivered == nil {
+		s.delivered = map[uint64]bool{}
+	}
+	var cr, dk []int
+	for at, nodes := range s.crashAt {
+		if at <= seq && !s.delivered[at] {
+			s.delivered[at] = true
+			cr = append(cr, nodes...)
+		}
+	}
+	for at, nodes := range s.disksAt {
+		if at <= seq && !s.delivered[1<<32+at] {
+			s.delivered[1<<32+at] = true
+			dk = append(dk, nodes...)
+		}
+	}
+	return cr, dk
+}
+
+func (s *stubInjector) StageConditions(seq uint64, nodes int) ([]float64, float64) {
+	net := 1.0
+	if v, ok := s.net[seq]; ok {
+		net = v
+	}
+	return s.slow[seq], net
+}
+
+func runNarrowStage(c *Cluster, tasks int) {
+	ts := make([]Task, tasks)
+	for i := range ts {
+		ts[i] = Task{Node: i % c.Nodes, Flops: 1e8, Records: 1e4, RemoteBytes: 1e6}
+	}
+	c.RunStage(false, ts)
+}
+
+func TestNodeCrashDropsCacheAndNotifies(t *testing.T) {
+	c := New(4, LaptopProfile())
+	c.EnableTrace()
+	var crashed []int
+	c.OnNodeCrash(func(n int) { crashed = append(crashed, n) })
+	c.AddCached(1, 1000) // partition 1 -> node 1
+	c.AddCached(2, 500)  // node 2
+	before := c.CachedBytes()
+
+	c.SetFaultInjector(&stubInjector{crashAt: map[uint64][]int{2: {1}}})
+	runNarrowStage(c, 4) // stage 1: no fault
+	if len(crashed) != 0 {
+		t.Fatalf("crash delivered early: %v", crashed)
+	}
+	runNarrowStage(c, 4) // stage 2: crash node 1
+	if len(crashed) != 1 || crashed[0] != 1 {
+		t.Fatalf("crash listener got %v, want [1]", crashed)
+	}
+	m := c.Metrics()
+	if m.NodeCrashes != 1 {
+		t.Fatalf("NodeCrashes = %d, want 1", m.NodeCrashes)
+	}
+	f := c.Profile.RawCacheFactor
+	if math.Abs(m.LostCacheBytes-1000*f) > 1e-9 {
+		t.Fatalf("LostCacheBytes = %v, want %v", m.LostCacheBytes, 1000*f)
+	}
+	if math.Abs(c.CachedBytes()-(before-1000*f)) > 1e-9 {
+		t.Fatalf("cache after crash %v, want %v", c.CachedBytes(), before-1000*f)
+	}
+	if m.SimTime[PhaseRecovery] < c.Profile.RecoveryDelay {
+		t.Fatalf("recovery delay not charged: %v", m.SimTime[PhaseRecovery])
+	}
+
+	// The crash shows up in the trace and the timeline stays contiguous.
+	ev := c.Trace()
+	found := false
+	for _, e := range ev {
+		if e.Kind == "node-crash" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no node-crash trace event in %+v", ev)
+	}
+	for i := 1; i < len(ev); i++ {
+		if math.Abs(ev[i].Start-(ev[i-1].Start+ev[i-1].Dur)) > 1e-9 {
+			t.Fatalf("trace not contiguous at %d: %+v after %+v", i, ev[i], ev[i-1])
+		}
+	}
+}
+
+func TestDiskFailureNotifiesWithoutCacheLoss(t *testing.T) {
+	c := New(4, LaptopProfile())
+	c.AddCached(1, 1000)
+	before := c.CachedBytes()
+	var disks []int
+	c.OnDiskFailure(func(n int) { disks = append(disks, n) })
+	c.SetFaultInjector(&stubInjector{disksAt: map[uint64][]int{1: {2}}})
+	runNarrowStage(c, 4)
+	if len(disks) != 1 || disks[0] != 2 {
+		t.Fatalf("disk listener got %v, want [2]", disks)
+	}
+	if c.CachedBytes() != before {
+		t.Fatal("disk failure must not drop executor cache")
+	}
+	if c.Metrics().DiskFailures != 1 {
+		t.Fatal("DiskFailures not counted")
+	}
+}
+
+func TestStragglerSlowsStageAndSpeculationBounds(t *testing.T) {
+	run := func(slow []float64, specThreshold float64) (float64, *Metrics) {
+		c := New(4, LaptopProfile())
+		c.SetFaultInjector(&stubInjector{slow: map[uint64][]float64{1: slow}})
+		if specThreshold > 0 {
+			c.EnableSpeculation(specThreshold)
+		}
+		runNarrowStage(c, 8)
+		return c.SimTime(), c.Metrics()
+	}
+	clean, _ := run(nil, 0)
+	slowed, m := run([]float64{1, 8, 1, 1}, 0)
+	if slowed <= clean {
+		t.Fatalf("straggler must slow the stage: %v vs %v", slowed, clean)
+	}
+	if m.StragglerStages != 1 {
+		t.Fatalf("StragglerStages = %d, want 1", m.StragglerStages)
+	}
+	spec, ms := run([]float64{1, 8, 1, 1}, 2)
+	if spec >= slowed {
+		t.Fatalf("speculation must beat the straggler: %v vs %v", spec, slowed)
+	}
+	if spec > clean+c4SpecDelay()+1e-9 {
+		t.Fatalf("speculative stage %v exceeds healthy+delay %v", spec, clean+c4SpecDelay())
+	}
+	if ms.SpeculativeTasks == 0 {
+		t.Fatal("SpeculativeTasks not counted")
+	}
+}
+
+func c4SpecDelay() float64 { return LaptopProfile().SpecLaunchDelay }
+
+func TestNetDegradationSlowsShuffleReads(t *testing.T) {
+	run := func(net float64) float64 {
+		c := New(4, LaptopProfile())
+		c.SetFaultInjector(&stubInjector{net: map[uint64]float64{1: net}})
+		runNarrowStage(c, 8)
+		return c.SimTime()
+	}
+	if run(0.25) <= run(1.0) {
+		t.Fatal("degraded network must slow stages with remote reads")
+	}
+}
+
+func TestStageRetriesAndAbort(t *testing.T) {
+	c := New(2, LaptopProfile())
+	c.EnableTrace()
+	if err := c.InjectTaskFailures(0.999, 12345); err != nil {
+		t.Fatal(err)
+	}
+	// At rate 0.999 every draw fails with near certainty: each attempt's
+	// task dies, the stage retries maxStageAttempts times, then aborts.
+	c.RunStage(false, []Task{{Node: 0, Records: 100}})
+	m := c.Metrics()
+	if m.StageRetries == 0 {
+		t.Fatal("expected stage retries at rate 0.999")
+	}
+	err := c.Err()
+	if err == nil {
+		t.Fatal("expected job abort")
+	}
+	var sf *StageFailure
+	if !errors.As(err, &sf) {
+		t.Fatalf("abort error is %T, want *StageFailure", err)
+	}
+	// Sticky: later successful stages don't clear it.
+	if e := c.InjectTaskFailures(0, 0); e != nil {
+		t.Fatal(e)
+	}
+	runNarrowStage(c, 2)
+	if c.Err() == nil {
+		t.Fatal("abort error must be sticky")
+	}
+	// Retried attempts appear in the trace and the timeline stays contiguous.
+	ev := c.Trace()
+	sawRetry := false
+	for _, e := range ev {
+		if e.Kind == "stage-retry" {
+			sawRetry = true
+		}
+	}
+	if !sawRetry {
+		t.Fatal("no stage-retry trace events")
+	}
+	for i := 1; i < len(ev); i++ {
+		if math.Abs(ev[i].Start-(ev[i-1].Start+ev[i-1].Dur)) > 1e-9 {
+			t.Fatalf("trace not contiguous at %d", i)
+		}
+	}
+}
+
+func TestFailClampsToFirstError(t *testing.T) {
+	c := New(2, LaptopProfile())
+	first := &DataLoss{Node: 1, Detail: "replica gone"}
+	c.Fail(first)
+	c.Fail(&DataLoss{Node: 0, Detail: "second"})
+	if c.Err() != first {
+		t.Fatalf("Err = %v, want first error", c.Err())
+	}
+	var dl *DataLoss
+	if !errors.As(c.Err(), &dl) || dl.Node != 1 {
+		t.Fatalf("typed error lost: %v", c.Err())
+	}
+}

@@ -19,6 +19,16 @@ type Metrics struct {
 	Tasks        int
 	Jobs         int // Hadoop jobs launched
 	TaskFailures int // injected task failures that were retried
+
+	// Fault-tolerance counters (see fault.go).
+	StageRetries         int     // full-stage re-executions after a task died
+	NodeCrashes          int     // node-crash faults delivered
+	DiskFailures         int     // disk-failure faults delivered
+	StragglerStages      int     // stages that ran with a straggling node
+	SpeculativeTasks     int     // tasks rescued by speculative execution
+	RecomputedPartitions int     // partitions rebuilt from lineage
+	LostCacheBytes       float64 // cached bytes destroyed by node crashes
+	ReReplicatedBytes    float64 // HDFS bytes copied to restore replication
 }
 
 func newMetrics() *Metrics {
@@ -106,6 +116,14 @@ func (m *Metrics) Clone() *Metrics {
 	}
 	c.Stages, c.Tasks, c.Jobs = m.Stages, m.Tasks, m.Jobs
 	c.TaskFailures = m.TaskFailures
+	c.StageRetries = m.StageRetries
+	c.NodeCrashes = m.NodeCrashes
+	c.DiskFailures = m.DiskFailures
+	c.StragglerStages = m.StragglerStages
+	c.SpeculativeTasks = m.SpeculativeTasks
+	c.RecomputedPartitions = m.RecomputedPartitions
+	c.LostCacheBytes = m.LostCacheBytes
+	c.ReReplicatedBytes = m.ReReplicatedBytes
 	return c
 }
 
@@ -138,5 +156,13 @@ func (m *Metrics) Sub(other *Metrics) *Metrics {
 	d.Tasks -= other.Tasks
 	d.Jobs -= other.Jobs
 	d.TaskFailures -= other.TaskFailures
+	d.StageRetries -= other.StageRetries
+	d.NodeCrashes -= other.NodeCrashes
+	d.DiskFailures -= other.DiskFailures
+	d.StragglerStages -= other.StragglerStages
+	d.SpeculativeTasks -= other.SpeculativeTasks
+	d.RecomputedPartitions -= other.RecomputedPartitions
+	d.LostCacheBytes -= other.LostCacheBytes
+	d.ReReplicatedBytes -= other.ReReplicatedBytes
 	return d
 }

@@ -37,6 +37,11 @@ type Profile struct {
 	JobStartup         float64 // seconds to launch one MapReduce job
 	HDFSReplication    int     // write replication factor
 	HadoopRecordFactor float64 // per-record cost multiplier vs the Spark engine
+
+	// Fault-tolerance parameters (see fault.go).
+	RecoveryDelay     float64 // seconds to detect a dead node + register a replacement executor
+	StageRetryBackoff float64 // scheduler backoff before re-executing a failed stage
+	SpecLaunchDelay   float64 // delay before speculative task copies launch
 }
 
 // CometProfile models one node of the SDSC Comet cluster (2x12-core Xeon
@@ -74,6 +79,13 @@ func CometProfile() Profile {
 		JobStartup:         21.0, // YARN container spin-up + job setup/teardown
 		HDFSReplication:    3,
 		HadoopRecordFactor: 2.8, // Writable/Text record handling vs Spark iterators
+
+		// Spark 1.5 / YARN defaults: executor heartbeat timeout plus
+		// container re-registration dominates crash detection; stage resubmit
+		// and speculation waits are scheduler-tick scale.
+		RecoveryDelay:     12.0,
+		StageRetryBackoff: 3.0,
+		SpecLaunchDelay:   2.0,
 	}
 }
 
@@ -86,5 +98,8 @@ func LaptopProfile() Profile {
 	p.JobStartup = 1
 	p.SchedBase = 0.05
 	p.SchedPerNode = 0.01
+	p.RecoveryDelay = 0.5
+	p.StageRetryBackoff = 0.1
+	p.SpecLaunchDelay = 0.05
 	return p
 }

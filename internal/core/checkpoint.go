@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cstf/internal/cpals"
+	"cstf/internal/la"
+	"cstf/internal/rdd"
+	"cstf/internal/tensor"
+)
+
+// Checkpoint/restore for the Spark-engine solvers. Checkpoints are taken at
+// iteration boundaries, where both algorithms satisfy a clean invariant:
+// every factor is normalized, lambda holds the last mode's column norms, and
+// (for QCOO) the record queues hold the current rows of modes 0..N-2 keyed
+// by the last mode's index. Restoring from the collected dense factors
+// therefore reproduces the exact working state — ALS is a deterministic
+// fixed-point iteration, so a resumed run follows the original trajectory.
+
+// factorRDDFromDense distributes a dense factor matrix as a hash-partitioned
+// row RDD, the layout initFactorRDD and updateFactor produce. All-zero rows
+// (indices outside the tensor's support, which updateFactor never emits) are
+// skipped so the restored RDD matches a post-update factor record-for-record.
+func factorRDDFromDense(ctx *rdd.Context, name string, f *la.Dense) *FactorRDD {
+	f = f.Clone() // lineage recomputation may re-read it after the caller moves on
+	rank := f.Cols
+	return rdd.GenerateKeyed(ctx, name,
+		func(p int) []Row {
+			var rows []Row
+			for i := 0; i < f.Rows; i++ {
+				if rdd.PartitionOf(uint32(i), ctx.Parts) != p {
+					continue
+				}
+				row := f.Row(i)
+				zero := true
+				for _, v := range row {
+					if v != 0 {
+						zero = false
+						break
+					}
+				}
+				if zero {
+					continue
+				}
+				rows = append(rows, Row{Key: uint32(i), Val: la.VecClone(row)})
+			}
+			return rows
+		}, rowSize(rank))
+}
+
+// NewCOOStateFromFactors rebuilds a COOState from checkpointed factors (the
+// state after some completed iteration): the tensor is re-cached and the
+// factor RDDs regenerated from the dense matrices.
+func NewCOOStateFromFactors(ctx *rdd.Context, t *tensor.COO, rank int, factors []*la.Dense, lambda []float64) *COOState {
+	order := t.Order()
+	ctx.Cluster.SetPhase(PhaseOther)
+	s := &COOState{
+		ctx:    ctx,
+		dims:   append([]int(nil), t.Dims...),
+		order:  order,
+		rank:   rank,
+		normX:  t.Norm(),
+		lambda: la.VecClone(lambda),
+	}
+	s.entries = rdd.FromSlice(ctx, "tensor", t.Entries,
+		rdd.FixedSize[tensor.Entry](tensor.EntryBytes(order))).Persist()
+	s.factors = make([]*FactorRDD, order)
+	for n := 0; n < order; n++ {
+		s.factors[n] = factorRDDFromDense(ctx, fmt.Sprintf("factor-restore-m%d", n+1), factors[n]).Persist()
+	}
+	return s
+}
+
+// NewQCOOStateFromFactors rebuilds a QCOOState from checkpointed factors.
+// The record queues are regenerated from the dense matrices — at an
+// iteration boundary the queue of each record holds the current rows of
+// modes 0..N-2 at that record's indices, keyed by the last mode — and the V
+// queue refills with the grams of those same modes.
+//
+// The rebuilt queue RDD lists records in the tensor's original entry order,
+// whereas the live pipeline's queue has been permuted by every shuffle since
+// the run began. The values are identical, but downstream reduceByKey sums
+// accumulate in a different order, so a resumed QCOO trajectory can drift
+// from the uninterrupted one by floating-point rounding (observed: 1 ulp) —
+// the same caveat as restarting a real Spark job from a checkpoint.
+func NewQCOOStateFromFactors(ctx *rdd.Context, t *tensor.COO, rank int, factors []*la.Dense, lambda []float64) *QCOOState {
+	order := t.Order()
+	c := ctx.Cluster
+	s := &QCOOState{
+		ctx:    ctx,
+		dims:   append([]int(nil), t.Dims...),
+		order:  order,
+		rank:   rank,
+		normX:  t.Norm(),
+		lambda: la.VecClone(lambda),
+	}
+
+	c.SetPhase(PhaseOther)
+	s.factors = make([]*FactorRDD, order)
+	dense := make([]*la.Dense, order)
+	for n := 0; n < order; n++ {
+		dense[n] = factors[n].Clone()
+		s.factors[n] = factorRDDFromDense(ctx, fmt.Sprintf("factor-restore-m%d", n+1), factors[n]).Persist()
+	}
+
+	// Rebuild the queue RDD; like first-time initialization this is charged
+	// to MTTKRP-1 (it is the restore-time analogue of the queue-build
+	// overhead Figure 5 discusses). Queue rows reference the restored dense
+	// matrices the same way joined rows are shared between records.
+	c.SetPhase(PhaseOf(0))
+	entries := rdd.FromSlice(ctx, "tensor", t.Entries, rdd.FixedSize[tensor.Entry](tensor.EntryBytes(order)))
+	sz := qSize(order, rank)
+	s.xq = rdd.Map(entries, func(e tensor.Entry) rdd.KV[uint32, qVal] {
+		q := make([][]float64, order-1)
+		for m := 0; m < order-1; m++ {
+			q[m] = dense[m].Row(int(e.Idx[m]))
+		}
+		return rdd.KV[uint32, qVal]{Key: e.Idx[order-1], Val: qVal{E: e, Q: q}}
+	}, sz, rdd.WithCostFactor(1+1.30*float64(order-1)),
+		rdd.WithName("qcoo-restore-queues")).Persist()
+
+	c.SetPhase(PhaseOther)
+	for n := 0; n < order-1; n++ {
+		s.vqueue = append(s.vqueue, gramOf(s.factors[n], rank))
+	}
+	return s
+}
+
+// alsState is the step API both Spark-engine solvers expose to the shared
+// driver loop.
+type alsState interface {
+	Step(n int)
+	Fit() float64
+	Factors() []*la.Dense
+	Lambda() []float64
+}
+
+// CheckpointBytes is the serialized size of one factor-set checkpoint: every
+// factor matrix plus the lambda vector, 8 bytes per element.
+func CheckpointBytes(dims []int, rank int) float64 {
+	var bytes float64
+	for _, d := range dims {
+		bytes += float64(d) * float64(rank) * 8
+	}
+	return bytes + float64(rank)*8
+}
+
+// runALS drives either Spark-engine solver through the ALS iterations with
+// the full resilience surface: resume from StartIter, per-iteration abort on
+// sticky cluster failures, checkpoint hooks with modeled HDFS write cost,
+// and convergence on the last two fits (which spans a resume boundary when
+// InitFits carries the pre-crash history).
+func runALS(ctx *rdd.Context, s alsState, dims []int, order, rank int, opts cpals.Options) (*cpals.Result, error) {
+	if err := ctx.Cluster.Err(); err != nil {
+		return nil, err
+	}
+	res := &cpals.Result{Iters: opts.StartIter}
+	res.Fits = append(res.Fits, opts.InitFits...)
+	for it := opts.StartIter; it < opts.MaxIters; it++ {
+		if err := opts.Interrupted(); err != nil {
+			return nil, err
+		}
+		for n := 0; n < order; n++ {
+			s.Step(n)
+			if err := ctx.Cluster.Err(); err != nil {
+				return nil, err
+			}
+		}
+		res.Iters = it + 1
+		fit := s.Fit()
+		res.Fits = append(res.Fits, fit)
+		if opts.OnIteration != nil && opts.OnIteration(it, fit) {
+			break
+		}
+		if opts.CheckpointEvery > 0 && opts.OnCheckpoint != nil && (it+1)%opts.CheckpointEvery == 0 {
+			ctx.Cluster.ChargeCheckpointWrite(CheckpointBytes(dims, rank))
+			if err := opts.OnCheckpoint(it+1, s.Lambda(), s.Factors(), res.Fits); err != nil {
+				return nil, err
+			}
+		}
+		if nf := len(res.Fits); opts.Tol > 0 && nf > 1 && math.Abs(res.Fits[nf-1]-res.Fits[nf-2]) < opts.Tol {
+			break
+		}
+	}
+	res.Lambda = s.Lambda()
+	res.Factors = s.Factors()
+	return res, nil
+}

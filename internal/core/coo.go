@@ -181,33 +181,20 @@ func (s *COOState) Lambda() []float64 { return s.lambda }
 
 // SolveCOO runs distributed CP-ALS with the CSTF-COO algorithm
 // (Section 4.1). The tensor is cached raw in memory across iterations;
-// every MTTKRP re-joins the factor matrices from scratch.
+// every MTTKRP re-joins the factor matrices from scratch. When
+// opts.InitFactors is set the state is restored from a checkpoint instead
+// of the seeded initialization, and the loop resumes at opts.StartIter.
 func SolveCOO(ctx *rdd.Context, t *tensor.COO, opts cpals.Options) (*cpals.Result, error) {
 	if err := opts.Validate(t); err != nil {
 		return nil, err
 	}
-	s := NewCOOState(ctx, t, opts.Rank, opts.Seed)
-	res := &cpals.Result{}
-	for it := 0; it < opts.MaxIters; it++ {
-		if err := opts.Interrupted(); err != nil {
-			return nil, err
-		}
-		for n := 0; n < s.order; n++ {
-			s.Step(n)
-		}
-		res.Iters = it + 1
-		fit := s.Fit()
-		res.Fits = append(res.Fits, fit)
-		if opts.OnIteration != nil && opts.OnIteration(it, fit) {
-			break
-		}
-		if opts.Tol > 0 && it > 0 && math.Abs(fit-res.Fits[it-1]) < opts.Tol {
-			break
-		}
+	var s *COOState
+	if opts.InitFactors != nil {
+		s = NewCOOStateFromFactors(ctx, t, opts.Rank, opts.InitFactors, opts.InitLambda)
+	} else {
+		s = NewCOOState(ctx, t, opts.Rank, opts.Seed)
 	}
-	res.Lambda = s.Lambda()
-	res.Factors = s.Factors()
-	return res, nil
+	return runALS(ctx, s, s.dims, s.order, s.rank, opts)
 }
 
 // fitOf evaluates the CP fit at the end of an iteration from the last

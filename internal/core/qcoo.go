@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"cstf/internal/cpals"
 	"cstf/internal/la"
@@ -192,31 +191,17 @@ func (s *QCOOState) Factors() []*la.Dense {
 func (s *QCOOState) Lambda() []float64 { return s.lambda }
 
 // SolveQCOO runs distributed CP-ALS with the CSTF-QCOO algorithm
-// (Section 4.2, Algorithm 3).
+// (Section 4.2, Algorithm 3). When opts.InitFactors is set the queued state
+// is restored from a checkpoint and the loop resumes at opts.StartIter.
 func SolveQCOO(ctx *rdd.Context, t *tensor.COO, opts cpals.Options) (*cpals.Result, error) {
 	if err := opts.Validate(t); err != nil {
 		return nil, err
 	}
-	s := NewQCOOState(ctx, t, opts.Rank, opts.Seed)
-	res := &cpals.Result{}
-	for it := 0; it < opts.MaxIters; it++ {
-		if err := opts.Interrupted(); err != nil {
-			return nil, err
-		}
-		for n := 0; n < s.order; n++ {
-			s.Step(n)
-		}
-		res.Iters = it + 1
-		fit := s.Fit()
-		res.Fits = append(res.Fits, fit)
-		if opts.OnIteration != nil && opts.OnIteration(it, fit) {
-			break
-		}
-		if opts.Tol > 0 && it > 0 && math.Abs(fit-res.Fits[it-1]) < opts.Tol {
-			break
-		}
+	var s *QCOOState
+	if opts.InitFactors != nil {
+		s = NewQCOOStateFromFactors(ctx, t, opts.Rank, opts.InitFactors, opts.InitLambda)
+	} else {
+		s = NewQCOOState(ctx, t, opts.Rank, opts.Seed)
 	}
-	res.Lambda = s.Lambda()
-	res.Factors = s.Factors()
-	return res, nil
+	return runALS(ctx, s, s.dims, s.order, s.rank, opts)
 }

@@ -131,6 +131,35 @@ type Options struct {
 	// return stops the solve early, keeping the factors computed so far.
 	// Solvers without per-iteration fits (BigTensor) report fit 0.
 	OnIteration func(iter int, fit float64) (stop bool)
+
+	// StartIter resumes an interrupted solve: the iteration loop runs from
+	// StartIter to MaxIters. A positive StartIter requires InitFactors (the
+	// normalized factors saved after iteration StartIter-1) and InitLambda.
+	StartIter int
+
+	// InitFactors, when non-nil, replaces the seeded initialization with the
+	// given normalized factor matrices (one per mode, cloned before use).
+	// Together with InitLambda and StartIter it restores a checkpointed
+	// solve: because ALS is a deterministic fixed-point iteration, resuming
+	// from the saved factors follows the same trajectory as the original run.
+	InitFactors []*la.Dense
+	InitLambda  []float64 // column weights matching InitFactors, length Rank
+
+	// InitFits pre-seeds Result.Fits with the per-iteration fits of the
+	// already-completed iterations 0..StartIter-1, so convergence checks and
+	// OnIteration indexing behave exactly as in an uninterrupted run.
+	InitFits []float64
+
+	// CheckpointEvery, when positive alongside OnCheckpoint, invokes the
+	// checkpoint hook after every CheckpointEvery-th completed iteration.
+	CheckpointEvery int
+
+	// OnCheckpoint receives the live solver state after iteration iter-1
+	// completed (iter is the count of completed iterations, i.e. the
+	// StartIter a resumed run should use). The factors and lambda alias the
+	// solver's working storage: the hook must copy what it keeps. A non-nil
+	// error aborts the solve.
+	OnCheckpoint func(iter int, lambda []float64, factors []*la.Dense, fits []float64) error
 }
 
 // Validate normalizes and checks the options against a tensor.
@@ -143,6 +172,25 @@ func (o *Options) Validate(t *tensor.COO) error {
 	}
 	if t.NNZ() == 0 {
 		return fmt.Errorf("cpals: tensor has no nonzeros")
+	}
+	if o.StartIter < 0 {
+		return fmt.Errorf("cpals: StartIter must be non-negative, got %d", o.StartIter)
+	}
+	if o.StartIter > 0 && o.InitFactors == nil {
+		return fmt.Errorf("cpals: StartIter %d requires InitFactors", o.StartIter)
+	}
+	if o.InitFactors != nil {
+		if len(o.InitFactors) != t.Order() {
+			return fmt.Errorf("cpals: %d InitFactors for an order-%d tensor", len(o.InitFactors), t.Order())
+		}
+		for n, f := range o.InitFactors {
+			if f == nil || f.Rows != t.Dims[n] || f.Cols != o.Rank {
+				return fmt.Errorf("cpals: InitFactors[%d] must be %dx%d", n, t.Dims[n], o.Rank)
+			}
+		}
+		if len(o.InitLambda) != o.Rank {
+			return fmt.Errorf("cpals: InitLambda length %d != rank %d", len(o.InitLambda), o.Rank)
+		}
 	}
 	return nil
 }
@@ -247,17 +295,22 @@ func Solve(t *tensor.COO, opts Options) (*Result, error) {
 	factors := make([]*la.Dense, order)
 	grams := make([]*la.Dense, order)
 	for n := 0; n < order; n++ {
-		factors[n] = initFactorWorkers(opts.Seed, n, t.Dims[n], rank, w)
+		if opts.InitFactors != nil {
+			factors[n] = opts.InitFactors[n].Clone()
+		} else {
+			factors[n] = initFactorWorkers(opts.Seed, n, t.Dims[n], rank, w)
+		}
 		grams[n] = la.GramParallel(factors[n], w)
 	}
 
 	normX := t.Norm()
-	res := &Result{Factors: factors}
-	var lambda []float64
+	res := &Result{Factors: factors, Iters: opts.StartIter}
+	res.Fits = append(res.Fits, opts.InitFits...)
+	lambda := la.VecClone(opts.InitLambda)
 	var lastM *la.Dense
 	ws := &Workspace{}
 
-	for it := 0; it < opts.MaxIters; it++ {
+	for it := opts.StartIter; it < opts.MaxIters; it++ {
 		if err := opts.Interrupted(); err != nil {
 			return nil, err
 		}
@@ -282,8 +335,13 @@ func Solve(t *tensor.COO, opts Options) (*Result, error) {
 		if opts.OnIteration != nil && opts.OnIteration(it, fit) {
 			break
 		}
-		if opts.Tol > 0 && it > 0 {
-			if math.Abs(fit-res.Fits[it-1]) < opts.Tol {
+		if opts.CheckpointEvery > 0 && opts.OnCheckpoint != nil && (it+1)%opts.CheckpointEvery == 0 {
+			if err := opts.OnCheckpoint(it+1, lambda, factors, res.Fits); err != nil {
+				return nil, err
+			}
+		}
+		if nf := len(res.Fits); opts.Tol > 0 && nf > 1 {
+			if math.Abs(res.Fits[nf-1]-res.Fits[nf-2]) < opts.Tol {
 				break
 			}
 		}

@@ -139,6 +139,93 @@ func TestResilienceSweep(t *testing.T) {
 	}
 }
 
+func TestCrashSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	rows, err := CrashSweep(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || rows[0].CrashStage != 0 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	if rows[0].Recomputed != 0 || rows[0].Overhead != 1 {
+		t.Fatalf("baseline row must be fault-free: %+v", rows[0])
+	}
+	for _, r := range rows[1:] {
+		if r.Recomputed <= 0 {
+			t.Errorf("crash at stage %d: nothing recomputed from lineage", r.CrashStage)
+		}
+		if r.RecoverySeconds <= 0 {
+			t.Errorf("crash at stage %d: no recovery time charged", r.CrashStage)
+		}
+		if r.Overhead <= 1 {
+			t.Errorf("crash at stage %d: overhead %.3fx not above baseline", r.CrashStage, r.Overhead)
+		}
+		// Lineage recomputation touches only lost partitions; a single crash
+		// must not come close to doubling two full iterations.
+		if r.Overhead > 2 {
+			t.Errorf("crash at stage %d: overhead %.2fx implausibly high", r.CrashStage, r.Overhead)
+		}
+	}
+}
+
+func TestStragglerSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	rows, err := StragglerSweep(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[0].Factor != 1 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	for i, r := range rows {
+		if i > 0 && r.Overhead <= rows[i-1].Overhead {
+			t.Errorf("slowdown %.0fx: overhead %.3fx not above %.0fx's %.3fx",
+				r.Factor, r.Overhead, rows[i-1].Factor, rows[i-1].Overhead)
+		}
+		if r.SpecSeconds > r.Seconds+1e-9 {
+			t.Errorf("slowdown %.0fx: speculation made things worse (%.1fs vs %.1fs)",
+				r.Factor, r.SpecSeconds, r.Seconds)
+		}
+	}
+	// At 8x slowdown speculation must recover a visible share of the loss.
+	if last := rows[len(rows)-1]; last.SpecGain <= 1.05 {
+		t.Errorf("8x straggler: speculation gain %.3fx too small", last.SpecGain)
+	}
+}
+
+func TestCheckpointSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	rows, err := CheckpointSweep(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[0].Every != 0 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	if rows[0].CheckpointSeconds != 0 || rows[0].Overhead != 1 {
+		t.Fatalf("baseline row must be checkpoint-free: %+v", rows[0])
+	}
+	for i, r := range rows[1:] {
+		if r.CheckpointSeconds <= 0 {
+			t.Errorf("interval %d: no checkpoint time charged", r.Every)
+		}
+		if r.Overhead <= 1 {
+			t.Errorf("interval %d: overhead %.4fx not above baseline", r.Every, r.Overhead)
+		}
+		if i > 0 && r.CheckpointSeconds <= rows[i].CheckpointSeconds {
+			t.Errorf("more frequent checkpoints must cost more: every %d = %.2fs vs every %d = %.2fs",
+				r.Every, r.CheckpointSeconds, rows[i].Every, rows[i].CheckpointSeconds)
+		}
+	}
+}
+
 func TestAblationPartitions(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment sweep")

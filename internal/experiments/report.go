@@ -122,3 +122,49 @@ func RenderTable4(rows []Table4Row, nnz int, rank int) string {
 func RenderTable5(lines []string) string {
 	return "Table 5: dataset summary\n" + strings.Join(lines, "\n") + "\n"
 }
+
+// RenderCrashSweep formats the node-crash recovery sweep.
+func RenderCrashSweep(rows []CrashRow) string {
+	var b strings.Builder
+	b.WriteString("Fault tolerance: node crash + lineage recomputation, CSTF-COO (delicious3d, 8 nodes, 2 iterations)\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s %10s\n",
+		"crash stage", "seconds", "recovery s", "recomputed", "overhead")
+	for _, r := range rows {
+		stage := fmt.Sprintf("%d", r.CrashStage)
+		if r.CrashStage == 0 {
+			stage = "none"
+		}
+		fmt.Fprintf(&b, "%-12s %12.1f %12.1f %12d %9.2fx\n",
+			stage, r.Seconds, r.RecoverySeconds, r.Recomputed, r.Overhead)
+	}
+	return b.String()
+}
+
+// RenderStragglerSweep formats the straggler/speculation sweep.
+func RenderStragglerSweep(rows []StragglerRow) string {
+	var b strings.Builder
+	b.WriteString("Fault tolerance: straggling node with and without speculative execution, CSTF-COO (delicious3d, 8 nodes)\n")
+	fmt.Fprintf(&b, "%-8s %12s %12s %10s %10s\n",
+		"slowdown", "plain s", "spec s", "overhead", "spec gain")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %12.1f %12.1f %9.2fx %9.2fx\n",
+			fmt.Sprintf("%.0fx", r.Factor), r.Seconds, r.SpecSeconds, r.Overhead, r.SpecGain)
+	}
+	return b.String()
+}
+
+// RenderCheckpointSweep formats the checkpoint-interval sweep.
+func RenderCheckpointSweep(rows []CheckpointRow) string {
+	var b strings.Builder
+	b.WriteString("Fault tolerance: checkpoint interval overhead, CSTF-COO (delicious3d, 8 nodes, 4 iterations)\n")
+	fmt.Fprintf(&b, "%-10s %12s %14s %10s\n", "interval", "seconds", "checkpoint s", "overhead")
+	for _, r := range rows {
+		every := fmt.Sprintf("every %d", r.Every)
+		if r.Every == 0 {
+			every = "never"
+		}
+		fmt.Fprintf(&b, "%-10s %12.1f %14.1f %9.2fx\n",
+			every, r.Seconds, r.CheckpointSeconds, r.Overhead)
+	}
+	return b.String()
+}

@@ -23,6 +23,10 @@ type Env struct {
 
 	mu       sync.Mutex
 	counters map[string]int64
+
+	resilient bool                    // HDFS re-replication enabled (EnableRecovery)
+	files     map[string]reReplicator // tracked files by name
+	abort     *JobAbort               // first job that observed a failure
 }
 
 // IncrCounter adds to a named job counter (Hadoop's Counters API): cheap
@@ -112,6 +116,7 @@ func WriteFile[T any](env *Env, name string, records []T, sizeOf func(T) int) *F
 	}
 	f := &File[T]{env: env, name: fmt.Sprintf("%s@%d", name, env.Reducers), blocks: blocks, sizeOf: sizeOf}
 	chargeHDFSWrite(env, blocks, sizeOf)
+	env.track(f.name, f)
 	return f
 }
 
@@ -120,6 +125,7 @@ func WriteFile[T any](env *Env, name string, records []T, sizeOf func(T) int) *F
 func fileFromBlocks[T any](env *Env, name string, blocks [][]T, sizeOf func(T) int) *File[T] {
 	f := &File[T]{env: env, name: name, blocks: blocks, sizeOf: sizeOf}
 	chargeHDFSWrite(env, blocks, sizeOf)
+	env.track(f.name, f)
 	return f
 }
 

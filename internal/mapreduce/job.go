@@ -166,6 +166,7 @@ func RunMapJob[I, O any](
 		}
 	})
 	c.RunStage(false, tasks)
+	defer env.noteAbort(name)
 	// Map-only outputs land in the same block layout as the input; pad or
 	// trim to the environment's block count for downstream jobs.
 	if nb != env.Reducers {
@@ -243,6 +244,7 @@ func runJob[K comparable, V, O any](
 		outBlocks[r] = out
 	})
 	c.RunStage(true, reduceTasks)
+	defer env.noteAbort(name)
 
 	return fileFromBlocks(env, name+".out", outBlocks, outSize)
 }

@@ -1,0 +1,140 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+
+	"cstf/internal/cluster"
+)
+
+// Fault tolerance for the Hadoop-style engine. Task-level behaviour —
+// deterministic per-task retries with a cap, bounded stage re-execution,
+// and speculative re-execution of stragglers — comes from the underlying
+// cluster (every map and reduce wave flows through cluster.RunStage), so
+// this file adds the HDFS side: when a node crashes or a disk fails, every
+// tracked file re-replicates the block replicas that node hosted, charging
+// the copy under the Recovery phase; a block with no surviving replica is
+// unrecoverable data loss and aborts the job with a typed error.
+
+// JobAbort is the typed error Env.Err returns once a job could not
+// complete: some stage exhausted its retry budget or HDFS data was lost.
+// It wraps the underlying *cluster.StageFailure or *cluster.DataLoss.
+type JobAbort struct {
+	Job string // name of the job during which the abort was detected
+	Err error
+}
+
+func (e *JobAbort) Error() string {
+	return fmt.Sprintf("mapreduce: job %q aborted: %v", e.Job, e.Err)
+}
+
+func (e *JobAbort) Unwrap() error { return e.Err }
+
+// reReplicator is the registry's type-erased view of a tracked file.
+type reReplicator interface {
+	reReplicate(node int)
+}
+
+// EnableRecovery subscribes the environment to node-crash and disk-failure
+// events: every file written afterwards is tracked (keyed by name, so a
+// rewritten file replaces its predecessor, like an HDFS path overwrite),
+// and a fault triggers re-replication of the lost block replicas.
+func (env *Env) EnableRecovery() {
+	env.mu.Lock()
+	if env.resilient {
+		env.mu.Unlock()
+		return
+	}
+	env.resilient = true
+	env.files = map[string]reReplicator{}
+	env.mu.Unlock()
+	relost := func(node int) {
+		env.mu.Lock()
+		names := make([]string, 0, len(env.files))
+		for n := range env.files {
+			names = append(names, n)
+		}
+		sort.Strings(names) // deterministic recovery-stage order
+		files := make([]reReplicator, len(names))
+		for i, n := range names {
+			files[i] = env.files[n]
+		}
+		env.mu.Unlock()
+		for _, f := range files {
+			f.reReplicate(node)
+		}
+	}
+	env.C.OnNodeCrash(relost)
+	env.C.OnDiskFailure(relost)
+}
+
+// track registers a freshly written file for fault recovery.
+func (env *Env) track(name string, f reReplicator) {
+	env.mu.Lock()
+	if env.resilient {
+		env.files[name] = f
+	}
+	env.mu.Unlock()
+}
+
+// Err returns the sticky abort error for this environment: a *JobAbort once
+// a job observed the failure, or the raw cluster error before that. Nil
+// while everything is healthy.
+func (env *Env) Err() error {
+	env.mu.Lock()
+	defer env.mu.Unlock()
+	if env.abort != nil {
+		return env.abort
+	}
+	return env.C.Err()
+}
+
+// noteAbort records which job first observed a cluster-level failure.
+func (env *Env) noteAbort(job string) {
+	err := env.C.Err()
+	if err == nil {
+		return
+	}
+	env.mu.Lock()
+	if env.abort == nil {
+		env.abort = &JobAbort{Job: job, Err: err}
+	}
+	env.mu.Unlock()
+}
+
+// reReplicate restores the replication factor of the blocks whose primary
+// copy lived on the failed node: a surviving replica is read and copied to
+// a replacement node, charged as one Recovery-phase stage. With replication
+// <= 1 nothing survives and the environment fails with data loss.
+func (f *File[T]) reReplicate(node int) {
+	env := f.env
+	c := env.C
+	rep := c.Profile.HDFSReplication
+	var tasks []cluster.Task
+	var total float64
+	for b := range f.blocks {
+		if c.NodeOf(b) != node {
+			continue
+		}
+		if rep <= 1 {
+			c.Fail(&cluster.DataLoss{Node: node, Detail: fmt.Sprintf("file %s block %d had no surviving replica (replication %d)", f.name, b, rep)})
+			return
+		}
+		bytes := f.blockBytes(b)
+		tasks = append(tasks, cluster.Task{
+			// The replacement host reads the surviving replica remotely and
+			// writes it locally: disk on both ends, charged to the writer.
+			Node:      (node + 1) % c.Nodes,
+			DiskBytes: 2 * bytes,
+		})
+		total += bytes
+	}
+	if len(tasks) == 0 {
+		return
+	}
+	oldPhase := c.Phase()
+	c.SetPhase(cluster.PhaseRecovery)
+	c.RunStage(false, tasks)
+	c.SetPhase(oldPhase)
+	c.NoteReReplicated(total)
+}

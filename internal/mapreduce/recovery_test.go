@@ -1,0 +1,112 @@
+package mapreduce
+
+import (
+	"errors"
+	"testing"
+
+	"cstf/internal/cluster"
+)
+
+// crashOnce delivers one node crash at the given stage.
+type crashOnce struct {
+	stage     uint64
+	node      int
+	delivered bool
+}
+
+func (c *crashOnce) TakeFaults(seq uint64) ([]int, []int) {
+	if !c.delivered && seq >= c.stage {
+		c.delivered = true
+		return []int{c.node}, nil
+	}
+	return nil, nil
+}
+
+func (c *crashOnce) StageConditions(uint64, int) ([]float64, float64) { return nil, 1 }
+
+func TestCrashTriggersReReplication(t *testing.T) {
+	c := cluster.New(4, cluster.LaptopProfile())
+	env := NewEnv(c, 8)
+	env.EnableRecovery()
+	c.SetFaultInjector(&crashOnce{stage: 2, node: 1})
+
+	data := make([]int, 64)
+	for i := range data {
+		data[i] = i
+	}
+	f := WriteFile(env, "in", data, func(int) int { return 8 }) // stage 1
+	// Stage 2 delivers the crash; blocks 1 and 5 of the file lived on node 1
+	// and re-replicate during delivery.
+	out := RunMapJob(env, "identity", f, func(x int) []int { return []int{x} }, func(int) int { return 8 }, 0)
+
+	m := c.Metrics()
+	if m.NodeCrashes != 1 {
+		t.Fatalf("NodeCrashes = %d, want 1", m.NodeCrashes)
+	}
+	if m.ReReplicatedBytes == 0 {
+		t.Fatal("expected re-replicated bytes after the crash")
+	}
+	if m.SimTime[cluster.PhaseRecovery] <= c.Profile.RecoveryDelay {
+		t.Fatal("re-replication time not charged under Recovery")
+	}
+	if env.Err() != nil {
+		t.Fatalf("replicated file must survive a single crash: %v", env.Err())
+	}
+	if out.Records() != len(data) {
+		t.Fatalf("job output lost records: %d of %d", out.Records(), len(data))
+	}
+}
+
+func TestCrashWithReplicationOneIsDataLoss(t *testing.T) {
+	c := cluster.New(4, func() cluster.Profile {
+		p := cluster.LaptopProfile()
+		p.HDFSReplication = 1
+		return p
+	}())
+	env := NewEnv(c, 8)
+	env.EnableRecovery()
+	c.SetFaultInjector(&crashOnce{stage: 2, node: 1})
+	WriteFile(env, "in", []int{1, 2, 3, 4}, func(int) int { return 8 })
+	// Trigger the crash via any stage.
+	c.RunStage(false, []cluster.Task{{Node: 0, Records: 1}})
+	err := env.Err()
+	if err == nil {
+		t.Fatal("replication 1 + crash must be data loss")
+	}
+	var dl *cluster.DataLoss
+	if !errors.As(err, &dl) {
+		t.Fatalf("error is %T, want *cluster.DataLoss", err)
+	}
+}
+
+func TestJobAbortIsTypedAndSticky(t *testing.T) {
+	c := cluster.New(2, cluster.LaptopProfile())
+	env := NewEnv(c, 4)
+	if err := c.InjectTaskFailures(0.999, 7); err != nil {
+		t.Fatal(err)
+	}
+	f := WriteFile(env, "in", []int{1, 2, 3, 4, 5, 6, 7, 8}, func(int) int { return 8 })
+	RunJob(env, "sum", f,
+		func(x int, emit Emit[int, int]) { emit(x%2, x) },
+		nil,
+		func(k int, vs []int, out func(int)) { out(len(vs)) },
+		func(int, int) int { return 16 },
+		func(int) int { return 8 },
+		JobOpts{})
+	err := env.Err()
+	if err == nil {
+		t.Fatal("expected job abort at rate 0.999")
+	}
+	var ja *JobAbort
+	if !errors.As(err, &ja) {
+		t.Fatalf("error is %T, want *JobAbort", err)
+	}
+	var sf *cluster.StageFailure
+	if !errors.As(err, &sf) {
+		t.Fatalf("JobAbort must wrap the stage failure, got %v", err)
+	}
+	// The first failing job keeps the blame even after later failures.
+	if got := ja.Job; got == "" {
+		t.Fatal("JobAbort must carry the job name")
+	}
+}

@@ -70,7 +70,7 @@ func GroupByKey[K comparable, V any](d *Dataset[KV[K, V]], os ...Option) *Datase
 			}
 			parts[p] = recs
 		})
-		ctx.Cluster.RunStage(wide, tasks)
+		ctx.runOutputStage(wide, tasks)
 		return parts
 	}
 	return out
@@ -242,7 +242,7 @@ func AggregateByKey[K comparable, V, A any](
 			tasks[p].Flops += o.flopsPerRecord * tasks[p].Records
 			tasks[p].Records *= o.costFactor
 		})
-		ctx.Cluster.RunStage(true, tasks)
+		ctx.runOutputStage(true, tasks)
 		return final
 	}
 	return out

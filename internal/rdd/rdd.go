@@ -42,6 +42,55 @@ type Context struct {
 	Cluster *cluster.Cluster
 	Parts   int // partitions per dataset
 	nextID  int
+
+	resilient bool                     // lineage recovery enabled (EnableRecovery)
+	registry  map[recoverable]struct{} // persisted datasets exposed to node crashes
+	needPart  []bool                   // during recovery: partitions whose cost to charge
+}
+
+// recoverable is the registry's view of a persisted dataset of any type.
+type recoverable interface {
+	loseNode(node int)
+}
+
+// EnableRecovery subscribes the context to the cluster's node-crash events:
+// a crash drops every persisted partition hosted on the dead node, and lost
+// partitions are recomputed from retained lineage (under the "Recovery"
+// phase, charging only the rebuilt partitions) the next time they are read.
+//
+// Scope of the fault model: only *persisted* partitions are exposed to
+// crashes. Materialized-but-unpersisted intermediates stay memoized, which
+// models shuffle files and driver-held results surviving on healthy nodes —
+// an extension of the package's documented memoization deviation. After
+// recovery is enabled, Unpersist retires a dataset permanently (its lineage
+// and data are dropped); reading it afterwards panics.
+func (ctx *Context) EnableRecovery() {
+	if ctx.resilient {
+		return
+	}
+	ctx.resilient = true
+	ctx.registry = map[recoverable]struct{}{}
+	ctx.Cluster.OnNodeCrash(func(node int) {
+		for d := range ctx.registry {
+			d.loseNode(node)
+		}
+	})
+}
+
+// runOutputStage charges a stage whose tasks are indexed by destination
+// partition. During lineage recovery, only the partitions being rebuilt are
+// charged; everywhere else it is RunStage.
+func (ctx *Context) runOutputStage(wide bool, tasks []cluster.Task) {
+	if ctx.needPart != nil && len(tasks) == ctx.Parts {
+		filtered := make([]cluster.Task, 0, len(tasks))
+		for p := range tasks {
+			if ctx.needPart[p] {
+				filtered = append(filtered, tasks[p])
+			}
+		}
+		tasks = filtered
+	}
+	ctx.Cluster.RunStage(wide, tasks)
 }
 
 // NewContext creates an execution context with the given partition count.
@@ -71,6 +120,12 @@ type Dataset[T any] struct {
 	keyed      bool // hash-partitioned by key (KV datasets only)
 	cached     bool
 	serialized bool // cached at the serialized storage level
+
+	// Fault-recovery state (resilient contexts only).
+	lineage   func() [][]T // retained compute closure for recomputation
+	lost      []bool       // partitions destroyed by a node crash
+	lostCount int
+	retired   bool // unpersisted and dropped; reads are a bug
 }
 
 // Name returns the dataset's debug name.
@@ -93,10 +148,20 @@ func newDataset[T any](ctx *Context, name string, sizeOf func(T) int) *Dataset[T
 }
 
 // materialize computes the dataset if needed and returns its partitions.
+// On resilient contexts it also rebuilds any partitions lost to a node
+// crash before handing data to the caller.
 func (d *Dataset[T]) materialize() [][]T {
+	if d.retired {
+		panic("rdd: dataset read after Unpersist retired it: " + d.name)
+	}
 	if !d.computed {
 		if d.compute == nil {
 			panic("rdd: dataset has neither data nor lineage: " + d.name)
+		}
+		if d.ctx.resilient {
+			// Keep the closure so lost partitions can be recomputed; the
+			// chain is broken when the dataset is unpersisted (retired).
+			d.lineage = d.compute
 		}
 		d.parts = d.compute()
 		if len(d.parts) != d.ctx.Parts {
@@ -105,7 +170,76 @@ func (d *Dataset[T]) materialize() [][]T {
 		d.computed = true
 		d.compute = nil // release lineage so old iterations can be collected
 	}
+	if d.lostCount > 0 {
+		d.recover()
+	}
 	return d.parts
+}
+
+// loseNode implements recoverable: a node crash destroys every partition of
+// this (persisted) dataset hosted on the dead node. Called at a stage
+// boundary, never mid-closure, so no in-flight stage observes nil data.
+func (d *Dataset[T]) loseNode(node int) {
+	if !d.computed || d.retired {
+		return
+	}
+	for p := range d.parts {
+		if d.ctx.Cluster.NodeOf(p) == node && !d.lost[p] {
+			d.parts[p] = nil
+			d.lost[p] = true
+			d.lostCount++
+		}
+	}
+}
+
+// recover rebuilds the lost partitions by re-running the retained lineage
+// closure under the Recovery phase. The recompute executes in full on the
+// host (ancestors are memoized or themselves recovering), but only the lost
+// partitions' modeled cost is charged, via the context's needPart filter;
+// recovered cached partitions are re-charged to executor memory on the
+// replacement node.
+func (d *Dataset[T]) recover() {
+	if d.lineage == nil {
+		panic("rdd: lost partitions but no lineage retained: " + d.name)
+	}
+	ctx := d.ctx
+	cl := ctx.Cluster
+	oldPhase := cl.Phase()
+	cl.SetPhase(cluster.PhaseRecovery)
+	oldNeed := ctx.needPart
+	need := make([]bool, ctx.Parts)
+	recovered := 0
+	for p, l := range d.lost {
+		if l {
+			need[p] = true
+			recovered++
+		}
+	}
+	ctx.needPart = need
+	parts := d.lineage()
+	ctx.needPart = oldNeed
+	cl.SetPhase(oldPhase)
+
+	for p := range d.lost {
+		if !d.lost[p] {
+			continue
+		}
+		d.parts[p] = parts[p]
+		d.lost[p] = false
+		if d.cached {
+			var b float64
+			for i := range parts[p] {
+				b += float64(d.sizeOf(parts[p][i]))
+			}
+			if d.serialized {
+				cl.AddCachedSerialized(p, b)
+			} else {
+				cl.AddCached(p, b)
+			}
+		}
+	}
+	d.lostCount = 0
+	cl.NoteRecomputed(recovered)
 }
 
 // byteSize returns the accounted size of all records currently held.
@@ -154,6 +288,14 @@ func (d *Dataset[T]) persist(serialized bool) *Dataset[T] {
 	}
 	d.cached = true
 	d.serialized = serialized
+	if d.ctx.resilient {
+		// Persisted partitions live in executor memory, so they are the
+		// ones a node crash destroys; expose them to the crash listener.
+		if d.lost == nil {
+			d.lost = make([]bool, d.ctx.Parts)
+		}
+		d.ctx.registry[d] = struct{}{}
+	}
 	for p := range d.parts {
 		var b float64
 		for i := range d.parts[p] {
@@ -181,6 +323,10 @@ func (d *Dataset[T]) readCost() float64 {
 
 // Unpersist releases the dataset's claim on executor memory. CSTF-QCOO
 // calls this on the previous MTTKRP's queue RDD (Section 4.2, "Caching").
+// On a resilient context, unpersisting also retires the dataset — its data
+// and lineage are dropped for good (the engine's convention is that an
+// unpersisted dataset is never read again), which is what keeps retained
+// lineage chains from pinning every past iteration in memory.
 func (d *Dataset[T]) Unpersist() {
 	if !d.cached {
 		return
@@ -198,6 +344,14 @@ func (d *Dataset[T]) Unpersist() {
 		}
 	}
 	d.serialized = false
+	if d.ctx.resilient {
+		delete(d.ctx.registry, recoverable(d))
+		d.retired = true
+		d.parts = nil
+		d.lineage = nil
+		d.lost = nil
+		d.lostCount = 0
+	}
 }
 
 // Cached reports whether the dataset is persisted.
@@ -226,7 +380,7 @@ func FromSlice[T any](ctx *Context, name string, data []T, sizeOf func(T) int) *
 		for p := range tasks {
 			tasks[p] = cluster.Task{Node: ctx.Cluster.NodeOf(p), Records: float64(len(parts[p]))}
 		}
-		ctx.Cluster.RunStage(false, tasks)
+		ctx.runOutputStage(false, tasks)
 		return parts
 	}
 	return d
@@ -255,7 +409,7 @@ func GenerateKeyed[K comparable, V any](ctx *Context, name string, perPart func(
 		for p := range tasks {
 			tasks[p] = cluster.Task{Node: ctx.Cluster.NodeOf(p), Records: float64(len(parts[p]))}
 		}
-		ctx.Cluster.RunStage(false, tasks)
+		ctx.runOutputStage(false, tasks)
 		return parts
 	}
 	return d

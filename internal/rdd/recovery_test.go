@@ -1,0 +1,141 @@
+package rdd
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"cstf/internal/cluster"
+)
+
+// crashOnce delivers one node crash at the given stage, with clean
+// conditions otherwise.
+type crashOnce struct {
+	stage     uint64
+	node      int
+	delivered bool
+}
+
+func (c *crashOnce) TakeFaults(seq uint64) ([]int, []int) {
+	if !c.delivered && seq >= c.stage {
+		c.delivered = true
+		return []int{c.node}, nil
+	}
+	return nil, nil
+}
+
+func (c *crashOnce) StageConditions(uint64, int) ([]float64, float64) { return nil, 1 }
+
+func square(x int) int { return x * x }
+
+// pipeline builds the shared test topology: a persisted source and a
+// persisted map over it, returning both plus the collected map output.
+func pipeline(ctx *Context) (*Dataset[int], *Dataset[int], []int) {
+	data := make([]int, 80)
+	for i := range data {
+		data[i] = i + 1
+	}
+	src := FromSlice(ctx, "src", data, intSize).Persist()
+	sq := Map(src, square, intSize).Persist()
+	return src, sq, Collect(sq)
+}
+
+func TestCrashRecoveryRecomputesFromLineage(t *testing.T) {
+	// Fault-free baseline.
+	cleanCtx := testCtx(4, 8)
+	_, _, want := pipeline(cleanCtx)
+
+	ctx := testCtx(4, 8)
+	ctx.EnableRecovery()
+	cl := ctx.Cluster
+	// Stages: 1 = src load, 2 = map, 3 = the first Collect's read stage,
+	// where the crash lands (after the collect copied its data out).
+	cl.SetFaultInjector(&crashOnce{stage: 3, node: 1})
+	src, sq, first := pipeline(ctx)
+	if !reflect.DeepEqual(first, want) {
+		t.Fatal("collect that delivers the crash must still see pre-crash data")
+	}
+	cachedBefore := 0.0 // recompute below; crash already zeroed node 1
+
+	m := cl.Metrics()
+	if m.NodeCrashes != 1 {
+		t.Fatalf("NodeCrashes = %d, want 1", m.NodeCrashes)
+	}
+	if m.LostCacheBytes == 0 {
+		t.Fatal("crash must destroy cached bytes")
+	}
+
+	// Partitions 1 and 5 of both datasets lived on node 1 and are gone;
+	// reading the map output recovers them (cascading into src) and yields
+	// bitwise-identical data.
+	got := Collect(sq)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("recovered collect differs from fault-free run")
+	}
+	m = cl.Metrics()
+	if m.RecomputedPartitions != 4 {
+		t.Fatalf("RecomputedPartitions = %d, want 4 (2 per dataset)", m.RecomputedPartitions)
+	}
+	if m.SimTime[cluster.PhaseRecovery] <= cl.Profile.RecoveryDelay {
+		t.Fatalf("recompute time not charged under Recovery: %v", m.SimTime[cluster.PhaseRecovery])
+	}
+	// Only the lost partitions are charged: 2 partitions x 10 records for
+	// each of the two recomputed stages.
+	if math.Abs(m.Records[cluster.PhaseRecovery]-40) > 1e-9 {
+		t.Fatalf("Recovery records = %v, want 40", m.Records[cluster.PhaseRecovery])
+	}
+
+	// The recovered partitions are re-cached: total cache matches a clean run.
+	cachedBefore = cleanCtx.Cluster.CachedBytes()
+	if math.Abs(cl.CachedBytes()-cachedBefore) > 1e-9 {
+		t.Fatalf("cache after recovery %v, want %v", cl.CachedBytes(), cachedBefore)
+	}
+	_ = src
+}
+
+func TestRecoveryIsLazyAndIdempotent(t *testing.T) {
+	ctx := testCtx(4, 8)
+	ctx.EnableRecovery()
+	cl := ctx.Cluster
+	cl.SetFaultInjector(&crashOnce{stage: 2, node: 2})
+	data := make([]int, 40)
+	for i := range data {
+		data[i] = i
+	}
+	src := FromSlice(ctx, "src", data, intSize).Persist() // stage 1
+	want := Collect(src)                                  // stage 2 delivers the crash
+	recomputedAt := cl.Metrics().RecomputedPartitions
+	if recomputedAt != 0 {
+		t.Fatal("recovery must be lazy (only on next read)")
+	}
+	if !reflect.DeepEqual(Collect(src), want) {
+		t.Fatal("first recovered read differs")
+	}
+	n := cl.Metrics().RecomputedPartitions
+	if n == 0 {
+		t.Fatal("read after crash must recompute")
+	}
+	if !reflect.DeepEqual(Collect(src), want) {
+		t.Fatal("second read differs")
+	}
+	if cl.Metrics().RecomputedPartitions != n {
+		t.Fatal("recovery must not repeat once partitions are rebuilt")
+	}
+}
+
+func TestUnpersistRetiresOnResilientContext(t *testing.T) {
+	ctx := testCtx(2, 4)
+	ctx.EnableRecovery()
+	src := FromSlice(ctx, "src", []int{1, 2, 3, 4}, intSize).Persist()
+	Collect(src)
+	src.Unpersist()
+	if len(ctx.registry) != 0 {
+		t.Fatal("unpersist must deregister the dataset")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reading a retired dataset must panic")
+		}
+	}()
+	Collect(src)
+}

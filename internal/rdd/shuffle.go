@@ -73,7 +73,7 @@ func PartitionBy[K comparable, V any](d *Dataset[KV[K, V]], os ...Option) *Datas
 			tasks[i].Flops = o.flopsPerRecord * tasks[i].Records
 			tasks[i].Records *= rc
 		}
-		d.ctx.Cluster.RunStage(true, tasks)
+		d.ctx.runOutputStage(true, tasks)
 		return parts
 	}
 	return out
@@ -137,7 +137,7 @@ func ReduceByKey[K comparable, V any](d *Dataset[KV[K, V]], combine func(V, V) V
 					Flops:   o.flopsPerRecord * merges[p],
 				}
 			}
-			ctx.Cluster.RunStage(false, tasks)
+			ctx.runOutputStage(false, tasks)
 			return combined
 		}
 
@@ -160,7 +160,7 @@ func ReduceByKey[K comparable, V any](d *Dataset[KV[K, V]], combine func(V, V) V
 			tasks[p].Flops = o.flopsPerRecord * redMerges[p]
 			tasks[p].Records *= o.costFactor
 		}
-		ctx.Cluster.RunStage(true, tasks)
+		ctx.runOutputStage(true, tasks)
 		return final
 	}
 	return out
@@ -238,7 +238,7 @@ func Join[K comparable, V, W any](a *Dataset[KV[K, V]], b *Dataset[KV[K, W]], si
 			tasks[p].Flops = o.flopsPerRecord * tasks[p].Records
 			tasks[p].Records *= o.costFactor
 		}
-		ctx.Cluster.RunStage(wide, tasks)
+		ctx.runOutputStage(wide, tasks)
 		return parts
 	}
 	return out

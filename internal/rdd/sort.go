@@ -64,7 +64,7 @@ func SortByKey[K comparable, V any](d *Dataset[KV[K, V]], less func(a, b K) bool
 			tasks[p].Flops = o.flopsPerRecord * tasks[p].Records
 			tasks[p].Records *= o.costFactor * d.readCost()
 		})
-		ctx.Cluster.RunStage(true, tasks)
+		ctx.runOutputStage(true, tasks)
 		return parts
 	}
 	return out
@@ -179,7 +179,7 @@ func CoGroup[K comparable, V, W any](a *Dataset[KV[K, V]], b *Dataset[KV[K, W]],
 			tasks[p].Flops = o.flopsPerRecord * tasks[p].Records
 			tasks[p].Records *= o.costFactor
 		}
-		ctx.Cluster.RunStage(wide, tasks)
+		ctx.runOutputStage(wide, tasks)
 		return parts
 	}
 	return out

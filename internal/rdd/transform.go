@@ -42,7 +42,8 @@ func applyOpts(def string, os []Option) opts {
 }
 
 // narrowTasks charges a narrow (pipelined, no-shuffle) stage over the given
-// per-partition record counts.
+// per-partition record counts. Tasks are indexed by output partition, so
+// during lineage recovery only the rebuilt partitions are charged.
 func narrowTasks(ctx *Context, counts []int, o opts) {
 	tasks := make([]cluster.Task, len(counts))
 	for p, n := range counts {
@@ -52,7 +53,7 @@ func narrowTasks(ctx *Context, counts []int, o opts) {
 			Flops:   o.flopsPerRecord * float64(n),
 		}
 	}
-	ctx.Cluster.RunStage(false, tasks)
+	ctx.runOutputStage(false, tasks)
 }
 
 // Map applies f to every record. The result is not key-partitioned even if
