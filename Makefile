@@ -3,13 +3,13 @@
 GO ?= go
 
 # Packages that carry concurrency (worker pools, shared caches, simulated
-# cluster) or fault-recovery paths: these also run under the race detector
-# in `make ci`.
-RACE_PKGS := ./internal/cpals ./internal/la ./internal/par ./internal/tensor ./internal/rdd ./internal/cluster ./internal/chaos ./internal/mapreduce ./internal/core
+# cluster, the serving executor) or fault-recovery paths: these also run
+# under the race detector in `make ci`.
+RACE_PKGS := ./internal/cpals ./internal/la ./internal/par ./internal/tensor ./internal/rdd ./internal/cluster ./internal/chaos ./internal/mapreduce ./internal/core ./internal/serve
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet staticcheck build test race bench
 
-ci: fmt vet build test race
+ci: fmt vet staticcheck build test race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -17,6 +17,14 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional locally (this repo vendors nothing and installs
+# nothing); CI installs it explicitly. Skips with a notice when absent.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; fi
 
 build:
 	$(GO) build ./...

@@ -2,36 +2,25 @@ package cstf
 
 import (
 	"context"
-	"encoding/gob"
 	"fmt"
-	"os"
 
+	"cstf/internal/ckpt"
 	"cstf/internal/la"
 )
 
 // Iteration-granular checkpointing. A checkpoint captures everything CP-ALS
 // needs to continue from an iteration boundary — the normalized factor
 // matrices, lambda, and the fit history — plus enough identity (algorithm,
-// rank, dims, seed) to reject a mismatched resume. Files are written with
-// gob encoding to a temp file and renamed into place, so a crash mid-write
-// never leaves a truncated checkpoint behind.
-
-// checkpointData is the on-disk checkpoint record.
-type checkpointData struct {
-	Algorithm string
-	Rank      int
-	Seed      uint64
-	Iter      int // completed ALS iterations (the StartIter to resume with)
-	Dims      []int
-	Lambda    []float64
-	Fits      []float64   // fit after each of the Iter completed iterations
-	Factors   [][]float64 // one row-major matrix per mode, Dims[n] x Rank
-}
+// rank, dims, seed) to reject a mismatched resume. The on-disk schema lives
+// in internal/ckpt so other consumers (the serving subsystem, future tools)
+// read the same format instead of re-parsing gob privately; files are
+// written atomically, so a crash mid-write never leaves a truncated
+// checkpoint behind.
 
 // checkpointFrom snapshots live solver state (which the checkpoint hook only
 // borrows) into an owned record.
-func checkpointFrom(alg Algorithm, rank int, seed uint64, iter int, dims []int, lambda []float64, factors []*la.Dense, fits []float64) *checkpointData {
-	cp := &checkpointData{
+func checkpointFrom(alg Algorithm, rank int, seed uint64, iter int, dims []int, lambda []float64, factors []*la.Dense, fits []float64) *ckpt.File {
+	cp := &ckpt.File{
 		Algorithm: string(alg),
 		Rank:      rank,
 		Seed:      seed,
@@ -47,39 +36,31 @@ func checkpointFrom(alg Algorithm, rank int, seed uint64, iter int, dims []int, 
 }
 
 // writeCheckpoint atomically replaces path with the encoded record.
-func writeCheckpoint(path string, cp *checkpointData) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("cstf: checkpoint: %w", err)
-	}
-	if err := gob.NewEncoder(f).Encode(cp); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("cstf: checkpoint encode: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("cstf: checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("cstf: checkpoint: %w", err)
-	}
-	return nil
+func writeCheckpoint(path string, cp *ckpt.File) error {
+	return ckpt.Write(path, cp)
 }
 
-func readCheckpoint(path string) (*checkpointData, error) {
-	f, err := os.Open(path)
+// LoadFactors reads the trained model stored in a checkpoint file — lambda,
+// the factor matrices, and the fit history — without needing the original
+// tensor. The file is validated (rank, dims, factor sizes must be
+// consistent; mismatches return a typed *ckpt.InvalidError) and the result
+// is a Decomposition whose Iters/Seed reflect the checkpointed run, ready
+// for At/TopK queries or for Decomposition.Server.
+func LoadFactors(path string) (*Decomposition, error) {
+	cp, err := ckpt.Load(path)
 	if err != nil {
-		return nil, fmt.Errorf("cstf: checkpoint: %w", err)
+		return nil, err
 	}
-	defer f.Close()
-	cp := &checkpointData{}
-	if err := gob.NewDecoder(f).Decode(cp); err != nil {
-		return nil, fmt.Errorf("cstf: checkpoint decode %s: %w", path, err)
+	d := &Decomposition{
+		Lambda: cp.Lambda,
+		Fits:   cp.Fits,
+		Iters:  cp.Iter,
+		Seed:   cp.Seed,
 	}
-	return cp, nil
+	for n, data := range cp.Factors {
+		d.Factors = append(d.Factors, &Matrix{d: la.NewDenseFrom(cp.Dims[n], cp.Rank, data)})
+	}
+	return d, nil
 }
 
 // DecomposeResume continues an interrupted run from the checkpoint at path.
@@ -99,7 +80,7 @@ func DecomposeResume(t *Tensor, path string, o Options) (*Decomposition, error) 
 // keeps checkpointing (typically over the same file).
 func DecomposeResumeContext(ctx context.Context, t *Tensor, path string, o Options) (*Decomposition, error) {
 	o = o.withDefaults()
-	cp, err := readCheckpoint(path)
+	cp, err := ckpt.Read(path)
 	if err != nil {
 		return nil, err
 	}
@@ -118,8 +99,8 @@ func DecomposeResumeContext(ctx context.Context, t *Tensor, path string, o Optio
 			return nil, fmt.Errorf("cstf: checkpoint dims %v != tensor dims %v", cp.Dims, dims)
 		}
 	}
-	if len(cp.Factors) != len(dims) || len(cp.Lambda) != cp.Rank || cp.Iter <= 0 {
-		return nil, fmt.Errorf("cstf: malformed checkpoint %s", path)
+	if err := cp.Validate(path); err != nil {
+		return nil, fmt.Errorf("cstf: malformed checkpoint %s: %w", path, err)
 	}
 	rs := resumeState{
 		startIter: cp.Iter,
@@ -127,9 +108,6 @@ func DecomposeResumeContext(ctx context.Context, t *Tensor, path string, o Optio
 		fits:      cp.Fits,
 	}
 	for n, data := range cp.Factors {
-		if len(data) != dims[n]*cp.Rank {
-			return nil, fmt.Errorf("cstf: checkpoint factor %d has %d values, want %d", n, len(data), dims[n]*cp.Rank)
-		}
 		rs.factors = append(rs.factors, la.NewDenseFrom(dims[n], cp.Rank, data))
 	}
 	return decompose(ctx, t, o, rs)

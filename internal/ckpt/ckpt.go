@@ -1,0 +1,125 @@
+// Package ckpt defines the on-disk checkpoint schema shared by everything
+// that produces or consumes trained CP factors: the solver writes iteration
+// snapshots through it, DecomposeResume restarts from them, cstf.LoadFactors
+// exposes them publicly, and internal/serve loads them into a model server.
+// Keeping the schema in one place means no consumer re-parses the gob layout
+// privately.
+//
+// Files are gob-encoded and written atomically (temp file + rename), so a
+// crash mid-write never leaves a truncated checkpoint behind and a reader
+// polling the path never observes a half-written file.
+package ckpt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// File is the on-disk checkpoint record. The exported field NAMES are the
+// wire contract — gob matches fields by name, so renaming any of them would
+// break decoding of previously written checkpoints.
+type File struct {
+	Algorithm string
+	Rank      int
+	Seed      uint64
+	Iter      int // completed ALS iterations (the StartIter to resume with)
+	Dims      []int
+	Lambda    []float64
+	Fits      []float64   // fit after each of the Iter completed iterations
+	Factors   [][]float64 // one row-major matrix per mode, Dims[n] x Rank
+}
+
+// InvalidError reports a checkpoint whose fields are structurally
+// inconsistent (factor count vs dims, factor sizes vs rank, ...).
+type InvalidError struct {
+	Path   string
+	Reason string
+}
+
+func (e *InvalidError) Error() string {
+	return fmt.Sprintf("ckpt: invalid checkpoint %s: %s", e.Path, e.Reason)
+}
+
+// Validate checks the record's internal consistency. path is only used to
+// label the returned *InvalidError.
+func (f *File) Validate(path string) error {
+	fail := func(format string, args ...any) error {
+		return &InvalidError{Path: path, Reason: fmt.Sprintf(format, args...)}
+	}
+	if f.Rank <= 0 {
+		return fail("rank %d", f.Rank)
+	}
+	if len(f.Dims) == 0 {
+		return fail("no dims")
+	}
+	for n, d := range f.Dims {
+		if d <= 0 {
+			return fail("mode %d has dim %d", n, d)
+		}
+	}
+	if len(f.Factors) != len(f.Dims) {
+		return fail("%d factor matrices for %d modes", len(f.Factors), len(f.Dims))
+	}
+	if len(f.Lambda) != f.Rank {
+		return fail("lambda length %d != rank %d", len(f.Lambda), f.Rank)
+	}
+	if f.Iter <= 0 {
+		return fail("iteration count %d", f.Iter)
+	}
+	for n, data := range f.Factors {
+		if len(data) != f.Dims[n]*f.Rank {
+			return fail("factor %d has %d values, want %d*%d", n, len(data), f.Dims[n], f.Rank)
+		}
+	}
+	return nil
+}
+
+// Write atomically replaces path with the encoded record.
+func Write(path string, f *File) error {
+	tmp := path + ".tmp"
+	w, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(f); err != nil {
+		w.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: encode: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return nil
+}
+
+// Read decodes the record at path without validating it.
+func Read(path string) (*File, error) {
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	defer r.Close()
+	f := &File{}
+	if err := gob.NewDecoder(r).Decode(f); err != nil {
+		return nil, fmt.Errorf("ckpt: decode %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Load reads and validates the record at path.
+func Load(path string) (*File, error) {
+	f, err := Read(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Validate(path); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,95 @@
+package ckpt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sample() *File {
+	return &File{
+		Algorithm: "serial",
+		Rank:      2,
+		Seed:      7,
+		Iter:      3,
+		Dims:      []int{4, 3},
+		Lambda:    []float64{2, 1},
+		Fits:      []float64{0.1, 0.2, 0.3},
+		Factors: [][]float64{
+			{1, 2, 3, 4, 5, 6, 7, 8},
+			{1, 0, 0, 1, 1, 1},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	want := sample()
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm != want.Algorithm || got.Rank != want.Rank || got.Iter != want.Iter {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+	if len(got.Factors) != 2 || got.Factors[0][7] != 8 || got.Factors[1][5] != 1 {
+		t.Fatalf("factors corrupted: %+v", got.Factors)
+	}
+}
+
+func TestWriteIsAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	if err := Write(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite leaves no temp file behind and the file stays readable.
+	if err := Write(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsMismatches(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*File)
+	}{
+		{"bad rank", func(f *File) { f.Rank = 0 }},
+		{"no dims", func(f *File) { f.Dims = nil }},
+		{"factor count", func(f *File) { f.Factors = f.Factors[:1] }},
+		{"lambda length", func(f *File) { f.Lambda = f.Lambda[:1] }},
+		{"factor size", func(f *File) { f.Factors[0] = f.Factors[0][:3] }},
+		{"iter", func(f *File) { f.Iter = 0 }},
+	}
+	for _, c := range cases {
+		f := sample()
+		c.mut(f)
+		err := f.Validate("x.ckpt")
+		var inv *InvalidError
+		if !errors.As(err, &inv) {
+			t.Errorf("%s: want *InvalidError, got %v", c.name, err)
+		}
+	}
+}
+
+func TestReadMissingAndCorrupt(t *testing.T) {
+	if _, err := Read(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	path := filepath.Join(t.TempDir(), "junk.ckpt")
+	if err := os.WriteFile(path, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("want decode error for corrupt file")
+	}
+}

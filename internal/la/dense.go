@@ -35,6 +35,16 @@ func NewDenseFrom(r, c int, data []float64) *Dense {
 	return &Dense{Rows: r, Cols: c, Data: data}
 }
 
+// Ones returns an r x c matrix of ones — the neutral element of Hadamard
+// products, as Identity is for Mul.
+func Ones(r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = 1
+	}
+	return m
+}
+
 // Identity returns the n x n identity matrix.
 func Identity(n int) *Dense {
 	m := NewDense(n, n)

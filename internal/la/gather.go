@@ -1,0 +1,81 @@
+package la
+
+import "fmt"
+
+// Serving hot-path kernels: the model server scores queries by streaming a
+// tall factor matrix against one or many short query vectors, and gathers
+// factor rows for batched reconstruction. These complement MatVec/VecMatInto
+// in vec.go, which cover the small rank-sized matrices of the solver.
+
+// MatVecInto computes dst = m * x without allocating (dst length m.Rows).
+// This is the single-query scoring scan: one dot product per factor row.
+func MatVecInto(dst []float64, m *Dense, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("la: matvecinto dimension mismatch %dx%d * %d -> %d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	c := m.Cols
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = VecDot(m.Data[i*c:(i+1)*c], x)
+	}
+}
+
+// MatVecRange computes dst[i-lo] = m.Row(i) . x for i in [lo, hi) — the
+// row-block slice of MatVecInto that blocked parallel scans fan out over.
+func MatVecRange(dst []float64, m *Dense, x []float64, lo, hi int) {
+	if len(x) != m.Cols || len(dst) < hi-lo {
+		panic("la: matvecrange dimension mismatch")
+	}
+	c := m.Cols
+	for i := lo; i < hi; i++ {
+		dst[i-lo] = VecDot(m.Data[i*c:(i+1)*c], x)
+	}
+}
+
+// MatMulBatchRange computes dst[b][i-lo] = m.Row(i) . qs[b] for i in
+// [lo, hi) and every query vector in qs. The row loop is OUTER, so each
+// factor row is loaded from memory once and reused across all queries —
+// the cache-locality win that makes coalescing concurrent serving requests
+// into one scan worthwhile. Every dst[b] must have length >= hi-lo and
+// every query length m.Cols.
+func MatMulBatchRange(dst [][]float64, m *Dense, qs [][]float64, lo, hi int) {
+	if len(dst) != len(qs) {
+		panic("la: matmulbatchrange query/output count mismatch")
+	}
+	for b, q := range qs {
+		if len(q) != m.Cols || len(dst[b]) < hi-lo {
+			panic("la: matmulbatchrange dimension mismatch")
+		}
+	}
+	c := m.Cols
+	for i := lo; i < hi; i++ {
+		row := m.Data[i*c : (i+1)*c]
+		for b, q := range qs {
+			dst[b][i-lo] = VecDot(row, q)
+		}
+	}
+}
+
+// GatherRows copies the given rows of m into a new len(rows) x m.Cols
+// matrix. Out-of-range indices panic; callers validate request bounds
+// before gathering.
+func GatherRows(m *Dense, rows []int) *Dense {
+	out := NewDense(len(rows), m.Cols)
+	GatherRowsInto(out, m, rows)
+	return out
+}
+
+// GatherRowsInto copies the given rows of m into dst (len(rows) x m.Cols),
+// without allocating.
+func GatherRowsInto(dst *Dense, m *Dense, rows []int) {
+	if dst.Rows != len(rows) || dst.Cols != m.Cols {
+		panic("la: gather dimension mismatch")
+	}
+	c := m.Cols
+	for o, i := range rows {
+		if i < 0 || i >= m.Rows {
+			panic(fmt.Sprintf("la: gather row %d out of range [0,%d)", i, m.Rows))
+		}
+		copy(dst.Data[o*c:(o+1)*c], m.Data[i*c:(i+1)*c])
+	}
+}

@@ -1,0 +1,144 @@
+package la
+
+import (
+	"math"
+	"testing"
+
+	"cstf/internal/rng"
+)
+
+func seededDense(seed uint64, r, c int) *Dense {
+	g := rng.New(seed)
+	m := NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = g.Float64()*2 - 1
+	}
+	return m
+}
+
+func TestMatVecIntoMatchesMatVec(t *testing.T) {
+	m := seededDense(1, 37, 8)
+	x := seededDense(2, 8, 1).Data
+	want := MatVec(m, x)
+	got := make([]float64, m.Rows)
+	MatVecInto(got, m, x)
+	if VecMaxAbsDiff(want, got) != 0 {
+		t.Fatal("MatVecInto differs from MatVec")
+	}
+}
+
+func TestMatVecRange(t *testing.T) {
+	m := seededDense(3, 41, 6)
+	x := seededDense(4, 6, 1).Data
+	full := MatVec(m, x)
+	lo, hi := 7, 29
+	got := make([]float64, hi-lo)
+	MatVecRange(got, m, x, lo, hi)
+	if VecMaxAbsDiff(full[lo:hi], got) != 0 {
+		t.Fatal("MatVecRange differs from the full product")
+	}
+}
+
+func TestMatMulBatchRange(t *testing.T) {
+	m := seededDense(5, 53, 4)
+	qs := [][]float64{
+		seededDense(6, 4, 1).Data,
+		seededDense(7, 4, 1).Data,
+		seededDense(8, 4, 1).Data,
+	}
+	lo, hi := 3, 50
+	dst := make([][]float64, len(qs))
+	for b := range dst {
+		dst[b] = make([]float64, hi-lo)
+	}
+	MatMulBatchRange(dst, m, qs, lo, hi)
+	for b, q := range qs {
+		want := make([]float64, hi-lo)
+		MatVecRange(want, m, q, lo, hi)
+		if VecMaxAbsDiff(want, dst[b]) != 0 {
+			t.Fatalf("query %d differs from per-query MatVecRange", b)
+		}
+	}
+}
+
+func TestGatherRows(t *testing.T) {
+	m := seededDense(9, 20, 5)
+	rows := []int{19, 0, 7, 7, 3}
+	g := GatherRows(m, rows)
+	for o, i := range rows {
+		if VecMaxAbsDiff(g.Row(o), m.Row(i)) != 0 {
+			t.Fatalf("gathered row %d (src %d) differs", o, i)
+		}
+	}
+}
+
+func TestRowNormsParallel(t *testing.T) {
+	m := seededDense(10, 4100, 7) // spans multiple blocks
+	for _, workers := range []int{1, 4} {
+		norms := RowNormsParallel(m, workers)
+		for i := 0; i < m.Rows; i += 997 {
+			if want := VecNorm(m.Row(i)); norms[i] != want {
+				t.Fatalf("workers=%d row %d norm %v want %v", workers, i, norms[i], want)
+			}
+		}
+	}
+}
+
+func TestColumnSums(t *testing.T) {
+	m := seededDense(11, 123, 3)
+	sums := ColumnSums(m)
+	for j := 0; j < m.Cols; j++ {
+		var want float64
+		for i := 0; i < m.Rows; i++ {
+			want += m.At(i, j)
+		}
+		if math.Abs(sums[j]-want) > 1e-12 {
+			t.Fatalf("col %d sum %v want %v", j, sums[j], want)
+		}
+	}
+}
+
+// The serving hot path: one tall factor matrix streamed against queries.
+
+func BenchmarkMatVecInto(b *testing.B) {
+	m := seededDense(1, 100_000, 16)
+	x := seededDense(2, 16, 1).Data
+	dst := make([]float64, m.Rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatVecInto(dst, m, x)
+	}
+}
+
+// BenchmarkMatMulBatch16 streams the matrix ONCE for 16 queries; compare
+// against 16x BenchmarkMatVecInto for the coalescing win.
+func BenchmarkMatMulBatch16(b *testing.B) {
+	m := seededDense(1, 100_000, 16)
+	qs := make([][]float64, 16)
+	dst := make([][]float64, 16)
+	for i := range qs {
+		qs[i] = seededDense(uint64(i+2), 16, 1).Data
+		dst[i] = make([]float64, m.Rows)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulBatchRange(dst, m, qs, 0, m.Rows)
+	}
+}
+
+func BenchmarkGatherRows(b *testing.B) {
+	m := seededDense(1, 100_000, 16)
+	g := rng.New(3)
+	rows := make([]int, 1024)
+	for i := range rows {
+		rows[i] = g.Intn(m.Rows)
+	}
+	dst := NewDense(len(rows), m.Cols)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GatherRowsInto(dst, m, rows)
+	}
+}

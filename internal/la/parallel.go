@@ -96,8 +96,33 @@ func NormalizeColumnsParallel(m *Dense, workers int) []float64 {
 // worker pool. fn must only touch rows in its [lo, hi) block; under that
 // contract the result is independent of the worker count.
 func RowBlocksApply(workers, n int, fn func(lo, hi int)) {
-	par.Run(workers, par.NumBlocks(n), func(b int) {
-		lo, hi := par.Block(b, n)
-		fn(lo, hi)
+	par.ForBlocks(workers, n, fn)
+}
+
+// RowNormsParallel returns the Euclidean norm of each ROW of m — the
+// per-item normalizers of cosine-similarity scoring over factor rows. The
+// rows are independent, so any partitioning is exact; the fan-out reuses
+// the same blocked discipline as ColumnNormsParallel.
+func RowNormsParallel(m *Dense, workers int) []float64 {
+	norms := make([]float64, m.Rows)
+	par.ForBlocks(workers, m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			norms[i] = VecNorm(m.Data[i*m.Cols : (i+1)*m.Cols])
+		}
 	})
+	return norms
+}
+
+// ColumnSums returns the per-column sums of m. For a CP factor matrix this
+// is the uniform marginalization weight of its mode: summing the model over
+// every index of the mode collapses A_n to its column-sum vector.
+func ColumnSums(m *Dense) []float64 {
+	sums := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			sums[j] += v
+		}
+	}
+	return sums
 }

@@ -92,6 +92,18 @@ func Block(b, n int) (lo, hi int) {
 	return lo, hi
 }
 
+// ForBlocks runs fn over every BlockSize block of [0, n) on the worker
+// pool. fn must only touch items in its [lo, hi) block; under that contract
+// the result is independent of the worker count. This is the shared
+// fan-out primitive behind the row-blocked matrix kernels in internal/la
+// and the batched scoring scans in internal/serve.
+func ForBlocks(workers, n int, fn func(lo, hi int)) {
+	Run(workers, NumBlocks(n), func(b int) {
+		lo, hi := Block(b, n)
+		fn(lo, hi)
+	})
+}
+
 // SumBlocks reduces blockFn over all BlockSize blocks of [0, n): partials
 // are computed concurrently by up to `workers` goroutines and summed in
 // block order, so the result is bitwise identical for every worker count.

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// HTTP JSON surface. Every endpoint answers GET with query parameters and
+// POST with a JSON body (the body wins when both are present):
+//
+//	GET  /predict?index=3,1,4            {"value": ..., "model_version": ...}
+//	GET  /topk?mode=1&row=7&k=10[&given=0]
+//	GET  /similar?mode=0&row=7&k=10
+//	GET  /healthz                        liveness + model identity
+//	GET  /statsz                         serving counters (Stats)
+//
+// Error mapping: bad requests → 400, shed load → 429 with Retry-After,
+// deadline exceeded → 504, closed server → 503.
+
+// NewHandler returns the HTTP API for s.
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) { handlePredict(s, w, r) })
+	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) { handleRanked(s, w, r, kindTopK) })
+	mux.HandleFunc("/similar", func(w http.ResponseWriter, r *http.Request) { handleRanked(s, w, r, kindSimilar) })
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { handleHealth(s, w, r) })
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) { writeJSON(w, http.StatusOK, s.Stats()) })
+	return mux
+}
+
+// queryBody is the merged request shape of every endpoint.
+type queryBody struct {
+	Index []int `json:"index"`
+	Mode  *int  `json:"mode"`
+	Given *int  `json:"given"`
+	Row   *int  `json:"row"`
+	K     *int  `json:"k"`
+}
+
+func parseBody(r *http.Request) (*queryBody, error) {
+	b := &queryBody{}
+	if r.Body != nil && r.ContentLength != 0 {
+		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<16))
+		if err := dec.Decode(b); err != nil {
+			return nil, fmt.Errorf("invalid JSON body: %w", err)
+		}
+		return b, nil
+	}
+	q := r.URL.Query()
+	if v := q.Get("index"); v != "" {
+		for _, part := range strings.Split(v, ",") {
+			i, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("invalid index %q", part)
+			}
+			b.Index = append(b.Index, i)
+		}
+	}
+	for name, dst := range map[string]**int{"mode": &b.Mode, "given": &b.Given, "row": &b.Row, "k": &b.K} {
+		if v := q.Get(name); v != "" {
+			i, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("invalid %s %q", name, v)
+			}
+			*dst = &i
+		}
+	}
+	return b, nil
+}
+
+func handlePredict(s *Server, w http.ResponseWriter, r *http.Request) {
+	b, err := parseBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(b.Index) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("predict requires index=i,j,..."))
+		return
+	}
+	v, err := s.Predict(r.Context(), b.Index...)
+	if err != nil {
+		writeServeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"value":         v,
+		"index":         b.Index,
+		"model_version": s.Model().Version,
+	})
+}
+
+func handleRanked(s *Server, w http.ResponseWriter, r *http.Request, kind reqKind) {
+	b, err := parseBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if b.Mode == nil || b.Row == nil {
+		writeError(w, http.StatusBadRequest, errors.New("mode and row are required"))
+		return
+	}
+	k := 10
+	if b.K != nil {
+		k = *b.K
+	}
+	var scored []Scored
+	switch kind {
+	case kindTopK:
+		given := -1
+		if b.Given != nil {
+			given = *b.Given
+		}
+		scored, err = s.TopK(r.Context(), *b.Mode, given, *b.Row, k)
+	case kindSimilar:
+		scored, err = s.Similar(r.Context(), *b.Mode, *b.Row, k)
+	}
+	if err != nil {
+		writeServeError(w, err)
+		return
+	}
+	resp := map[string]any{
+		"mode":          *b.Mode,
+		"row":           *b.Row,
+		"k":             k,
+		"results":       scored,
+		"model_version": s.Model().Version,
+	}
+	if kind == kindTopK {
+		// The predicted-slice mass of the conditioning row, from the
+		// precomputed cross-mode gram: lets clients judge score scale.
+		if sn, err := sliceNormForResponse(s, b, kind); err == nil {
+			resp["slice_norm"] = sn
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func sliceNormForResponse(s *Server, b *queryBody, kind reqKind) (float64, error) {
+	m := s.Model()
+	given := -1
+	if b.Given != nil {
+		given = *b.Given
+	}
+	if given == -1 {
+		if err := m.checkMode(*b.Mode); err != nil {
+			return 0, err
+		}
+		given = m.defaultGiven(*b.Mode)
+	}
+	return m.SliceNorm(given, *b.Row)
+}
+
+func handleHealth(s *Server, w http.ResponseWriter, _ *http.Request) {
+	m := s.Model()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"model_version": m.Version,
+		"model_iter":    m.Iter,
+		"rank":          m.Rank,
+		"dims":          m.Dims,
+		"memory_bytes":  m.MemoryBytes(),
+	})
+}
+
+func writeServeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, 499, err) // client went away (nginx convention)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response already committed
+}

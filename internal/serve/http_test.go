@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testHTTP(t *testing.T) (*httptest.Server, *Server, *Model) {
+	t.Helper()
+	s, m := testServer(t, Config{})
+	ts := httptest.NewServer(NewHandler(s))
+	t.Cleanup(ts.Close)
+	return ts, s, m
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHTTPPredict(t *testing.T) {
+	ts, _, m := testHTTP(t)
+	out := getJSON(t, ts.URL+"/predict?index=1,2,3", http.StatusOK)
+	want, _ := m.Predict(1, 2, 3)
+	if got := out["value"].(float64); got != want {
+		t.Fatalf("value %v want %v", got, want)
+	}
+
+	// POST JSON body form.
+	resp, err := http.Post(ts.URL+"/predict", "application/json",
+		strings.NewReader(`{"index":[1,2,3]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out2 map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2["value"].(float64) != want {
+		t.Fatalf("POST value %v want %v", out2["value"], want)
+	}
+}
+
+func TestHTTPTopKAndSimilar(t *testing.T) {
+	ts, _, m := testHTTP(t)
+	out := getJSON(t, fmt.Sprintf("%s/topk?mode=1&row=3&k=4", ts.URL), http.StatusOK)
+	results := out["results"].([]any)
+	if len(results) != 4 {
+		t.Fatalf("topk returned %d results, want 4", len(results))
+	}
+	want, _ := m.TopK(1, 3, 4)
+	first := results[0].(map[string]any)
+	if int(first["index"].(float64)) != want[0].Index {
+		t.Fatalf("topk first index %v want %d", first["index"], want[0].Index)
+	}
+	if _, ok := out["slice_norm"]; !ok {
+		t.Fatal("topk response missing slice_norm")
+	}
+
+	out = getJSON(t, fmt.Sprintf("%s/similar?mode=0&row=9&k=3", ts.URL), http.StatusOK)
+	if len(out["results"].([]any)) != 3 {
+		t.Fatal("similar returned wrong result count")
+	}
+}
+
+func TestHTTPHealthAndStats(t *testing.T) {
+	ts, s, _ := testHTTP(t)
+	out := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if out["status"] != "ok" || out["rank"].(float64) != 3 {
+		t.Fatalf("healthz: %v", out)
+	}
+	// Issue a query, then confirm /statsz reflects it.
+	getJSON(t, ts.URL+"/topk?mode=0&row=1&k=2", http.StatusOK)
+	out = getJSON(t, ts.URL+"/statsz", http.StatusOK)
+	if out["topks"].(float64) < 1 {
+		t.Fatalf("statsz did not count the topk: %v", out)
+	}
+	if uint64(out["model_version"].(float64)) != s.Model().Version {
+		t.Fatal("statsz model_version mismatch")
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	ts, _, _ := testHTTP(t)
+	getJSON(t, ts.URL+"/predict", http.StatusBadRequest)                   // no index
+	getJSON(t, ts.URL+"/predict?index=1,nope", http.StatusBadRequest)      // unparsable
+	getJSON(t, ts.URL+"/predict?index=999999,0,0", http.StatusBadRequest)  // out of range
+	getJSON(t, ts.URL+"/topk?mode=0&k=5", http.StatusBadRequest)           // row missing
+	getJSON(t, ts.URL+"/topk?mode=77&row=0&k=5", http.StatusBadRequest)    // bad mode
+	getJSON(t, ts.URL+"/similar?mode=0&row=-2&k=5", http.StatusBadRequest) // bad row
+}

@@ -1,0 +1,340 @@
+// Package serve turns trained CP factors into a queryable model server —
+// the inference half of the recommender workloads that motivate sparse
+// tensor factorization. A trained decomposition [lambda; A_1 .. A_N] is
+// loaded into an immutable Model answering three query kinds:
+//
+//   - Predict: reconstruct one tensor entry, sum_r lambda_r prod_n A_n(i_n, r)
+//   - TopK: the k best completions along one mode given a row of another
+//     mode, with any remaining modes marginalized
+//   - Similar: the k nearest rows of a mode under cosine similarity
+//
+// Server wraps a Model with the production machinery: a micro-batching
+// executor that coalesces concurrent scans, a bounded LRU result cache,
+// load shedding, and atomic hot reload of newer checkpoints.
+package serve
+
+import (
+	"fmt"
+
+	"cstf/internal/ckpt"
+	"cstf/internal/la"
+	"cstf/internal/par"
+)
+
+// Model is an immutable snapshot of a trained CP decomposition plus the
+// precomputed structures the query kinds need: per-mode factor row norms
+// (cosine similarity), per-mode column sums (marginalization weights), and
+// per-mode Hadamard grams of the OTHER modes (predicted-slice norms).
+// Immutability is what makes hot reload safe: a server swaps whole Models
+// through an atomic pointer and in-flight queries keep the snapshot they
+// started with.
+type Model struct {
+	// Version distinguishes reloaded models; caches key results by it so a
+	// swap implicitly invalidates stale entries.
+	Version uint64
+	Rank    int
+	Dims    []int
+	Iter    int // completed training iterations behind this model (0 if unknown)
+
+	lambda   []float64
+	factors  []*la.Dense
+	rowNorms [][]float64 // per mode: Euclidean norm of each factor row
+	colSums  [][]float64 // per mode: per-component column sums
+	gramEx   []*la.Dense // per mode: Hadamard product of the other modes' grams
+}
+
+// NewModel builds a Model from lambda and one factor matrix per mode,
+// taking ownership of the slices (callers that keep mutating them must pass
+// clones). workers bounds the precomputation fan-out; <= 0 selects all
+// cores. Shape mismatches return an error rather than panicking, since
+// checkpoints arrive from disk.
+func NewModel(lambda []float64, factors []*la.Dense, version uint64, workers int) (*Model, error) {
+	rank := len(lambda)
+	if rank == 0 {
+		return nil, fmt.Errorf("serve: empty lambda")
+	}
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("serve: no factor matrices")
+	}
+	m := &Model{
+		Version: version,
+		Rank:    rank,
+		lambda:  lambda,
+		factors: factors,
+	}
+	grams := make([]*la.Dense, len(factors))
+	for n, f := range factors {
+		if f == nil || f.Rows <= 0 {
+			return nil, fmt.Errorf("serve: factor %d is empty", n)
+		}
+		if f.Cols != rank {
+			return nil, fmt.Errorf("serve: factor %d has %d columns, lambda has rank %d", n, f.Cols, rank)
+		}
+		m.Dims = append(m.Dims, f.Rows)
+		m.rowNorms = append(m.rowNorms, la.RowNormsParallel(f, workers))
+		m.colSums = append(m.colSums, la.ColumnSums(f))
+		grams[n] = la.GramParallel(f, workers)
+	}
+	for n := range factors {
+		g := la.Ones(rank, rank)
+		for o, other := range grams {
+			if o != n {
+				la.HadamardInto(g, g, other)
+			}
+		}
+		m.gramEx = append(m.gramEx, g)
+	}
+	return m, nil
+}
+
+// LoadCheckpoint reads a solver checkpoint (written by cstf -checkpoint /
+// Options.CheckpointPath) into a Model. The file is validated against the
+// shared schema in internal/ckpt; Version is taken from the checkpointed
+// iteration count (servers reassign it on reload).
+func LoadCheckpoint(path string) (*Model, error) {
+	cp, err := ckpt.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	factors := make([]*la.Dense, len(cp.Factors))
+	for n, data := range cp.Factors {
+		factors[n] = la.NewDenseFrom(cp.Dims[n], cp.Rank, data)
+	}
+	m, err := NewModel(cp.Lambda, factors, uint64(cp.Iter), 0)
+	if err != nil {
+		return nil, err
+	}
+	m.Iter = cp.Iter
+	return m, nil
+}
+
+// Order returns the number of tensor modes.
+func (m *Model) Order() int { return len(m.Dims) }
+
+// Factor returns the factor matrix of one mode (not a copy; read-only).
+func (m *Model) Factor(mode int) *la.Dense { return m.factors[mode] }
+
+// Lambda returns the component weights (not a copy; read-only).
+func (m *Model) Lambda() []float64 { return m.lambda }
+
+func (m *Model) checkMode(mode int) error {
+	if mode < 0 || mode >= len(m.Dims) {
+		return fmt.Errorf("serve: mode %d out of range [0,%d)", mode, len(m.Dims))
+	}
+	return nil
+}
+
+func (m *Model) checkRow(mode, row int) error {
+	if err := m.checkMode(mode); err != nil {
+		return err
+	}
+	if row < 0 || row >= m.Dims[mode] {
+		return fmt.Errorf("serve: row %d out of range [0,%d) for mode %d", row, m.Dims[mode], mode)
+	}
+	return nil
+}
+
+// Predict reconstructs one tensor entry: sum_r lambda_r prod_n A_n(i_n, r).
+func (m *Model) Predict(idx ...int) (float64, error) {
+	if len(idx) != len(m.Dims) {
+		return 0, fmt.Errorf("serve: coordinate has %d indices, model order is %d", len(idx), len(m.Dims))
+	}
+	for n, i := range idx {
+		if i < 0 || i >= m.Dims[n] {
+			return 0, fmt.Errorf("serve: index %d out of range [0,%d) for mode %d", i, m.Dims[n], n)
+		}
+	}
+	var s float64
+	for r := 0; r < m.Rank; r++ {
+		p := m.lambda[r]
+		for n, i := range idx {
+			p *= m.factors[n].At(i, r)
+		}
+		s += p
+	}
+	return s, nil
+}
+
+// queryVec builds the length-R scoring vector for a TopK query: component r
+// weighs lambda_r, the given row's loading, and the column sums of every
+// mode that is neither queried nor given (uniform marginalization — the
+// score of candidate j equals the model summed over all coordinates of the
+// unspecified modes).
+func (m *Model) queryVec(mode, given, row int) []float64 {
+	q := la.VecClone(m.lambda)
+	la.VecMulInto(q, m.factors[given].Row(row))
+	for n := range m.factors {
+		if n != mode && n != given {
+			la.VecMulInto(q, m.colSums[n])
+		}
+	}
+	return q
+}
+
+// defaultGiven picks the conditioning mode of the short-form TopK call: the
+// lowest-numbered mode other than the queried one.
+func (m *Model) defaultGiven(mode int) int {
+	if mode == 0 {
+		return 1
+	}
+	return 0
+}
+
+// TopK returns the k rows of `mode` with the highest predicted interaction
+// with the given row of the default conditioning mode (the lowest mode
+// other than `mode`); remaining modes are marginalized. Results are sorted
+// by descending score, ties by ascending index.
+func (m *Model) TopK(mode, row, k int) ([]Scored, error) {
+	if err := m.checkMode(mode); err != nil {
+		return nil, err
+	}
+	return m.TopKGiven(mode, m.defaultGiven(mode), row, k)
+}
+
+// TopKGiven is TopK with an explicit conditioning mode.
+func (m *Model) TopKGiven(mode, given, row, k int) ([]Scored, error) {
+	if err := m.checkMode(mode); err != nil {
+		return nil, err
+	}
+	if given == mode {
+		return nil, fmt.Errorf("serve: conditioning mode %d equals queried mode", given)
+	}
+	if err := m.checkRow(given, row); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("serve: k must be positive, got %d", k)
+	}
+	return topKOne(m.factors[mode], m.queryVec(mode, given, row), k, nil, -1), nil
+}
+
+// Similar returns the k rows of `mode` most similar to `row` under cosine
+// similarity of factor rows, excluding the row itself. Zero-norm rows score
+// zero against everything.
+func (m *Model) Similar(mode, row, k int) ([]Scored, error) {
+	if err := m.checkRow(mode, row); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("serve: k must be positive, got %d", k)
+	}
+	q := m.similarQueryVec(mode, row)
+	return topKOne(m.factors[mode], q, k, m.rowNorms[mode], row), nil
+}
+
+// similarQueryVec returns the query row pre-scaled by 1/||row|| so the scan
+// only divides by each candidate's norm. A zero-norm query scores zero.
+func (m *Model) similarQueryVec(mode, row int) []float64 {
+	q := la.VecClone(m.factors[mode].Row(row))
+	if n := m.rowNorms[mode][row]; n > 0 {
+		la.VecScale(q, 1/n)
+	} else {
+		for i := range q {
+			q[i] = 0
+		}
+	}
+	return q
+}
+
+// SliceNorm returns the Frobenius norm of the model's predicted slice for
+// one row of a mode — how much total interaction mass the model assigns
+// that row across ALL other coordinates. It is computed in O(R^2) from the
+// precomputed Hadamard gram of the other modes:
+// ||slice||^2 = w^T (hadamard_{n != mode} A_n^T A_n) w with
+// w_r = lambda_r * A_mode(row, r).
+func (m *Model) SliceNorm(mode, row int) (float64, error) {
+	if err := m.checkRow(mode, row); err != nil {
+		return 0, err
+	}
+	w := la.VecClone(m.lambda)
+	la.VecMulInto(w, m.factors[mode].Row(row))
+	gw := la.MatVec(m.gramEx[mode], w)
+	s := la.VecDot(w, gw)
+	if s < 0 { // rounding can push a tiny norm below zero
+		s = 0
+	}
+	return sqrt(s), nil
+}
+
+// MemoryBytes estimates the resident size of the model's float64 payload.
+func (m *Model) MemoryBytes() int64 {
+	var n int64
+	n += int64(len(m.lambda))
+	for i, f := range m.factors {
+		n += int64(len(f.Data))
+		n += int64(len(m.rowNorms[i]) + len(m.colSums[i]))
+		n += int64(len(m.gramEx[i].Data))
+	}
+	return n * 8
+}
+
+// topKBatch scores every query vector in qs against the rows of f in one
+// blocked parallel scan: the row loop is outer (each factor row streams
+// through cache once for the whole batch, the coalescing win over repeated
+// topKOne scans) and per-(query, block) partial top-k sets merge in block
+// order, so results are deterministic for every worker count. The dot
+// products are fused with the heap pushes — no per-block score buffers —
+// which keeps the scan allocation-free in steady state. divisors, when
+// non-nil per query, divides each row's score (cosine normalization);
+// excl >= 0 drops that row from the query's result.
+func topKBatch(f *la.Dense, qs [][]float64, ks []int, divisors [][]float64, excl []int, workers int) [][]Scored {
+	nb := par.NumBlocks(f.Rows)
+	partials := make([][]topKHeap, nb)
+	c := f.Cols
+	par.Run(workers, nb, func(b int) {
+		lo, hi := par.Block(b, f.Rows)
+		heaps := make([]topKHeap, len(qs))
+		for i := lo; i < hi; i++ {
+			row := f.Data[i*c : (i+1)*c]
+			for qi, q := range qs {
+				if excl != nil && i == excl[qi] {
+					continue
+				}
+				s := la.VecDot(row, q)
+				if divisors != nil && divisors[qi] != nil {
+					if d := divisors[qi][i]; d > 0 {
+						s /= d
+					} else {
+						s = 0
+					}
+				}
+				heaps[qi].pushK(ks[qi], Scored{Index: i, Score: s})
+			}
+		}
+		partials[b] = heaps
+	})
+	out := make([][]Scored, len(qs))
+	for qi := range qs {
+		var h topKHeap
+		for b := range partials {
+			for _, it := range partials[b][qi] {
+				h.pushK(ks[qi], it)
+			}
+		}
+		out[qi] = h.sorted()
+	}
+	return out
+}
+
+// topKOne is the naive per-request path: a single sequential scan of the
+// factor rows feeding one bounded heap. The batching executor exists
+// because topKBatch amortizes this scan across concurrent requests.
+func topKOne(f *la.Dense, q []float64, k int, divisors []float64, excl int) []Scored {
+	var h topKHeap
+	c := f.Cols
+	for i := 0; i < f.Rows; i++ {
+		if i == excl {
+			continue
+		}
+		s := la.VecDot(f.Data[i*c:(i+1)*c], q)
+		if divisors != nil {
+			if d := divisors[i]; d > 0 {
+				s /= d
+			} else {
+				s = 0
+			}
+		}
+		h.pushK(k, Scored{Index: i, Score: s})
+	}
+	return h.sorted()
+}

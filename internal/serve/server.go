@@ -1,0 +1,493 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cstf/internal/par"
+)
+
+// Typed serving errors. HTTP and load-generation layers map these to
+// status codes / shed counters; errors.Is works through wrapping.
+var (
+	// ErrOverloaded is returned immediately — instead of blocking — when
+	// the bounded request queue is full. Shedding keeps latency bounded
+	// under overload; clients retry with backoff.
+	ErrOverloaded = errors.New("serve: overloaded, request shed")
+	// ErrClosed is returned for requests after Close.
+	ErrClosed = errors.New("serve: server closed")
+)
+
+// Config tunes a Server. Zero values select the documented defaults.
+type Config struct {
+	// MaxBatch bounds how many ranked queries one executor pass coalesces
+	// into a single blocked scan. Default 32.
+	MaxBatch int
+	// MaxWait bounds how long the executor holds the FIRST request of a
+	// batch while waiting for more to coalesce. Default 100µs — far below
+	// perceivable latency, far above the cost of a scan.
+	MaxWait time.Duration
+	// QueueDepth bounds the request queue; a full queue sheds with
+	// ErrOverloaded. Default 1024.
+	QueueDepth int
+	// CacheSize bounds the LRU result cache in entries; 0 selects the
+	// default 4096, negative disables caching.
+	CacheSize int
+	// Workers bounds the fan-out of one batched scan; <= 0 selects all
+	// cores.
+	Workers int
+	// Timeout, when positive, caps every query's wait (submission +
+	// execution); exceeding it returns context.DeadlineExceeded. Callers
+	// can always pass a tighter per-request context.
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 100 * time.Microsecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of serving counters (see /statsz).
+type Stats struct {
+	ModelVersion uint64  `json:"model_version"`
+	ModelIter    int     `json:"model_iter"`
+	UptimeSecs   float64 `json:"uptime_secs"`
+
+	Predicts uint64 `json:"predicts"`
+	TopKs    uint64 `json:"topks"`
+	Similars uint64 `json:"similars"`
+
+	Batches         uint64 `json:"batches"`
+	BatchedRequests uint64 `json:"batched_requests"`
+	MaxBatch        uint64 `json:"max_batch"` // largest batch executed
+
+	Shed       uint64 `json:"shed"`
+	Timeouts   uint64 `json:"timeouts"`
+	BadRequest uint64 `json:"bad_requests"`
+
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	CacheEntries int    `json:"cache_entries"`
+
+	Reloads      uint64 `json:"reloads"`
+	ReloadErrors uint64 `json:"reload_errors"`
+}
+
+type reqKind uint8
+
+const (
+	kindTopK reqKind = iota + 1
+	kindSimilar
+)
+
+type result struct {
+	scored []Scored
+	err    error
+}
+
+type request struct {
+	kind  reqKind
+	mode  int
+	given int // TopK conditioning mode
+	row   int
+	k     int
+	ctx   context.Context
+	out   chan result // buffered; executor never blocks sending
+}
+
+// Server serves queries against an atomically swappable Model. Ranked
+// queries (TopK, Similar) flow through a bounded queue into a
+// micro-batching executor; Predict reads the model pointer directly (it is
+// O(order*R) — cheaper than any queue handoff).
+type Server struct {
+	cfg     Config
+	model   atomic.Pointer[Model]
+	version atomic.Uint64
+	reqs    chan *request
+	cache   *lruCache
+	start   time.Time
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	done      sync.WaitGroup
+
+	predicts, topks, similars      atomic.Uint64
+	batches, batchedReqs, maxBatch atomic.Uint64
+	shed, timeouts, badReqs        atomic.Uint64
+	cacheHits, cacheMisses         atomic.Uint64
+	reloads, reloadErrs            atomic.Uint64
+	watchMu                        sync.Mutex
+	watchMTime                     time.Time
+	watchSize                      int64
+}
+
+// New starts a Server for m. Callers must Close it to stop the executor.
+func New(m *Model, cfg Config) (*Server, error) {
+	s, err := newServer(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.done.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// newServer builds the server without starting the executor goroutine.
+// Tests use it directly to exercise queue behaviour (shedding) without
+// racing the dispatcher.
+func newServer(m *Model, cfg Config) (*Server, error) {
+	if m == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		reqs:   make(chan *request, cfg.QueueDepth),
+		cache:  newLRUCache(cfg.CacheSize),
+		start:  time.Now(),
+		closed: make(chan struct{}),
+	}
+	m.Version = s.version.Add(1)
+	s.model.Store(m)
+	return s, nil
+}
+
+// Model returns the current model snapshot.
+func (s *Server) Model() *Model { return s.model.Load() }
+
+// Swap atomically publishes a new model. In-flight queries finish against
+// the snapshot they started with; subsequent queries — and cache keys — use
+// the new version.
+func (s *Server) Swap(m *Model) {
+	m.Version = s.version.Add(1)
+	s.model.Store(m)
+	s.reloads.Add(1)
+}
+
+// Reload loads the checkpoint at path and swaps it in. On error the
+// current model keeps serving and the error is counted.
+func (s *Server) Reload(path string) error {
+	m, err := LoadCheckpoint(path)
+	if err != nil {
+		s.reloadErrs.Add(1)
+		return err
+	}
+	s.Swap(m)
+	return nil
+}
+
+// Watch polls path every interval and hot-reloads the model whenever the
+// file's mtime or size changes — which a training run's periodic
+// Options.CheckpointPath writes do. Checkpoint writes are atomic renames,
+// so a poll never observes a torn file. Watch returns immediately; the
+// watcher stops when ctx is cancelled or the server closes.
+func (s *Server) Watch(ctx context.Context, path string, interval time.Duration) {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	if st, err := os.Stat(path); err == nil {
+		s.watchMu.Lock()
+		s.watchMTime, s.watchSize = st.ModTime(), st.Size()
+		s.watchMu.Unlock()
+	}
+	s.done.Add(1)
+	go func() {
+		defer s.done.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-s.closed:
+				return
+			case <-t.C:
+				st, err := os.Stat(path)
+				if err != nil {
+					continue
+				}
+				s.watchMu.Lock()
+				changed := !st.ModTime().Equal(s.watchMTime) || st.Size() != s.watchSize
+				if changed {
+					s.watchMTime, s.watchSize = st.ModTime(), st.Size()
+				}
+				s.watchMu.Unlock()
+				if changed {
+					s.Reload(path) // on error: counted, old model keeps serving
+				}
+			}
+		}
+	}()
+}
+
+// Close stops the executor and watcher. Queued requests are failed with
+// ErrClosed; Close blocks until the executor drains.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.closed) })
+	s.done.Wait()
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	m := s.model.Load()
+	return Stats{
+		ModelVersion:    m.Version,
+		ModelIter:       m.Iter,
+		UptimeSecs:      time.Since(s.start).Seconds(),
+		Predicts:        s.predicts.Load(),
+		TopKs:           s.topks.Load(),
+		Similars:        s.similars.Load(),
+		Batches:         s.batches.Load(),
+		BatchedRequests: s.batchedReqs.Load(),
+		MaxBatch:        s.maxBatch.Load(),
+		Shed:            s.shed.Load(),
+		Timeouts:        s.timeouts.Load(),
+		BadRequest:      s.badReqs.Load(),
+		CacheHits:       s.cacheHits.Load(),
+		CacheMisses:     s.cacheMisses.Load(),
+		CacheEntries:    s.cache.len(),
+		Reloads:         s.reloads.Load(),
+		ReloadErrors:    s.reloadErrs.Load(),
+	}
+}
+
+// Predict reconstructs one entry against the current model. It is served
+// inline — no queue, no batch — because the work is a few dozen flops.
+func (s *Server) Predict(ctx context.Context, idx ...int) (float64, error) {
+	select {
+	case <-s.closed:
+		return 0, ErrClosed
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	v, err := s.model.Load().Predict(idx...)
+	if err != nil {
+		s.badReqs.Add(1)
+		return 0, err
+	}
+	s.predicts.Add(1)
+	return v, nil
+}
+
+// TopK returns the k best completions along mode for the given row of
+// `given` (pass given == -1 for the default conditioning mode). Concurrent
+// calls are coalesced into batched scans.
+func (s *Server) TopK(ctx context.Context, mode, given, row, k int) ([]Scored, error) {
+	m := s.model.Load()
+	if given == -1 {
+		if err := m.checkMode(mode); err != nil {
+			s.badReqs.Add(1)
+			return nil, err
+		}
+		given = m.defaultGiven(mode)
+	}
+	res, err := s.submit(ctx, &request{kind: kindTopK, mode: mode, given: given, row: row, k: k})
+	if err == nil {
+		s.topks.Add(1)
+	}
+	return res, err
+}
+
+// Similar returns the k nearest rows of mode to row under cosine
+// similarity. Concurrent calls are coalesced into batched scans.
+func (s *Server) Similar(ctx context.Context, mode, row, k int) ([]Scored, error) {
+	res, err := s.submit(ctx, &request{kind: kindSimilar, mode: mode, row: row, k: k})
+	if err == nil {
+		s.similars.Add(1)
+	}
+	return res, err
+}
+
+func (r *request) cacheKey(version uint64) cacheKey {
+	return cacheKey{version: version, kind: r.kind, mode: r.mode, given: r.given, row: r.row, k: r.k}
+}
+
+// submit runs the cache fast path, then enqueues with load shedding and
+// waits for the executor (or the caller's deadline).
+func (s *Server) submit(ctx context.Context, r *request) ([]Scored, error) {
+	select {
+	case <-s.closed:
+		return nil, ErrClosed
+	default:
+	}
+	if v, ok := s.cache.get(r.cacheKey(s.model.Load().Version)); ok {
+		s.cacheHits.Add(1)
+		return v, nil
+	}
+	s.cacheMisses.Add(1)
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	r.ctx = ctx
+	r.out = make(chan result, 1)
+	select {
+	case s.reqs <- r:
+	default:
+		s.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	select {
+	case res := <-r.out:
+		if res.err != nil {
+			s.badReqs.Add(1)
+		}
+		return res.scored, res.err
+	case <-ctx.Done():
+		s.timeouts.Add(1)
+		return nil, ctx.Err()
+	case <-s.closed:
+		return nil, ErrClosed
+	}
+}
+
+// dispatch is the executor loop: take one request, linger MaxWait for more
+// (up to MaxBatch), execute the coalesced batch against one model
+// snapshot, repeat. On Close it fails whatever is still queued.
+func (s *Server) dispatch() {
+	defer s.done.Done()
+	batch := make([]*request, 0, s.cfg.MaxBatch)
+	for {
+		var first *request
+		select {
+		case first = <-s.reqs:
+		case <-s.closed:
+			s.drain()
+			return
+		}
+		batch = append(batch[:0], first)
+		if s.cfg.MaxBatch > 1 {
+			timer := time.NewTimer(s.cfg.MaxWait)
+		gather:
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case r := <-s.reqs:
+					batch = append(batch, r)
+				case <-timer.C:
+					break gather
+				case <-s.closed:
+					break gather
+				}
+			}
+			timer.Stop()
+		}
+		s.exec(batch)
+		select {
+		case <-s.closed:
+			s.drain()
+			return
+		default:
+		}
+	}
+}
+
+func (s *Server) drain() {
+	for {
+		select {
+		case r := <-s.reqs:
+			r.out <- result{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// exec validates, groups, and executes one batch against one model
+// snapshot. Requests whose context already expired are skipped (their
+// caller has gone); invalid requests fail individually; the rest are
+// grouped by (kind, mode) so each group shares a single blocked scan.
+func (s *Server) exec(batch []*request) {
+	m := s.model.Load()
+	s.batches.Add(1)
+	s.batchedReqs.Add(uint64(len(batch)))
+	for {
+		cur := s.maxBatch.Load()
+		if uint64(len(batch)) <= cur || s.maxBatch.CompareAndSwap(cur, uint64(len(batch))) {
+			break
+		}
+	}
+
+	type groupKey struct {
+		kind reqKind
+		mode int
+	}
+	groups := make(map[groupKey][]*request)
+	for _, r := range batch {
+		if r.ctx.Err() != nil {
+			continue // caller already timed out; executing would be wasted work
+		}
+		if err := s.validate(m, r); err != nil {
+			r.out <- result{err: err}
+			continue
+		}
+		gk := groupKey{kind: r.kind, mode: r.mode}
+		groups[gk] = append(groups[gk], r)
+	}
+	for gk, rs := range groups {
+		qs := make([][]float64, len(rs))
+		ks := make([]int, len(rs))
+		var divisors [][]float64
+		var excl []int
+		if gk.kind == kindSimilar {
+			divisors = make([][]float64, len(rs))
+			excl = make([]int, len(rs))
+		}
+		for i, r := range rs {
+			ks[i] = r.k
+			switch gk.kind {
+			case kindTopK:
+				qs[i] = m.queryVec(r.mode, r.given, r.row)
+			case kindSimilar:
+				qs[i] = m.similarQueryVec(r.mode, r.row)
+				divisors[i] = m.rowNorms[r.mode]
+				excl[i] = r.row
+			}
+		}
+		res := topKBatch(m.factors[gk.mode], qs, ks, divisors, excl, s.cfg.Workers)
+		for i, r := range rs {
+			s.cache.put(r.cacheKey(m.Version), res[i])
+			r.out <- result{scored: res[i]}
+		}
+	}
+}
+
+func (s *Server) validate(m *Model, r *request) error {
+	if r.k <= 0 {
+		return fmt.Errorf("serve: k must be positive, got %d", r.k)
+	}
+	switch r.kind {
+	case kindTopK:
+		if err := m.checkMode(r.mode); err != nil {
+			return err
+		}
+		if r.given == r.mode {
+			return fmt.Errorf("serve: conditioning mode %d equals queried mode", r.given)
+		}
+		return m.checkRow(r.given, r.row)
+	case kindSimilar:
+		return m.checkRow(r.mode, r.row)
+	}
+	return fmt.Errorf("serve: unknown request kind %d", r.kind)
+}
+
+// Workers reports the scan fan-out the server uses (for diagnostics).
+func (s *Server) Workers() int { return par.Workers(s.cfg.Workers) }

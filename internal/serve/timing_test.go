@@ -1,0 +1,17 @@
+package serve
+
+import "time"
+
+// timeIt returns the BEST of reps timings of fn — the standard way to
+// compare kernels while shrugging off scheduler noise.
+func timeIt(reps int, fn func()) time.Duration {
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		fn()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best
+}

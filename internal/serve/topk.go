@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"math"
+	"sort"
+)
+
+// Scored is one ranked result: a row index of the queried mode and its
+// score (predicted interaction for TopK, cosine similarity for Similar).
+type Scored struct {
+	Index int     `json:"index"`
+	Score float64 `json:"score"`
+}
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// topKHeap is a bounded min-heap of the best k candidates seen so far: the
+// root is the WORST kept item, so a new candidate only enters if it beats
+// the root. Ordering is (score, then larger-index-is-worse), which makes
+// the kept set — and therefore the final ranking — deterministic under
+// score ties regardless of scan or merge order.
+type topKHeap []Scored
+
+// worse reports whether a ranks strictly worse than b.
+func worse(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Index > b.Index
+}
+
+// pushK offers a candidate to a heap bounded at k items.
+func (h *topKHeap) pushK(k int, it Scored) {
+	s := *h
+	if len(s) < k {
+		s = append(s, it)
+		// sift up
+		i := len(s) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !worse(s[i], s[p]) {
+				break
+			}
+			s[i], s[p] = s[p], s[i]
+			i = p
+		}
+		*h = s
+		return
+	}
+	if k == 0 || !worse(s[0], it) {
+		return
+	}
+	s[0] = it
+	// sift down
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s) && worse(s[l], s[min]) {
+			min = l
+		}
+		if r < len(s) && worse(s[r], s[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+}
+
+// sorted returns the heap's items best-first (descending score, ascending
+// index on ties), consuming nothing — the heap slice is sorted in place and
+// returned.
+func (h topKHeap) sorted() []Scored {
+	out := []Scored(h)
+	sort.Slice(out, func(a, b int) bool { return worse(out[b], out[a]) })
+	return out
+}
