@@ -3,11 +3,11 @@
 GO ?= go
 
 # Packages that carry concurrency (worker pools, shared caches, simulated
-# cluster, the serving executor) or fault-recovery paths: these also run
-# under the race detector in `make ci`.
-RACE_PKGS := ./internal/cpals ./internal/la ./internal/par ./internal/tensor ./internal/rdd ./internal/cluster ./internal/chaos ./internal/mapreduce ./internal/core ./internal/serve
+# cluster, the serving executor, the streaming pipeline) or fault-recovery
+# paths: these also run under the race detector in `make ci`.
+RACE_PKGS := ./internal/cpals ./internal/la ./internal/par ./internal/tensor ./internal/rdd ./internal/cluster ./internal/chaos ./internal/mapreduce ./internal/core ./internal/serve ./internal/stream
 
-.PHONY: ci fmt vet staticcheck build test race bench
+.PHONY: ci fmt vet staticcheck build test race bench stream-smoke
 
 ci: fmt vet staticcheck build test race
 
@@ -37,3 +37,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# End-to-end streaming smoke under the race detector: train a tiny model,
+# stream three windows through ingest -> incremental update -> publish.
+stream-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run -race ./cmd/cstf-stream -model "$$tmp/model.ckpt" \
+		-dims 60,50,40 -nnz 2000 -rank 2 -train-iters 2 \
+		-windows 3 -window 200 -full-sweep-every 2 -grow-every 150

@@ -16,7 +16,8 @@ import (
 //	GET  /predict?index=3,1,4            {"value": ..., "model_version": ...}
 //	GET  /topk?mode=1&row=7&k=10[&given=0]
 //	GET  /similar?mode=0&row=7&k=10
-//	GET  /healthz                        liveness + model identity
+//	GET  /healthz                        liveness + model identity + staleness
+//	                                     (version, age_seconds since last reload)
 //	GET  /statsz                         serving counters (Stats)
 //
 // Error mapping: bad requests → 400, shed load → 429 with Retry-After,
@@ -160,8 +161,10 @@ func handleHealth(s *Server, w http.ResponseWriter, _ *http.Request) {
 	m := s.Model()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":        "ok",
-		"model_version": m.Version,
+		"version":       m.Version,
+		"model_version": m.Version, // kept for pre-streaming clients
 		"model_iter":    m.Iter,
+		"age_seconds":   s.ModelAge().Seconds(),
 		"rank":          m.Rank,
 		"dims":          m.Dims,
 		"memory_bytes":  m.MemoryBytes(),

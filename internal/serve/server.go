@@ -67,6 +67,7 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	ModelVersion uint64  `json:"model_version"`
 	ModelIter    int     `json:"model_iter"`
+	ModelAgeSecs float64 `json:"model_age_secs"` // seconds since the serving model was loaded/swapped
 	UptimeSecs   float64 `json:"uptime_secs"`
 
 	Predicts uint64 `json:"predicts"`
@@ -127,6 +128,8 @@ type Server struct {
 	closed    chan struct{}
 	done      sync.WaitGroup
 
+	loadedAt atomic.Int64 // unix nanos of the last model store (staleness clock)
+
 	predicts, topks, similars      atomic.Uint64
 	batches, batchedReqs, maxBatch atomic.Uint64
 	shed, timeouts, badReqs        atomic.Uint64
@@ -165,6 +168,7 @@ func newServer(m *Model, cfg Config) (*Server, error) {
 	}
 	m.Version = s.version.Add(1)
 	s.model.Store(m)
+	s.loadedAt.Store(time.Now().UnixNano())
 	return s, nil
 }
 
@@ -177,6 +181,7 @@ func (s *Server) Model() *Model { return s.model.Load() }
 func (s *Server) Swap(m *Model) {
 	m.Version = s.version.Add(1)
 	s.model.Store(m)
+	s.loadedAt.Store(time.Now().UnixNano())
 	s.reloads.Add(1)
 }
 
@@ -249,6 +254,7 @@ func (s *Server) Stats() Stats {
 	return Stats{
 		ModelVersion:    m.Version,
 		ModelIter:       m.Iter,
+		ModelAgeSecs:    s.ModelAge().Seconds(),
 		UptimeSecs:      time.Since(s.start).Seconds(),
 		Predicts:        s.predicts.Load(),
 		TopKs:           s.topks.Load(),
@@ -265,6 +271,13 @@ func (s *Server) Stats() Stats {
 		Reloads:         s.reloads.Load(),
 		ReloadErrors:    s.reloadErrs.Load(),
 	}
+}
+
+// ModelAge returns how long the current model has been serving — the
+// operator-facing staleness signal: with a streaming trainer publishing
+// versions, a growing age means the ingest → retrain → reload loop stalled.
+func (s *Server) ModelAge() time.Duration {
+	return time.Duration(time.Now().UnixNano() - s.loadedAt.Load())
 }
 
 // Predict reconstructs one entry against the current model. It is served

@@ -1,0 +1,55 @@
+package stream
+
+import (
+	"fmt"
+
+	"cstf/internal/ckpt"
+)
+
+// Publisher writes successive model versions to one checkpoint path through
+// internal/ckpt's atomic temp-file + rename, so a serve.Server watching the
+// path (`cstf-serve -watch`) hot-reloads each version and never observes a
+// torn file. The checkpoint's Iter field carries the publish sequence
+// number — it is what /healthz and /statsz report as model_iter, giving
+// operators an end-to-end freshness counter.
+type Publisher struct {
+	path    string
+	seed    uint64
+	version int
+}
+
+// NewPublisher publishes to path. seed is recorded in each checkpoint so a
+// resumed pipeline reproduces the same grown-row initialization.
+func NewPublisher(path string, seed uint64) *Publisher {
+	return &Publisher{path: path, seed: seed}
+}
+
+// Version returns the last published sequence number (0 before the first).
+func (p *Publisher) Version() int { return p.version }
+
+// Path returns the checkpoint path being published to.
+func (p *Publisher) Path() string { return p.path }
+
+// Publish atomically writes the updater's current model as the next
+// version. On error the previous version remains intact on disk and the
+// version counter does not advance.
+func (p *Publisher) Publish(u *Updater, fit float64) (int, error) {
+	next := p.version + 1
+	cp := &ckpt.File{
+		Algorithm: "stream",
+		Rank:      u.Rank(),
+		Seed:      p.seed,
+		Iter:      next,
+		Dims:      u.Dims(),
+		Lambda:    u.Lambda(),
+		Fits:      []float64{fit},
+	}
+	for _, f := range u.Factors() {
+		cp.Factors = append(cp.Factors, f.Data)
+	}
+	if err := ckpt.Write(p.path, cp); err != nil {
+		return p.version, fmt.Errorf("stream: publish v%d: %w", next, err)
+	}
+	p.version = next
+	return next, nil
+}

@@ -1,0 +1,101 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"cstf/internal/tensor"
+)
+
+func entryAt(i int) tensor.Entry {
+	var e tensor.Entry
+	e.Idx[0] = uint32(i)
+	e.Val = float64(i)
+	return e
+}
+
+func TestQueueDropNewestSheds(t *testing.T) {
+	q := NewQueue(QueueConfig{Depth: 2, Policy: DropNewest})
+	now := time.Now()
+	if !q.Push(entryAt(0), now) || !q.Push(entryAt(1), now) {
+		t.Fatal("pushes into a non-full queue must be accepted")
+	}
+	if q.Push(entryAt(2), now) {
+		t.Fatal("push into a full DropNewest queue must be dropped")
+	}
+	st := q.Stats()
+	if st.Accepted != 2 || st.Dropped != 1 || st.Depth != 2 {
+		t.Fatalf("stats = %+v, want accepted 2 dropped 1 depth 2", st)
+	}
+	evs, more := q.Drain(10, time.Millisecond)
+	if !more || len(evs) != 2 {
+		t.Fatalf("drain got %d events (more=%v), want 2", len(evs), more)
+	}
+	if evs[0].Entry.Idx[0] != 0 || evs[1].Entry.Idx[0] != 1 {
+		t.Fatalf("drain order wrong: %v", evs)
+	}
+}
+
+func TestQueueBlockAppliesBackpressure(t *testing.T) {
+	q := NewQueue(QueueConfig{Depth: 1, Policy: Block})
+	now := time.Now()
+	q.Push(entryAt(0), now)
+
+	unblocked := make(chan bool, 1)
+	go func() { unblocked <- q.Push(entryAt(1), now) }()
+
+	select {
+	case <-unblocked:
+		t.Fatal("push into a full Block queue returned without a consumer")
+	case <-time.After(20 * time.Millisecond):
+	}
+	evs, _ := q.Drain(1, time.Second)
+	if len(evs) != 1 {
+		t.Fatalf("drain got %d events, want 1", len(evs))
+	}
+	if ok := <-unblocked; !ok {
+		t.Fatal("blocked push must succeed once space frees up")
+	}
+	if st := q.Stats(); st.Blocked != 1 {
+		t.Fatalf("blocked counter = %d, want 1", st.Blocked)
+	}
+}
+
+func TestQueueCloseUnblocksAndDrainsRemainder(t *testing.T) {
+	q := NewQueue(QueueConfig{Depth: 1, Policy: Block})
+	now := time.Now()
+	q.Push(entryAt(0), now)
+
+	unblocked := make(chan bool, 1)
+	go func() { unblocked <- q.Push(entryAt(1), now) }()
+	time.Sleep(5 * time.Millisecond)
+	q.Close()
+	if ok := <-unblocked; ok {
+		t.Fatal("push blocked at Close must report rejection")
+	}
+
+	// The buffered event survives Close; after it is gone Drain reports done.
+	evs, more := q.Drain(10, time.Millisecond)
+	if len(evs) != 1 || !more {
+		t.Fatalf("drain after close: %d events, more=%v; want 1, true", len(evs), more)
+	}
+	evs, more = q.Drain(10, time.Millisecond)
+	if len(evs) != 0 || more {
+		t.Fatalf("second drain after close: %d events, more=%v; want 0, false", len(evs), more)
+	}
+	if q.Push(entryAt(2), now) {
+		t.Fatal("push after close must be rejected")
+	}
+}
+
+func TestQueueDrainQuietInterval(t *testing.T) {
+	q := NewQueue(QueueConfig{Depth: 4})
+	start := time.Now()
+	evs, more := q.Drain(4, 10*time.Millisecond)
+	if len(evs) != 0 || !more {
+		t.Fatalf("quiet drain: %d events, more=%v; want 0, true", len(evs), more)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("quiet drain returned before its wait elapsed")
+	}
+}

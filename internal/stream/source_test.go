@@ -1,0 +1,207 @@
+package stream
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cstf/internal/tensor"
+)
+
+func TestSyntheticDeterministicAndBounded(t *testing.T) {
+	cfg := SyntheticConfig{Seed: 7, Dims: []int{20, 15, 10}, Rank: 3, Total: 57}
+	a, err := NewSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ea, eb []tensor.Entry
+	for {
+		batch, err := a.Next(13)
+		if err == io.EOF {
+			break
+		}
+		ea = append(ea, batch...)
+	}
+	for {
+		batch, err := b.Next(8) // different batch sizes must not change the stream
+		if err == io.EOF {
+			break
+		}
+		eb = append(eb, batch...)
+	}
+	if len(ea) != 57 || len(eb) != 57 {
+		t.Fatalf("got %d / %d events, want 57", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("event %d differs across batch sizes: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+	if _, err := a.Next(1); err != io.EOF {
+		t.Fatalf("exhausted source returned %v, want io.EOF", err)
+	}
+}
+
+func TestSyntheticGrowthExtendsDims(t *testing.T) {
+	s, err := NewSynthetic(SyntheticConfig{Seed: 3, Dims: []int{4, 4}, Rank: 2, Total: 30, GrowEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []tensor.Entry
+	for {
+		batch, err := s.Next(64)
+		if err == io.EOF {
+			break
+		}
+		all = append(all, batch...)
+	}
+	dims := s.Dims()
+	if dims[0] == 4 && dims[1] == 4 {
+		t.Fatalf("GrowEvery never grew the dims: %v", dims)
+	}
+	// Every emitted index must fall inside the final dims.
+	for _, e := range all {
+		for m, d := range dims {
+			if int(e.Idx[m]) >= d {
+				t.Fatalf("entry %v outside final dims %v", e, dims)
+			}
+		}
+	}
+}
+
+func TestSyntheticValuesMatchPlantedModel(t *testing.T) {
+	s, err := NewSynthetic(SyntheticConfig{Seed: 11, Dims: []int{6, 5}, Rank: 2, Total: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := s.Next(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range batch {
+		want := PlantedValue(11, 2, e.Idx[:2])
+		if e.Val != want {
+			t.Fatalf("value at %v = %v, want planted %v", e.Idx[:2], e.Val, want)
+		}
+	}
+}
+
+func TestTailSourceFollowsAppends(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.tns")
+	if err := os.WriteFile(path, []byte("# header comment\n1 2 3 1.5\n2 2 1 -4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewTail(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	batch, err := src.Next(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 {
+		t.Fatalf("initial read got %d entries, want 2", len(batch))
+	}
+	if batch[0].Idx != [8]uint32{0, 1, 2, 0, 0, 0, 0, 0} || batch[0].Val != 1.5 {
+		t.Fatalf("bad first entry: %+v", batch[0])
+	}
+
+	// Nothing new yet.
+	batch, err = src.Next(10)
+	if err != nil || len(batch) != 0 {
+		t.Fatalf("quiet tail returned %d entries, err %v", len(batch), err)
+	}
+
+	// Append a partial line: must be buffered, not parsed.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("3 1"); err != nil {
+		t.Fatal(err)
+	}
+	batch, err = src.Next(10)
+	if err != nil || len(batch) != 0 {
+		t.Fatalf("partial line yielded %d entries, err %v", len(batch), err)
+	}
+	// Complete it plus one more line.
+	if _, err := f.WriteString(" 2 7\n4 4 4 8\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	batch, err = src.Next(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 || batch[0].Val != 7 || batch[1].Val != 8 {
+		t.Fatalf("appended entries = %+v, want vals 7 and 8", batch)
+	}
+}
+
+func TestTailSourceFromEndSkipsExisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.tns")
+	if err := os.WriteFile(path, []byte("1 1 1\n2 2 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewTail(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if batch, err := src.Next(10); err != nil || len(batch) != 0 {
+		t.Fatalf("fromEnd source replayed %d existing entries, err %v", len(batch), err)
+	}
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f.WriteString("5 5 9\n")
+	f.Close()
+	batch, err := src.Next(10)
+	if err != nil || len(batch) != 1 || batch[0].Val != 9 {
+		t.Fatalf("append after fromEnd = %+v, err %v; want one entry val 9", batch, err)
+	}
+}
+
+func TestTailSourceErrorCarriesLineNumber(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.tns")
+	if err := os.WriteFile(path, []byte("1 1 1 2\n2 2 bogus 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewTail(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	_, err = src.Next(10)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %v does not name line 2", err)
+	}
+}
+
+func TestSliceSourceReplaysInWindows(t *testing.T) {
+	x := tensor.GenUniform(5, 50, 10, 10)
+	src := NewSliceSource(x.Entries, 7)
+	var got []tensor.Entry
+	for {
+		batch, err := src.Next(100)
+		if err == io.EOF {
+			break
+		}
+		if len(batch) > 7 {
+			t.Fatalf("batch of %d exceeds per=7", len(batch))
+		}
+		got = append(got, batch...)
+	}
+	if len(got) != x.NNZ() {
+		t.Fatalf("replayed %d entries, want %d", len(got), x.NNZ())
+	}
+}

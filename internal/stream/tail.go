@@ -1,0 +1,114 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"cstf/internal/tensor"
+)
+
+// TailSource follows an append-only FROSTT .tns log: each Next call reads
+// whatever complete lines were appended since the last call and parses them
+// with the same line grammar as tensor.ReadTNS (ParseTNSLine), so a file a
+// batch job could load is also a stream a live job can follow. A trailing
+// partial line — a writer mid-append — is buffered until its newline
+// arrives, and comments/blank lines are skipped. Parse errors carry the
+// 1-based line number within the log.
+//
+// TailSource never returns io.EOF: an append-only log is by definition
+// never finished. Bounded runs stop via Pipeline's MaxWindows or context.
+type TailSource struct {
+	path   string
+	f      *os.File
+	order  int // learned from the first data line; 0 until then
+	lineNo int // lines consumed so far, for error positions
+	rem    []byte
+	pend   []tensor.Entry
+}
+
+// NewTail opens path for tailing. fromEnd skips the file's current contents
+// (only entries appended after this call are emitted); otherwise the first
+// Next calls replay the log from the start.
+func NewTail(path string, fromEnd bool) (*TailSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &TailSource{path: path, f: f}
+	if fromEnd {
+		// Line counting restarts at the tail point; errors report positions
+		// relative to it, which is what a log-rotation-aware operator wants.
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("stream: tail %s: %w", path, err)
+		}
+	}
+	return s, nil
+}
+
+// Close releases the underlying file.
+func (s *TailSource) Close() error { return s.f.Close() }
+
+// Next returns up to max entries appended since the last call (nil when the
+// log has not grown by a complete line).
+func (s *TailSource) Next(max int) ([]tensor.Entry, error) {
+	if max <= 0 {
+		return nil, nil
+	}
+	for len(s.pend) < max {
+		buf := make([]byte, 64*1024)
+		n, err := s.f.Read(buf)
+		if n > 0 {
+			if err := s.parse(buf[:n]); err != nil {
+				return nil, err
+			}
+		}
+		if err != nil {
+			if err == io.EOF {
+				break // caught up; whatever is pending is the batch
+			}
+			return nil, fmt.Errorf("stream: tail %s: %w", s.path, err)
+		}
+	}
+	if len(s.pend) == 0 {
+		return nil, nil
+	}
+	n := max
+	if n > len(s.pend) {
+		n = len(s.pend)
+	}
+	out := s.pend[:n:n]
+	s.pend = s.pend[n:]
+	return out, nil
+}
+
+// parse splits chunk into complete lines (prepending any buffered partial
+// line) and appends the parsed entries to pend.
+func (s *TailSource) parse(chunk []byte) error {
+	data := chunk
+	if len(s.rem) > 0 {
+		data = append(s.rem, chunk...)
+	}
+	for {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		s.lineNo++
+		e, ord, ok, err := tensor.ParseTNSLine(string(line), s.order)
+		if err != nil {
+			return fmt.Errorf("stream: %s: line %d: %v", s.path, s.lineNo, err)
+		}
+		if !ok {
+			continue
+		}
+		s.order = ord
+		s.pend = append(s.pend, e)
+	}
+	s.rem = append(s.rem[:0], data...)
+	return nil
+}

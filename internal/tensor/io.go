@@ -13,10 +13,50 @@ import (
 // FROSTT .tns text format: one nonzero per line, whitespace-separated
 // 1-based indices followed by the value. Lines starting with '#' and blank
 // lines are ignored. This is the interchange format of the datasets in
-// Table 5 of the paper (frostt.io).
+// Table 5 of the paper (frostt.io), and the append-only log format the
+// streaming tail-follower (internal/stream) consumes.
+
+// ParseTNSLine parses one .tns line into an Entry. order fixes the expected
+// number of index fields; order == 0 infers it from the line (the returned
+// ord is the inferred value, for callers learning the order from the first
+// data line). Blank lines and '#' comments return ok == false with no
+// error. Errors do not carry a line number — callers that track position
+// wrap them (see ReadTNS) so a bad line deep in a large file is locatable.
+func ParseTNSLine(line string, order int) (e Entry, ord int, ok bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Entry{}, order, false, nil
+	}
+	fields := strings.Fields(line)
+	if order == 0 {
+		order = len(fields) - 1
+		if order < 1 || order > MaxOrder {
+			return Entry{}, 0, false, fmt.Errorf("order %d out of range [1,%d]", order, MaxOrder)
+		}
+	}
+	if len(fields) != order+1 {
+		return Entry{}, order, false, fmt.Errorf("expected %d fields, got %d", order+1, len(fields))
+	}
+	for m := 0; m < order; m++ {
+		v, err := strconv.ParseUint(fields[m], 10, 32)
+		if err != nil {
+			return Entry{}, order, false, fmt.Errorf("bad index %q: %v", fields[m], err)
+		}
+		if v == 0 {
+			return Entry{}, order, false, fmt.Errorf(".tns indices are 1-based, got 0")
+		}
+		e.Idx[m] = uint32(v - 1)
+	}
+	val, err := strconv.ParseFloat(fields[order], 64)
+	if err != nil {
+		return Entry{}, order, false, fmt.Errorf("bad value %q: %v", fields[order], err)
+	}
+	e.Val = val
+	return e, order, true, nil
+}
 
 // ReadTNS parses a .tns stream. If dims is nil the mode sizes are inferred
-// as the per-mode maximum index.
+// as the per-mode maximum index. Parse errors carry the 1-based line number.
 func ReadTNS(r io.Reader, dims []int) (*COO, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -27,44 +67,26 @@ func ReadTNS(r io.Reader, dims []int) (*COO, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		e, ord, ok, err := ParseTNSLine(sc.Text(), order)
+		if err != nil {
+			return nil, fmt.Errorf("tensor: line %d: %v", lineNo, err)
+		}
+		if !ok {
 			continue
 		}
-		fields := strings.Fields(line)
 		if order == 0 {
-			order = len(fields) - 1
-			if order < 1 || order > MaxOrder {
-				return nil, fmt.Errorf("tensor: line %d: order %d out of range", lineNo, order)
-			}
+			order = ord
 			maxIdx = make([]uint32, order)
 		}
-		if len(fields) != order+1 {
-			return nil, fmt.Errorf("tensor: line %d: expected %d fields, got %d", lineNo, order+1, len(fields))
-		}
-		var e Entry
 		for m := 0; m < order; m++ {
-			v, err := strconv.ParseUint(fields[m], 10, 32)
-			if err != nil {
-				return nil, fmt.Errorf("tensor: line %d: bad index %q: %v", lineNo, fields[m], err)
-			}
-			if v == 0 {
-				return nil, fmt.Errorf("tensor: line %d: .tns indices are 1-based, got 0", lineNo)
-			}
-			e.Idx[m] = uint32(v - 1)
 			if e.Idx[m]+1 > maxIdx[m] {
 				maxIdx[m] = e.Idx[m] + 1
 			}
 		}
-		val, err := strconv.ParseFloat(fields[order], 64)
-		if err != nil {
-			return nil, fmt.Errorf("tensor: line %d: bad value %q: %v", lineNo, fields[order], err)
-		}
-		e.Val = val
 		entries = append(entries, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("tensor: line %d: %w", lineNo+1, err)
 	}
 	if order == 0 {
 		return nil, fmt.Errorf("tensor: empty .tns input")
@@ -107,25 +129,36 @@ func WriteTNS(w io.Writer, t *COO) error {
 	return bw.Flush()
 }
 
+// gzipMagic is the two-byte header every gzip stream starts with.
+var gzipMagic = []byte{0x1f, 0x8b}
+
 // LoadTNSFile reads a .tns file from disk, inferring mode sizes.
-// Files ending in .gz are transparently decompressed — FROSTT distributes
-// its tensors as .tns.gz.
+// Gzip-compressed files are transparently decompressed — detected by the
+// .gz suffix or by the gzip magic bytes, so a FROSTT download saved without
+// the extension still loads. Errors are prefixed with the path (parse
+// errors additionally carry the 1-based line number from ReadTNS).
 func LoadTNSFile(path string) (*COO, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var r io.Reader = f
-	if strings.HasSuffix(path, ".gz") {
-		gz, err := gzip.NewReader(f)
+	br := bufio.NewReader(f)
+	var r io.Reader = br
+	head, _ := br.Peek(2)
+	if strings.HasSuffix(path, ".gz") || (len(head) == 2 && head[0] == gzipMagic[0] && head[1] == gzipMagic[1]) {
+		gz, err := gzip.NewReader(br)
 		if err != nil {
 			return nil, fmt.Errorf("tensor: %s: %w", path, err)
 		}
 		defer gz.Close()
 		r = gz
 	}
-	return ReadTNS(r, nil)
+	t, err := ReadTNS(r, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
 }
 
 // SaveTNSFile writes t to a .tns file (gzip-compressed when the path ends
