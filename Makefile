@@ -5,9 +5,9 @@ GO ?= go
 # Packages that carry concurrency (worker pools, shared caches, simulated
 # cluster, the serving executor, the streaming pipeline) or fault-recovery
 # paths: these also run under the race detector in `make ci`.
-RACE_PKGS := ./internal/cpals ./internal/la ./internal/par ./internal/tensor ./internal/rdd ./internal/cluster ./internal/chaos ./internal/mapreduce ./internal/core ./internal/serve ./internal/stream
+RACE_PKGS := ./internal/cpals ./internal/la ./internal/par ./internal/tensor ./internal/rdd ./internal/cluster ./internal/chaos ./internal/mapreduce ./internal/core ./internal/serve ./internal/stream ./internal/dist
 
-.PHONY: ci fmt vet staticcheck build test race bench stream-smoke
+.PHONY: ci fmt vet staticcheck build test race bench stream-smoke dist-smoke
 
 ci: fmt vet staticcheck build test race
 
@@ -45,3 +45,12 @@ stream-smoke:
 	$(GO) run -race ./cmd/cstf-stream -model "$$tmp/model.ckpt" \
 		-dims 60,50,40 -nnz 2000 -rank 2 -train-iters 2 \
 		-windows 3 -window 200 -full-sweep-every 2 -grow-every 150
+
+# End-to-end distributed smoke under the race detector: fork three real
+# cstf-worker processes and run a small decomposition over TCP.
+dist-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -race -o "$$tmp/cstf-worker" ./cmd/cstf-worker && \
+	$(GO) run ./cmd/tensorgen -out "$$tmp/t.tns" -dims 80,60,40 -nnz 5000 -rank 3 && \
+	CSTF_WORKER_BIN="$$tmp/cstf-worker" $(GO) run -race ./cmd/cstf \
+		-in "$$tmp/t.tns" -dist-local 3 -rank 3 -iters 3 -tol 0

@@ -7,6 +7,7 @@
 //	cstf-bench -exp fig2           # one experiment: fig2|fig3|fig4|fig5|table4|table5|ablations|faults|serve|stream
 //	cstf-bench -exp serve          # train, checkpoint, serve, load-test (writes BENCH_serve.json)
 //	cstf-bench -exp stream         # streaming ingest + incremental updates (writes BENCH_stream.json)
+//	cstf-bench -exp dist           # real TCP workers vs single-process (writes BENCH_dist.json)
 //	cstf-bench -scale 1e-3         # dataset scale (fraction of Table 5 sizes)
 //	cstf-bench -rank 2             # decomposition rank (paper: 2)
 //	cstf-bench -out results        # directory for CSV output ("" disables)
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all|fig2|fig3|fig4|fig5|table4|table5|ablations|faults|serve|stream|json")
+	exp := flag.String("exp", "all", "experiment to run: all|fig2|fig3|fig4|fig5|table4|table5|ablations|faults|serve|stream|dist|json")
 	scale := flag.Float64("scale", 1e-3, "dataset scale in (0, 1]")
 	rank := flag.Int("rank", 2, "decomposition rank")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
@@ -209,6 +210,28 @@ func main() {
 		fmt.Println(experiments.RenderStreamBench(rep))
 		if *out != "" {
 			path := filepath.Join(*out, "BENCH_stream.json")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	if run("dist") {
+		ran = true
+		rep, err := experiments.DistBench(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderDistBench(rep))
+		if *out != "" {
+			path := filepath.Join(*out, "BENCH_dist.json")
 			f, err := os.Create(path)
 			if err != nil {
 				fatal(err)

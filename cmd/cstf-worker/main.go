@@ -1,0 +1,39 @@
+// Command cstf-worker is the distributed CP-ALS worker: it listens on a
+// TCP address and executes tasks (partial MTTKRP, gram blocks, row solves,
+// fit partials) for a cstf coordinator. Start one per machine or core
+// group, then point `cstf -dist host:port,...` at them; `cstf -dist-local N`
+// forks N of these automatically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"cstf/internal/dist"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "TCP address to listen on (port 0 picks an ephemeral port)")
+	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cstf-worker: listen %s: %v\n", *listen, err)
+		os.Exit(1)
+	}
+	// The banner announces the resolved address; cstf -dist-local parses it.
+	fmt.Println(dist.Banner(ln.Addr().String()))
+
+	w := dist.NewWorker()
+	if !*quiet {
+		w.Logf = log.New(os.Stderr, "", log.LstdFlags).Printf
+	}
+	if err := w.Serve(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "cstf-worker: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,15 +1,19 @@
-// cstf factorizes a sparse tensor with CP-ALS using any of the four
+// cstf factorizes a sparse tensor with CP-ALS using any of the
 // implementations in this repository.
 //
 // Usage:
 //
 //	cstf -in tensor.tns -algo qcoo -rank 8 -iters 25 -nodes 8
 //	cstf -dataset nell1 -scale 1e-4 -algo coo
+//	cstf -in tensor.tns -dist-local 4
+//	cstf -in tensor.tns -dist host1:9021,host2:9021
 //
 // Exactly one of -in (a FROSTT .tns file) or -dataset (a Table 5 dataset
-// name; see -list) selects the input. Distributed algorithms (coo, qcoo,
-// bigtensor) print the simulated-cluster cost summary; -factors writes the
-// factor matrices as .tns-style text files.
+// name; see -list) selects the input. Simulated distributed algorithms
+// (coo, qcoo, bigtensor) print the modeled cluster cost summary; -dist and
+// -dist-local run the REAL distributed runtime against cstf-worker
+// processes and print measured wall clock and bytes on the wire; -factors
+// writes the factor matrices as .tns-style text files.
 package main
 
 import (
@@ -29,7 +33,10 @@ func main() {
 	dataset := flag.String("dataset", "", "generate a Table 5 dataset instead of reading a file")
 	scale := flag.Float64("scale", 1e-4, "dataset scale when using -dataset")
 	list := flag.Bool("list", false, "list available -dataset names and exit")
-	algo := flag.String("algo", "qcoo", "algorithm: serial|coo|qcoo|bigtensor")
+	algo := flag.String("algo", "qcoo", "algorithm: serial|coo|qcoo|bigtensor|dist")
+	distAddrs := flag.String("dist", "", "comma-separated cstf-worker addresses; implies -algo dist")
+	distLocal := flag.Int("dist-local", 0, "launch N local workers and run distributed; implies -algo dist")
+	distBin := flag.String("dist-worker-bin", "", "cstf-worker binary for -dist-local (default: $CSTF_WORKER_BIN, next to cstf, or $PATH; in-process fallback)")
 	rank := flag.Int("rank", 8, "decomposition rank R")
 	iters := flag.Int("iters", 25, "maximum ALS iterations")
 	tol := flag.Float64("tol", 1e-5, "fit-improvement stopping tolerance (0 disables)")
@@ -83,6 +90,14 @@ func main() {
 	if *tol == 0 {
 		o.NoConvergenceCheck = true
 	}
+	if *distAddrs != "" || *distLocal > 0 {
+		o.Algorithm = cstf.Dist
+		if *distAddrs != "" {
+			o.DistAddrs = strings.Split(*distAddrs, ",")
+		}
+		o.DistLocalWorkers = *distLocal
+		o.DistWorkerBin = *distBin
+	}
 	if *dataset != "" {
 		o.WorkScale = 1 / *scale // report full-scale-equivalent modeled time
 	}
@@ -121,11 +136,22 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("algorithm:  %s\n", *algo)
+	fmt.Printf("algorithm:  %s\n", o.Algorithm)
 	fmt.Printf("iterations: %d\n", dec.Iters)
 	fmt.Printf("fit:        %.6f\n", dec.Fit())
 	fmt.Printf("residual:   %.6f\n", dec.Residual(x))
 	fmt.Printf("lambda:     %.4g\n", dec.Lambda)
+	if dec.Metrics.DistWorkers > 0 {
+		m := dec.Metrics
+		fmt.Printf("measured distributed run (%d workers):\n", m.DistWorkers)
+		fmt.Printf("  wall time:   %.3f s\n", m.WallSeconds)
+		fmt.Printf("  wire sent:   %.2f MB\n", float64(m.WireBytesSent)/1e6)
+		fmt.Printf("  wire recv:   %.2f MB\n", float64(m.WireBytesRecv)/1e6)
+		if m.WorkerDeaths > 0 {
+			fmt.Printf("  worker deaths: %d (reassigned %d tasks, re-sent %d shards)\n",
+				m.WorkerDeaths, m.TaskReassignments, m.ShardResends)
+		}
+	}
 	if dec.Metrics.SimSeconds > 0 {
 		m := dec.Metrics
 		fmt.Printf("modeled cluster cost (%d nodes):\n", *nodes)

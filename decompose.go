@@ -11,6 +11,7 @@ import (
 	"cstf/internal/cluster"
 	"cstf/internal/core"
 	"cstf/internal/cpals"
+	"cstf/internal/dist"
 	"cstf/internal/la"
 	"cstf/internal/mapreduce"
 	"cstf/internal/par"
@@ -34,6 +35,11 @@ const (
 	// BigTensor is the paper's baseline: the GigaTensor algorithm on the
 	// Hadoop-like MapReduce engine. 3rd-order tensors only.
 	BigTensor Algorithm = "bigtensor"
+	// Dist is the real distributed runtime (internal/dist): CP-ALS stages
+	// executed by worker processes over TCP, not the simulated cluster.
+	// Configure it with DistAddrs or DistLocalWorkers. Results are bitwise
+	// identical to Serial for every worker count.
+	Dist Algorithm = "dist"
 )
 
 // Options configures Decompose. Zero values select the documented
@@ -108,6 +114,22 @@ type Options struct {
 	// file.
 	CheckpointEvery int
 	CheckpointPath  string
+
+	// DistAddrs, for the Dist algorithm, lists the TCP addresses of
+	// already-running cstf-worker processes. The slot order is the
+	// reduction rank order; keep it fixed across runs for reproducibility.
+	DistAddrs []string
+
+	// DistLocalWorkers, for the Dist algorithm when DistAddrs is empty,
+	// launches this many local workers for the duration of the run:
+	// forked cstf-worker processes when a binary is found (DistWorkerBin,
+	// $CSTF_WORKER_BIN, next to the executable, or $PATH), otherwise
+	// in-process TCP-loopback workers.
+	DistLocalWorkers int
+
+	// DistWorkerBin optionally pins the cstf-worker binary DistLocalWorkers
+	// forks.
+	DistWorkerBin string
 }
 
 // ChaosSpec configures deterministic fault injection. Events are scheduled
@@ -187,15 +209,32 @@ func (m *Matrix) At(i, j int) float64 { return m.d.At(i, j) }
 // Row returns a copy of row i.
 func (m *Matrix) Row(i int) []float64 { return la.VecClone(m.d.Row(i)) }
 
-// Metrics summarizes the simulated-cluster cost of a distributed run.
+// Metrics reports the cost of a distributed run. It mixes two kinds of
+// numbers that must never be conflated: the Sim*/␣*Bytes/Flops group is
+// MODELED by the simulated cluster (internal/cluster) and is zero for the
+// Dist algorithm, while the Wall/Wire/Worker group is MEASURED — real
+// elapsed time and real bytes on TCP sockets — and is zero for the
+// simulated algorithms.
 type Metrics struct {
+	// Simulated-cluster cost model (COO, QCOO, BigTensor). These are
+	// predictions from the cost profile, not measurements.
 	SimSeconds    float64 // modeled wall-clock of the whole run
-	RemoteBytes   float64 // shuffle bytes read from remote nodes
-	LocalBytes    float64 // shuffle bytes read locally
+	RemoteBytes   float64 // modeled shuffle bytes read from remote nodes
+	LocalBytes    float64 // modeled shuffle bytes read locally
 	Shuffles      int     // shuffle operations
 	Flops         float64 // floating-point operations charged
 	HadoopJobs    int     // MapReduce jobs launched (BigTensor only)
 	SecondsByMode map[string]float64
+
+	// Real measurements from the Dist runtime: actual wall clock and
+	// actual bytes moved over worker sockets.
+	WallSeconds       float64 // measured elapsed time of the run
+	WireBytesSent     int64   // bytes written to worker TCP connections
+	WireBytesRecv     int64   // bytes read from worker TCP connections
+	DistWorkers       int     // worker processes the session started with
+	WorkerDeaths      int     // real workers lost (timeout, socket error, kill)
+	TaskReassignments int     // tasks re-dispatched after a worker death
+	ShardResends      int     // tensor shards re-shipped to substitute workers
 
 	// Fault-tolerance counters, nonzero only when Chaos or task-failure
 	// injection was active.
@@ -348,9 +387,12 @@ func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Deco
 	var res *cpals.Result
 	var err error
 	var c *cluster.Cluster
+	var distStats *dist.Stats
 	switch o.Algorithm {
 	case Serial:
 		res, err = cpals.Solve(t.coo, opts)
+	case Dist:
+		res, distStats, err = distSolve(t, o, opts)
 	case COO:
 		c = newCluster()
 		rctx := rdd.NewContext(c, o.Nodes*profile.CoresPerNode)
@@ -395,6 +437,17 @@ func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Deco
 			return nil, err
 		}
 	}
+	if distStats != nil {
+		out.Metrics = Metrics{
+			WallSeconds:       distStats.WallSeconds,
+			WireBytesSent:     distStats.BytesSent,
+			WireBytesRecv:     distStats.BytesRecv,
+			DistWorkers:       distStats.Workers,
+			WorkerDeaths:      distStats.WorkerDeaths,
+			TaskReassignments: distStats.Reassignments,
+			ShardResends:      distStats.ShardResends,
+		}
+	}
 	if c != nil {
 		m := c.Metrics()
 		out.Metrics = Metrics{
@@ -420,6 +473,37 @@ func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Deco
 		}
 	}
 	return out, nil
+}
+
+// distSolve runs the real distributed runtime: workers from DistAddrs, or
+// locally launched ones (forked cstf-worker processes when a binary is
+// available, in-process loopback workers otherwise). A ChaosSpec schedules
+// REAL worker kills against the session's stage clock; fault kinds with no
+// physical analogue here (stragglers, disk failures, network degradation)
+// are ignored.
+func distSolve(t *Tensor, o Options, opts cpals.Options) (*cpals.Result, *dist.Stats, error) {
+	cfg := dist.Config{Addrs: o.DistAddrs}
+	workers := len(o.DistAddrs)
+	if workers == 0 {
+		if o.DistLocalWorkers <= 0 {
+			return nil, nil, fmt.Errorf("cstf: the dist algorithm needs DistAddrs or DistLocalWorkers")
+		}
+		lc, err := dist.LaunchLocal(o.DistLocalWorkers, o.DistWorkerBin)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer lc.Close()
+		cfg = lc.Config()
+		workers = o.DistLocalWorkers
+	}
+	if o.Chaos != nil {
+		cfg.Plan = chaosPlan(o.Chaos, workers)
+	}
+	res, stats, err := dist.Solve(t.coo, opts, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, &stats, nil
 }
 
 // chaosPlan translates the public spec into the internal fault plan.
@@ -491,6 +575,15 @@ func DecomposeBestContext(ctx context.Context, t *Tensor, o Options, restarts in
 		total.Shuffles += m.Shuffles
 		total.Flops += m.Flops
 		total.HadoopJobs += m.HadoopJobs
+		total.WallSeconds += m.WallSeconds
+		total.WireBytesSent += m.WireBytesSent
+		total.WireBytesRecv += m.WireBytesRecv
+		if m.DistWorkers > total.DistWorkers {
+			total.DistWorkers = m.DistWorkers
+		}
+		total.WorkerDeaths += m.WorkerDeaths
+		total.TaskReassignments += m.TaskReassignments
+		total.ShardResends += m.ShardResends
 		for phase, s := range m.SecondsByMode {
 			total.SecondsByMode[phase] += s
 		}

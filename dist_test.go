@@ -1,0 +1,124 @@
+package cstf_test
+
+import (
+	"math"
+	"testing"
+
+	"cstf"
+)
+
+// TestDistAlgorithmMatchesSerial runs the public Dist path end to end with
+// in-process local workers and checks bitwise identity with Serial.
+func TestDistAlgorithmMatchesSerial(t *testing.T) {
+	x := cstf.LowRankTensor(11, 2500, 3, 0.01, 50, 40, 30)
+	base := cstf.Options{Rank: 3, MaxIters: 4, NoConvergenceCheck: true, Seed: 5}
+
+	so := base
+	so.Algorithm = cstf.Serial
+	want, err := cstf.Decompose(x, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	do := base
+	do.Algorithm = cstf.Dist
+	do.DistLocalWorkers = 4
+	got, err := cstf.Decompose(x, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Iters != want.Iters || len(got.Fits) != len(want.Fits) {
+		t.Fatalf("shape mismatch: iters %d/%d fits %d/%d", got.Iters, want.Iters, len(got.Fits), len(want.Fits))
+	}
+	for i := range want.Fits {
+		if math.Float64bits(got.Fits[i]) != math.Float64bits(want.Fits[i]) {
+			t.Fatalf("fit[%d]: %v != %v", i, got.Fits[i], want.Fits[i])
+		}
+	}
+	for r := range want.Lambda {
+		if math.Float64bits(got.Lambda[r]) != math.Float64bits(want.Lambda[r]) {
+			t.Fatalf("lambda[%d]: %v != %v", r, got.Lambda[r], want.Lambda[r])
+		}
+	}
+	for n := range want.Factors {
+		wf, gf := want.Factors[n], got.Factors[n]
+		for i := 0; i < wf.Rows(); i++ {
+			for j := 0; j < wf.Cols(); j++ {
+				if math.Float64bits(gf.At(i, j)) != math.Float64bits(wf.At(i, j)) {
+					t.Fatalf("factor %d (%d,%d): %v != %v", n, i, j, gf.At(i, j), wf.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestMetricsSeparateRealFromSimulated is the field-separation audit as an
+// executable check: a Dist run reports only measured numbers (wall clock,
+// wire bytes) with the simulated cost model at zero, and a QCOO run reports
+// only modeled numbers with the measured group at zero. Code reading the
+// wrong counter therefore reads zero, never a silently wrong value.
+func TestMetricsSeparateRealFromSimulated(t *testing.T) {
+	x := cstf.LowRankTensor(11, 1500, 3, 0.01, 40, 30, 20)
+	base := cstf.Options{Rank: 3, MaxIters: 2, NoConvergenceCheck: true, Seed: 5}
+
+	do := base
+	do.Algorithm = cstf.Dist
+	do.DistLocalWorkers = 2
+	dd, err := cstf.Decompose(x, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dd.Metrics
+	if m.WallSeconds <= 0 || m.WireBytesSent <= 0 || m.WireBytesRecv <= 0 || m.DistWorkers != 2 {
+		t.Fatalf("dist run missing real measurements: %+v", m)
+	}
+	if m.SimSeconds != 0 || m.RemoteBytes != 0 || m.LocalBytes != 0 || m.Shuffles != 0 || m.Flops != 0 {
+		t.Fatalf("dist run leaked simulated metrics: %+v", m)
+	}
+
+	qo := base
+	qo.Algorithm = cstf.QCOO
+	qd, err := cstf.Decompose(x, qo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = qd.Metrics
+	if m.SimSeconds <= 0 || m.RemoteBytes <= 0 {
+		t.Fatalf("qcoo run missing simulated metrics: %+v", m)
+	}
+	if m.WallSeconds != 0 || m.WireBytesSent != 0 || m.WireBytesRecv != 0 || m.DistWorkers != 0 {
+		t.Fatalf("qcoo run leaked real-measurement metrics: %+v", m)
+	}
+}
+
+// TestDistChaosKillThroughPublicAPI drives a real worker kill through the
+// public ChaosSpec and checks the run survives with the same factorization.
+func TestDistChaosKillThroughPublicAPI(t *testing.T) {
+	x := cstf.LowRankTensor(11, 2500, 3, 0.01, 50, 40, 30)
+	base := cstf.Options{Rank: 3, MaxIters: 4, NoConvergenceCheck: true, Seed: 5}
+
+	so := base
+	so.Algorithm = cstf.Serial
+	want, err := cstf.Decompose(x, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	do := base
+	do.Algorithm = cstf.Dist
+	do.DistLocalWorkers = 3
+	do.Chaos = &cstf.ChaosSpec{NodeCrashes: 1, HorizonStages: 8, Seed: 3}
+	got, err := cstf.Decompose(x, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Metrics.WorkerDeaths != 1 {
+		t.Fatalf("want one real worker death, got %+v", got.Metrics)
+	}
+	for i := range want.Fits {
+		if math.Float64bits(got.Fits[i]) != math.Float64bits(want.Fits[i]) {
+			t.Fatalf("fit[%d] after kill: %v != %v", i, got.Fits[i], want.Fits[i])
+		}
+	}
+}

@@ -246,6 +246,13 @@ func FitFrom(normX float64, lastM, lastFactor *la.Dense, lambda []float64, grams
 	return fitFromInner(normX, inner, lambda, grams)
 }
 
+// FitFromInner finishes the fit computation once <X, X_hat> is known. The
+// distributed runtime computes the inner product as a block-ordered
+// reduction over the wire and calls this, matching FitFromWorkers bitwise.
+func FitFromInner(normX, inner float64, lambda []float64, grams []*la.Dense) float64 {
+	return fitFromInner(normX, inner, lambda, grams)
+}
+
 // fitFromInner finishes the fit computation once <X, X_hat> is known.
 func fitFromInner(normX, inner float64, lambda []float64, grams []*la.Dense) float64 {
 	modelSq := ModelNormSq(lambda, grams)

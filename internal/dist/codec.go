@@ -1,0 +1,476 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"cstf/internal/la"
+	"cstf/internal/tensor"
+)
+
+// Compact binary wire codec. Framing is a 5-byte header — type byte plus
+// big-endian uint32 payload length — followed by the payload. Payload
+// encodings are fixed-width big-endian; float64s travel as IEEE-754 bits.
+// Every decoder is total: malformed input of any kind returns a
+// *DecodeError, never a panic, and element counts are validated against
+// the remaining payload BEFORE allocation so a corrupt length prefix
+// cannot force a huge allocation.
+
+// maxFrame bounds a frame payload (1 GiB). Shards of real tensors are the
+// largest messages; a tensor bigger than this must be cut into more
+// workers, not a bigger frame.
+const maxFrame = 1 << 30
+
+// WriteFrame writes one frame: type byte, big-endian length, payload.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("dist: frame payload %d bytes exceeds limit %d", len(payload), maxFrame)
+	}
+	var hdr [5]byte
+	hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame. Transport errors pass through; a length
+// beyond maxFrame or an unknown type byte yields a *DecodeError.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	t := MsgType(hdr[0])
+	if t < MsgHello || t > MsgShutdown {
+		return 0, nil, &DecodeError{Msg: fmt.Sprintf("unknown frame type %d", hdr[0])}
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, &DecodeError{Msg: fmt.Sprintf("frame length %d exceeds limit %d", n, maxFrame)}
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return t, payload, nil
+}
+
+// --- append-style encoders ---
+
+func appendU8(b []byte, v uint8) []byte { return append(b, v) }
+func appendU16(b []byte, v uint16) []byte {
+	return binary.BigEndian.AppendUint16(b, v)
+}
+func appendU32(b []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, v)
+}
+func appendU64(b []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, v)
+}
+func appendF64(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// appendDense encodes rows, cols, then the row-major data.
+func appendDense(b []byte, m *la.Dense) []byte {
+	b = appendU32(b, uint32(m.Rows))
+	b = appendU32(b, uint32(m.Cols))
+	for _, v := range m.Data {
+		b = appendF64(b, v)
+	}
+	return b
+}
+
+// appendOptDense encodes a presence byte then the matrix when non-nil.
+func appendOptDense(b []byte, m *la.Dense) []byte {
+	if m == nil {
+		return appendU8(b, 0)
+	}
+	b = appendU8(b, 1)
+	return appendDense(b, m)
+}
+
+// --- sticky-error decoder ---
+
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(msg string) {
+	if d.err == nil {
+		d.err = &DecodeError{Msg: msg, Offset: d.off}
+	}
+}
+
+func (d *dec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b)-d.off < n {
+		d.fail(fmt.Sprintf("truncated: need %d bytes, have %d", n, len(d.b)-d.off))
+		return false
+	}
+	return true
+}
+
+func (d *dec) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// count validates an element count against the remaining payload, given a
+// fixed per-element width, before the caller allocates.
+func (d *dec) count(n uint32, elemBytes int, what string) int {
+	if d.err != nil {
+		return 0
+	}
+	if int64(n)*int64(elemBytes) > int64(len(d.b)-d.off) {
+		d.fail(fmt.Sprintf("%s count %d exceeds remaining payload", what, n))
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) dense() *la.Dense {
+	rows := d.u32()
+	cols := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if rows > maxFrame/8 || cols > maxFrame/8 {
+		d.fail(fmt.Sprintf("dense dimensions %dx%d out of range", rows, cols))
+		return nil
+	}
+	total := int64(rows) * int64(cols)
+	if total*8 > int64(len(d.b)-d.off) {
+		d.fail(fmt.Sprintf("dense %dx%d exceeds remaining payload", rows, cols))
+		return nil
+	}
+	m := la.NewDense(int(rows), int(cols))
+	for i := range m.Data {
+		m.Data[i] = d.f64()
+	}
+	return m
+}
+
+func (d *dec) optDense() *la.Dense {
+	switch d.u8() {
+	case 0:
+		return nil
+	case 1:
+		return d.dense()
+	default:
+		d.fail("invalid presence byte")
+		return nil
+	}
+}
+
+// done enforces that the payload was consumed exactly.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return &DecodeError{Msg: fmt.Sprintf("%d trailing bytes", len(d.b)-d.off), Offset: d.off}
+	}
+	return nil
+}
+
+// --- message codecs ---
+
+// EncodeHello serializes a handshake.
+func EncodeHello(h *Hello) []byte {
+	b := appendU16(nil, h.Version)
+	b = appendU8(b, uint8(h.Order))
+	b = appendU16(b, uint16(h.Rank))
+	b = appendU16(b, uint16(h.Worker))
+	b = appendU16(b, uint16(h.Workers))
+	for _, dim := range h.Dims {
+		b = appendU32(b, uint32(dim))
+	}
+	return b
+}
+
+// DecodeHello parses a handshake.
+func DecodeHello(b []byte) (*Hello, error) {
+	d := &dec{b: b}
+	h := &Hello{
+		Version: d.u16(),
+		Order:   int(d.u8()),
+		Rank:    int(d.u16()),
+		Worker:  int(d.u16()),
+		Workers: int(d.u16()),
+	}
+	if d.err == nil && (h.Order < 1 || h.Order > tensor.MaxOrder) {
+		d.fail(fmt.Sprintf("order %d out of range [1,%d]", h.Order, tensor.MaxOrder))
+	}
+	if d.err == nil && h.Rank < 1 {
+		d.fail("rank must be positive")
+	}
+	n := 0
+	if d.err == nil {
+		n = h.Order
+	}
+	h.Dims = make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		dim := d.u32()
+		if d.err == nil && dim == 0 {
+			d.fail(fmt.Sprintf("mode %d has size 0", i))
+		}
+		h.Dims = append(h.Dims, int(dim))
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// EncodeShard serializes a nonzero shard: header then order*uint32 indices
+// plus a float64 value per entry.
+func EncodeShard(s *Shard) []byte {
+	b := appendU8(nil, uint8(s.Mode))
+	b = appendU8(b, uint8(s.Order))
+	b = appendU32(b, uint32(s.RowLo))
+	b = appendU32(b, uint32(s.RowHi))
+	b = appendU32(b, uint32(len(s.Entries)))
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		for m := 0; m < s.Order; m++ {
+			b = appendU32(b, e.Idx[m])
+		}
+		b = appendF64(b, e.Val)
+	}
+	return b
+}
+
+// DecodeShard parses a nonzero shard, validating the entry count against
+// the payload length and every entry's mode index against [RowLo, RowHi).
+func DecodeShard(b []byte) (*Shard, error) {
+	d := &dec{b: b}
+	s := &Shard{
+		Mode:  int(d.u8()),
+		Order: int(d.u8()),
+		RowLo: int(d.u32()),
+		RowHi: int(d.u32()),
+	}
+	if d.err == nil && (s.Order < 1 || s.Order > tensor.MaxOrder) {
+		d.fail(fmt.Sprintf("order %d out of range [1,%d]", s.Order, tensor.MaxOrder))
+	}
+	if d.err == nil && s.Mode >= s.Order {
+		d.fail(fmt.Sprintf("mode %d out of range for order %d", s.Mode, s.Order))
+	}
+	if d.err == nil && s.RowHi < s.RowLo {
+		d.fail(fmt.Sprintf("row range [%d,%d) inverted", s.RowLo, s.RowHi))
+	}
+	nnz := d.count(d.u32(), 4*s.Order+8, "shard entry")
+	s.Entries = make([]tensor.Entry, 0, nnz)
+	for i := 0; i < nnz; i++ {
+		var e tensor.Entry
+		for m := 0; m < s.Order; m++ {
+			e.Idx[m] = d.u32()
+		}
+		e.Val = d.f64()
+		if d.err == nil && (int(e.Idx[s.Mode]) < s.RowLo || int(e.Idx[s.Mode]) >= s.RowHi) {
+			d.fail(fmt.Sprintf("entry %d: mode-%d index %d outside shard rows [%d,%d)",
+				i, s.Mode, e.Idx[s.Mode], s.RowLo, s.RowHi))
+		}
+		s.Entries = append(s.Entries, e)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// EncodeFactor serializes a factor broadcast.
+func EncodeFactor(f *Factor) []byte {
+	b := appendU8(nil, uint8(f.Mode))
+	return appendDense(b, f.M)
+}
+
+// DecodeFactor parses a factor broadcast.
+func DecodeFactor(b []byte) (*Factor, error) {
+	d := &dec{b: b}
+	f := &Factor{Mode: int(d.u8())}
+	f.M = d.dense()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// EncodeTask serializes a task descriptor.
+func EncodeTask(t *Task) []byte {
+	b := appendU64(nil, t.ID)
+	b = appendU8(b, uint8(t.Kind))
+	b = appendU8(b, uint8(t.Mode))
+	b = appendU32(b, uint32(t.RowLo))
+	b = appendU32(b, uint32(t.RowHi))
+	b = appendU32(b, uint32(t.BlockLo))
+	b = appendU32(b, uint32(t.BlockHi))
+	b = appendOptDense(b, t.Pinv)
+	b = appendU32(b, uint32(len(t.Lambda)))
+	for _, v := range t.Lambda {
+		b = appendF64(b, v)
+	}
+	return appendOptDense(b, t.MRows)
+}
+
+// DecodeTask parses a task descriptor.
+func DecodeTask(b []byte) (*Task, error) {
+	d := &dec{b: b}
+	t := &Task{
+		ID:      d.u64(),
+		Kind:    TaskKind(d.u8()),
+		Mode:    int(d.u8()),
+		RowLo:   int(d.u32()),
+		RowHi:   int(d.u32()),
+		BlockLo: int(d.u32()),
+		BlockHi: int(d.u32()),
+	}
+	if d.err == nil && (t.Kind < TaskPartialMTTKRP || t.Kind > TaskFitPartial) {
+		d.fail(fmt.Sprintf("unknown task kind %d", uint8(t.Kind)))
+	}
+	if d.err == nil && (t.RowHi < t.RowLo || t.BlockHi < t.BlockLo) {
+		d.fail("inverted task range")
+	}
+	t.Pinv = d.optDense()
+	n := d.count(d.u32(), 8, "lambda")
+	if n > 0 {
+		t.Lambda = make([]float64, n)
+		for i := range t.Lambda {
+			t.Lambda[i] = d.f64()
+		}
+	}
+	t.MRows = d.optDense()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// EncodeResult serializes a task result.
+func EncodeResult(r *Result) []byte {
+	b := appendU64(nil, r.ID)
+	b = appendU8(b, uint8(r.Kind))
+	b = appendU32(b, uint32(r.RowLo))
+	b = appendU32(b, uint32(r.BlockLo))
+	b = appendOptDense(b, r.Rows)
+	b = appendU32(b, uint32(len(r.Grams)))
+	for _, g := range r.Grams {
+		b = appendDense(b, g)
+	}
+	b = appendU32(b, uint32(len(r.Partials)))
+	for _, v := range r.Partials {
+		b = appendF64(b, v)
+	}
+	return b
+}
+
+// DecodeResult parses a task result.
+func DecodeResult(b []byte) (*Result, error) {
+	d := &dec{b: b}
+	r := &Result{
+		ID:      d.u64(),
+		Kind:    TaskKind(d.u8()),
+		RowLo:   int(d.u32()),
+		BlockLo: int(d.u32()),
+	}
+	if d.err == nil && (r.Kind < TaskPartialMTTKRP || r.Kind > TaskFitPartial) {
+		d.fail(fmt.Sprintf("unknown task kind %d", uint8(r.Kind)))
+	}
+	r.Rows = d.optDense()
+	ng := d.count(d.u32(), 8, "gram block") // 8 bytes is the header floor per matrix
+	if ng > 0 {
+		r.Grams = make([]*la.Dense, 0, ng)
+		for i := 0; i < ng; i++ {
+			r.Grams = append(r.Grams, d.dense())
+		}
+	}
+	np := d.count(d.u32(), 8, "fit partial")
+	if np > 0 {
+		r.Partials = make([]float64, np)
+		for i := range r.Partials {
+			r.Partials[i] = d.f64()
+		}
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// EncodeSeq serializes a ping/pong heartbeat sequence number.
+func EncodeSeq(seq uint64) []byte { return appendU64(nil, seq) }
+
+// DecodeSeq parses a ping/pong heartbeat sequence number.
+func DecodeSeq(b []byte) (uint64, error) {
+	d := &dec{b: b}
+	seq := d.u64()
+	if err := d.done(); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// EncodeErr serializes a worker task failure.
+func EncodeErr(e *RemoteError) []byte {
+	b := appendU64(nil, e.TaskID)
+	b = appendU32(b, uint32(len(e.Msg)))
+	return append(b, e.Msg...)
+}
+
+// DecodeErr parses a worker task failure.
+func DecodeErr(b []byte) (*RemoteError, error) {
+	d := &dec{b: b}
+	e := &RemoteError{TaskID: d.u64()}
+	n := d.count(d.u32(), 1, "error message")
+	if d.err == nil {
+		e.Msg = string(d.b[d.off : d.off+n])
+		d.off += n
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

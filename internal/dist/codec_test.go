@@ -1,0 +1,189 @@
+package dist
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"cstf/internal/la"
+	"cstf/internal/tensor"
+)
+
+func testShard() *Shard {
+	s := &Shard{Mode: 1, Order: 3, RowLo: 4, RowHi: 9}
+	for i := 0; i < 7; i++ {
+		var e tensor.Entry
+		e.Idx[0] = uint32(i * 3)
+		e.Idx[1] = uint32(4 + i%5)
+		e.Idx[2] = uint32(i)
+		e.Val = 0.5 + float64(i)
+		s.Entries = append(s.Entries, e)
+	}
+	return s
+}
+
+func denseOf(rows, cols int, base float64) *la.Dense {
+	m := la.NewDense(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = base + float64(i)*0.25
+	}
+	return m
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	hello := &Hello{Version: ProtocolVersion, Order: 3, Rank: 5, Dims: []int{10, 20, 30}, Worker: 2, Workers: 4}
+	if got, err := DecodeHello(EncodeHello(hello)); err != nil || !reflect.DeepEqual(got, hello) {
+		t.Fatalf("hello round trip: got %+v, err %v", got, err)
+	}
+
+	sh := testShard()
+	if got, err := DecodeShard(EncodeShard(sh)); err != nil || !reflect.DeepEqual(got, sh) {
+		t.Fatalf("shard round trip: got %+v, err %v", got, err)
+	}
+
+	f := &Factor{Mode: 2, M: denseOf(4, 3, 1)}
+	if got, err := DecodeFactor(EncodeFactor(f)); err != nil || !reflect.DeepEqual(got, f) {
+		t.Fatalf("factor round trip: got %+v, err %v", got, err)
+	}
+
+	tasks := []*Task{
+		{ID: 7, Kind: TaskPartialMTTKRP, Mode: 1, RowLo: 3, RowHi: 9},
+		{ID: 8, Kind: TaskGram, Mode: 0, BlockLo: 2, BlockHi: 5},
+		{ID: 9, Kind: TaskRowSolve, Mode: 2, RowLo: 0, RowHi: 4, Pinv: denseOf(3, 3, -1)},
+		{ID: 10, Kind: TaskRowSolve, Mode: 2, RowLo: 0, RowHi: 4, Pinv: denseOf(3, 3, 2), MRows: denseOf(4, 3, 0.5)},
+		{ID: 11, Kind: TaskFitPartial, Mode: 2, BlockLo: 0, BlockHi: 2, Lambda: []float64{1, 2.5, math.Pi}, MRows: denseOf(6, 3, 3)},
+	}
+	for _, task := range tasks {
+		got, err := DecodeTask(EncodeTask(task))
+		if err != nil || !reflect.DeepEqual(got, task) {
+			t.Fatalf("task %d round trip: got %+v, err %v", task.ID, got, err)
+		}
+	}
+
+	results := []*Result{
+		{ID: 7, Kind: TaskPartialMTTKRP, RowLo: 3, Rows: denseOf(6, 5, 0)},
+		{ID: 8, Kind: TaskGram, BlockLo: 2, Grams: []*la.Dense{denseOf(3, 3, 0), denseOf(3, 3, 9)}},
+		{ID: 11, Kind: TaskFitPartial, BlockLo: 0, Partials: []float64{1.5, -2.25}},
+	}
+	for _, r := range results {
+		got, err := DecodeResult(EncodeResult(r))
+		if err != nil || !reflect.DeepEqual(got, r) {
+			t.Fatalf("result %d round trip: got %+v, err %v", r.ID, got, err)
+		}
+	}
+
+	e := &RemoteError{TaskID: 42, Msg: "shard missing"}
+	if got, err := DecodeErr(EncodeErr(e)); err != nil || !reflect.DeepEqual(got, e) {
+		t.Fatalf("err round trip: got %+v, err %v", got, err)
+	}
+	if got, err := DecodeSeq(EncodeSeq(99)); err != nil || got != 99 {
+		t.Fatalf("seq round trip: got %d, err %v", got, err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := EncodeSeq(123)
+	if err := WriteFrame(&buf, MsgPing, payload); err != nil {
+		t.Fatal(err)
+	}
+	mt, got, err := ReadFrame(&buf)
+	if err != nil || mt != MsgPing || !bytes.Equal(got, payload) {
+		t.Fatalf("frame round trip: type %v payload %x err %v", mt, got, err)
+	}
+}
+
+// wantDecodeError asserts the decoder rejects the input with a typed
+// *DecodeError rather than panicking or succeeding.
+func wantDecodeError(t *testing.T, name string, err error) {
+	t.Helper()
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("%s: want *DecodeError, got %v", name, err)
+	}
+}
+
+func TestCodecRejectsMalformedInput(t *testing.T) {
+	full := EncodeShard(testShard())
+	// Every truncation of a valid message must fail cleanly.
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeShard(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	_, err := DecodeShard(append(append([]byte{}, full...), 0xFF))
+	wantDecodeError(t, "trailing byte", err)
+
+	// Corrupt the entry count upward: count validation must catch it
+	// before any allocation.
+	corrupt := append([]byte{}, full...)
+	corrupt[10] = 0xFF // high byte of the u32 entry count at offset 10
+	_, err = DecodeShard(corrupt)
+	wantDecodeError(t, "inflated count", err)
+
+	// An entry whose mode index falls outside [RowLo, RowHi).
+	bad := testShard()
+	bad.Entries[3].Idx[1] = 99
+	_, err = DecodeShard(EncodeShard(bad))
+	wantDecodeError(t, "out-of-range entry", err)
+
+	// Inverted task range and unknown kind.
+	_, err = DecodeTask(EncodeTask(&Task{ID: 1, Kind: TaskGram, BlockLo: 5, BlockHi: 2}))
+	wantDecodeError(t, "inverted range", err)
+	_, err = DecodeTask(EncodeTask(&Task{ID: 1, Kind: TaskKind(200)}))
+	wantDecodeError(t, "unknown kind", err)
+
+	// Bad dense presence byte.
+	raw := EncodeTask(&Task{ID: 1, Kind: TaskGram, BlockLo: 0, BlockHi: 1})
+	raw[26] = 7 // pinv presence byte
+	_, err = DecodeTask(raw)
+	wantDecodeError(t, "presence byte", err)
+
+	// Hello with order beyond MaxOrder.
+	h := EncodeHello(&Hello{Version: 1, Order: 3, Rank: 2, Dims: []int{2, 2, 2}})
+	h[2] = 200
+	_, err = DecodeHello(h)
+	wantDecodeError(t, "order", err)
+
+	// Frames: unknown type byte and oversized length.
+	_, _, err = ReadFrame(bytes.NewReader([]byte{0xEE, 0, 0, 0, 0}))
+	wantDecodeError(t, "frame type", err)
+	_, _, err = ReadFrame(bytes.NewReader([]byte{byte(MsgPing), 0xFF, 0xFF, 0xFF, 0xFF}))
+	wantDecodeError(t, "frame length", err)
+}
+
+// FuzzDecode drives every payload decoder with arbitrary bytes; the only
+// acceptable failure mode is a returned error.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint8(MsgHello), EncodeHello(&Hello{Version: 1, Order: 3, Rank: 4, Dims: []int{5, 6, 7}, Worker: 1, Workers: 2}))
+	f.Add(uint8(MsgShard), EncodeShard(testShard()))
+	f.Add(uint8(MsgFactor), EncodeFactor(&Factor{Mode: 1, M: denseOf(3, 2, 0)}))
+	f.Add(uint8(MsgTask), EncodeTask(&Task{ID: 3, Kind: TaskRowSolve, RowLo: 1, RowHi: 4, Pinv: denseOf(2, 2, 1)}))
+	f.Add(uint8(MsgTask), EncodeTask(&Task{ID: 4, Kind: TaskFitPartial, BlockLo: 0, BlockHi: 1, Lambda: []float64{1, 2}, MRows: denseOf(2, 2, 0)}))
+	f.Add(uint8(MsgResult), EncodeResult(&Result{ID: 3, Kind: TaskGram, Grams: []*la.Dense{denseOf(2, 2, 0)}}))
+	f.Add(uint8(MsgErr), EncodeErr(&RemoteError{TaskID: 9, Msg: "boom"}))
+	f.Add(uint8(MsgPing), EncodeSeq(77))
+	f.Add(uint8(0), []byte{})
+	f.Fuzz(func(t *testing.T, kind uint8, b []byte) {
+		switch MsgType(kind) {
+		case MsgHello, MsgHelloAck:
+			DecodeHello(b)
+		case MsgShard:
+			DecodeShard(b)
+		case MsgFactor:
+			DecodeFactor(b)
+		case MsgTask:
+			DecodeTask(b)
+		case MsgResult:
+			DecodeResult(b)
+		case MsgErr:
+			DecodeErr(b)
+		default:
+			DecodeSeq(b)
+		}
+		// Frame parsing must also be total on arbitrary bytes.
+		ReadFrame(bytes.NewReader(b))
+	})
+}

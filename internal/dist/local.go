@@ -1,0 +1,154 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Local worker launching: the `-dist-local N` path and the test harness.
+// Two flavors share the LocalCluster shape: real forked cstf-worker
+// processes (exercising the full OS-process story) and in-process workers
+// on TCP loopback (no binary needed — used as the fallback and by tests,
+// still real sockets and real frames).
+
+// LocalCluster is a set of locally launched workers plus the Config hooks
+// to run a session against them.
+type LocalCluster struct {
+	Addrs []string
+	Kills []func() error
+
+	closers []func()
+	once    sync.Once
+}
+
+// Close tears every worker down. Idempotent; safe after kills.
+func (c *LocalCluster) Close() {
+	c.once.Do(func() {
+		for _, f := range c.closers {
+			f()
+		}
+	})
+}
+
+// Config returns a session Config wired to this cluster's workers.
+func (c *LocalCluster) Config() Config {
+	return Config{Addrs: c.Addrs, Kills: c.Kills}
+}
+
+// StartInProcess starts n workers inside this process, each with its own
+// TCP loopback listener — real sockets, real frames, no fork. The kill
+// hooks close the worker (listener + connections), which the coordinator
+// cannot distinguish from a process death.
+func StartInProcess(n int) (*LocalCluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: worker count must be positive, got %d", n)
+	}
+	c := &LocalCluster{}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("dist: local listener: %w", err)
+		}
+		w := NewWorker()
+		go w.Serve(ln)
+		c.Addrs = append(c.Addrs, ln.Addr().String())
+		c.Kills = append(c.Kills, func() error { return w.Close() })
+		c.closers = append(c.closers, func() { w.Close() })
+	}
+	return c, nil
+}
+
+// SpawnWorkers forks n cstf-worker processes from the given binary, each
+// listening on an ephemeral loopback port announced on its stdout. The
+// kill hooks send SIGKILL — a genuine process death.
+func SpawnWorkers(bin string, n int) (*LocalCluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: worker count must be positive, got %d", n)
+	}
+	c := &LocalCluster{}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(bin, "-listen", "127.0.0.1:0")
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("dist: spawn %s: %w", bin, err)
+		}
+		proc := cmd.Process
+		c.closers = append(c.closers, func() {
+			proc.Kill()
+			cmd.Wait()
+		})
+		sc := bufio.NewScanner(out)
+		addr := ""
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, workerBanner); ok {
+				addr = strings.TrimSpace(rest)
+				break
+			}
+		}
+		if addr == "" {
+			c.Close()
+			return nil, fmt.Errorf("dist: worker %d did not announce a listen address", i)
+		}
+		// Keep draining stdout so the child never blocks on a full pipe.
+		go func() {
+			for sc.Scan() {
+			}
+		}()
+		c.Addrs = append(c.Addrs, addr)
+		c.Kills = append(c.Kills, proc.Kill)
+	}
+	return c, nil
+}
+
+// workerBanner is the stdout line prefix cstf-worker prints once listening;
+// SpawnWorkers parses the address from it.
+const workerBanner = "cstf-worker listening on "
+
+// Banner formats the ready line a worker binary must print.
+func Banner(addr string) string { return workerBanner + addr }
+
+// FindWorkerBin locates a cstf-worker binary: the CSTF_WORKER_BIN
+// environment variable, then a cstf-worker next to the running executable,
+// then $PATH. Returns "" when none is found.
+func FindWorkerBin() string {
+	if p := os.Getenv("CSTF_WORKER_BIN"); p != "" {
+		return p
+	}
+	if exe, err := os.Executable(); err == nil {
+		p := filepath.Join(filepath.Dir(exe), "cstf-worker")
+		if st, err := os.Stat(p); err == nil && !st.IsDir() {
+			return p
+		}
+	}
+	if p, err := exec.LookPath("cstf-worker"); err == nil {
+		return p
+	}
+	return ""
+}
+
+// LaunchLocal starts n local workers: forked cstf-worker processes when a
+// binary is available (bin, or FindWorkerBin when bin is empty), otherwise
+// in-process loopback workers.
+func LaunchLocal(n int, bin string) (*LocalCluster, error) {
+	if bin == "" {
+		bin = FindWorkerBin()
+	}
+	if bin != "" {
+		return SpawnWorkers(bin, n)
+	}
+	return StartInProcess(n)
+}

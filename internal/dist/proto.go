@@ -1,0 +1,219 @@
+// Package dist is the real distributed runtime: a coordinator/worker
+// system that executes CP-ALS stages across OS processes over TCP. It is
+// the first execution path in this repository that moves actual bytes over
+// actual sockets — everything in internal/cluster remains a cost model.
+//
+// There is no closure shipping. The protocol has a fixed task vocabulary —
+// PartialMTTKRP, Gram, RowSolve, FitPartial — mirroring the observation
+// (DFacTo, SpDISTAL) that the distributed MTTKRP decomposes into a small
+// set of shippable stages. The coordinator partitions the tensor once per
+// mode with tensor.ModeIndex row partitioning, ships nonzero shards at
+// session start, broadcasts each updated factor per mode-iteration, and
+// reduces partial grams/MTTKRPs in a fixed order, so the factorization is
+// bitwise identical to the single-process cpals.Solve for every worker
+// count and every task placement (including after worker deaths):
+//
+//   - PartialMTTKRP output rows are disjoint between workers (the shards
+//     are cut at output-row boundaries), so "reduction" is assembly and
+//     each row's accumulation order is the shard's stable Perm order —
+//     exactly the per-row sequence of the shared-memory kernel.
+//   - Gram and FitPartial return one partial per par.BlockSize row block;
+//     the coordinator sums partials in global block order, the identical
+//     summation tree la.GramParallel and par.SumBlocks use.
+//   - RowSolve and factor normalization are elementwise / per-row.
+//
+// Failure handling: the coordinator pings every worker; a missed-heartbeat
+// timeout or any socket error marks the worker dead, and its outstanding
+// tasks are reassigned to survivors, re-sending the needed shard or
+// MTTKRP rows from the coordinator's resident copy. Dead workers never
+// rejoin a session. A chaos.FaultPlan can kill real worker processes at
+// stage boundaries, driving the same recovery path the simulator models.
+package dist
+
+import (
+	"fmt"
+
+	"cstf/internal/la"
+	"cstf/internal/tensor"
+)
+
+// ProtocolVersion is bumped on any wire-format change. Hello carries it;
+// a mismatch aborts the handshake with a typed error.
+const ProtocolVersion = 1
+
+// MsgType identifies a protocol frame.
+type MsgType uint8
+
+// The protocol frame types. Coordinator-to-worker unless noted.
+const (
+	MsgHello    MsgType = iota + 1 // session config
+	MsgHelloAck                    // worker -> coordinator: handshake reply
+	MsgShard                       // one mode's nonzero shard for a row range
+	MsgFactor                      // full factor matrix broadcast
+	MsgTask                        // task descriptor
+	MsgResult                      // worker -> coordinator: task result
+	MsgPing                        // heartbeat probe
+	MsgPong                        // worker -> coordinator: heartbeat reply
+	MsgErr                         // worker -> coordinator: task failure
+	MsgShutdown                    // end of session
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgHelloAck:
+		return "hello-ack"
+	case MsgShard:
+		return "shard"
+	case MsgFactor:
+		return "factor"
+	case MsgTask:
+		return "task"
+	case MsgResult:
+		return "result"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
+	case MsgErr:
+		return "err"
+	case MsgShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("msg(%d)", uint8(t))
+	}
+}
+
+// TaskKind enumerates the fixed task vocabulary.
+type TaskKind uint8
+
+// The four shippable CP-ALS stages.
+const (
+	// TaskPartialMTTKRP computes the MTTKRP output rows [RowLo, RowHi) of
+	// one mode from the resident shard for that (mode, range).
+	TaskPartialMTTKRP TaskKind = iota + 1
+	// TaskGram computes per-block partial gram matrices A^T A over the
+	// global row blocks [BlockLo, BlockHi) of the resident factor.
+	TaskGram
+	// TaskRowSolve applies the pseudo-inverse of the gram Hadamard to the
+	// MTTKRP rows [RowLo, RowHi): a_i = m_i * Pinv, row by row.
+	TaskRowSolve
+	// TaskFitPartial computes per-block partials of the <X, X_hat> inner
+	// product over the global row blocks [BlockLo, BlockHi) of the last
+	// mode's MTTKRP result.
+	TaskFitPartial
+)
+
+func (k TaskKind) String() string {
+	switch k {
+	case TaskPartialMTTKRP:
+		return "partial-mttkrp"
+	case TaskGram:
+		return "gram"
+	case TaskRowSolve:
+		return "row-solve"
+	case TaskFitPartial:
+		return "fit-partial"
+	default:
+		return fmt.Sprintf("task(%d)", uint8(k))
+	}
+}
+
+// Hello is the session handshake: tensor shape, decomposition rank, and
+// the worker's identity within the session.
+type Hello struct {
+	Version uint16
+	Order   int
+	Rank    int   // decomposition rank R
+	Dims    []int // len Order
+	Worker  int   // this worker's slot (rank order of reductions)
+	Workers int   // session worker count
+}
+
+// Shard is one worker's share of a mode's nonzeros: exactly the entries
+// whose Idx[Mode] falls in [RowLo, RowHi), in the stable ModeIndex Perm
+// order. Only the first Order indices of each entry are on the wire.
+type Shard struct {
+	Mode         int
+	Order        int
+	RowLo, RowHi int
+	Entries      []tensor.Entry
+}
+
+// Factor is a full factor-matrix broadcast for one mode.
+type Factor struct {
+	Mode int
+	M    *la.Dense
+}
+
+// Task is one task descriptor. Which fields are meaningful depends on
+// Kind; optional payloads (Pinv, Lambda, MRows) are presence-flagged on
+// the wire.
+type Task struct {
+	ID   uint64
+	Kind TaskKind
+	Mode int
+
+	// Row range (PartialMTTKRP, RowSolve).
+	RowLo, RowHi int
+
+	// Global par.BlockSize block range (Gram, FitPartial).
+	BlockLo, BlockHi int
+
+	// Pinv is the R x R pseudo-inverse of the gram Hadamard (RowSolve).
+	Pinv *la.Dense
+
+	// Lambda is the column-weight vector (FitPartial).
+	Lambda []float64
+
+	// MRows carries MTTKRP output rows the executing worker does not hold:
+	// always for FitPartial (fit blocks do not align with MTTKRP ranges),
+	// and for RowSolve only when the task was reassigned to a worker other
+	// than the one that produced the rows.
+	MRows *la.Dense
+}
+
+// Result is a completed task's payload.
+type Result struct {
+	ID   uint64
+	Kind TaskKind
+
+	// RowLo echoes the task's row range start (PartialMTTKRP, RowSolve).
+	RowLo int
+	// Rows are the computed output rows (PartialMTTKRP, RowSolve).
+	Rows *la.Dense
+
+	// BlockLo echoes the task's block range start (Gram, FitPartial).
+	BlockLo int
+	// Grams holds one R x R partial per block (Gram).
+	Grams []*la.Dense
+	// Partials holds one scalar partial per block (FitPartial).
+	Partials []float64
+}
+
+// RemoteError is a task failure reported by a worker over the wire (as
+// opposed to a transport failure, which kills the worker). It indicates a
+// protocol-level bug — e.g. a task referencing a shard the worker was
+// never sent — and aborts the session rather than triggering reassignment.
+type RemoteError struct {
+	TaskID uint64
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("dist: worker failed task %d: %s", e.TaskID, e.Msg)
+}
+
+// DecodeError reports malformed wire bytes: truncation, trailing garbage,
+// counts that exceed the payload, or out-of-range fields. Decoders return
+// it instead of panicking, so a corrupt or adversarial peer cannot crash
+// the process.
+type DecodeError struct {
+	Msg    string
+	Offset int // byte offset the decoder had reached
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("dist: decode error at byte %d: %s", e.Offset, e.Msg)
+}

@@ -1,0 +1,587 @@
+package dist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cstf/internal/chaos"
+	"cstf/internal/la"
+	"cstf/internal/tensor"
+)
+
+// Config parameterizes a coordinator session.
+type Config struct {
+	// Addrs are the worker TCP addresses, one per worker slot. Slot order
+	// is the reduction rank order and must be identical across runs for
+	// bitwise reproducibility (it is, for any fixed Addrs).
+	Addrs []string
+
+	// Kills, when non-nil, holds one kill hook per Addrs entry (e.g.
+	// process kill for forked workers). Chaos-plan node crashes invoke it;
+	// a nil entry falls back to severing the connection.
+	Kills []func() error
+
+	// DialTimeout bounds each worker dial (default 5s).
+	DialTimeout time.Duration
+
+	// HeartbeatEvery is the ping cadence (default 250ms).
+	HeartbeatEvery time.Duration
+
+	// HeartbeatTimeout is how long a worker may go silent before it is
+	// declared dead (default 10*HeartbeatEvery).
+	HeartbeatTimeout time.Duration
+
+	// Plan, when non-nil, schedules worker kills against the session's
+	// stage clock: every chaos.NodeCrash event whose stage has arrived
+	// kills the corresponding worker slot before the stage dispatches.
+	// Other event kinds have no physical analogue here and are ignored.
+	Plan *chaos.FaultPlan
+
+	// AfterDispatch, when non-nil, runs after a stage's tasks have been
+	// sent and before results are awaited. Tests use it to kill workers
+	// with tasks in flight, exercising the reassignment path.
+	AfterDispatch func(stage uint64)
+
+	// Logf, when non-nil, receives coordinator lifecycle log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = 10 * c.HeartbeatEvery
+	}
+	return c
+}
+
+// Stats are the REAL measurements of a distributed run — wall clock and
+// bytes moved over sockets — kept deliberately separate from the modeled
+// counters in internal/cluster.Metrics.
+type Stats struct {
+	Workers       int     // workers the session started with
+	WorkersAlive  int     // workers still alive at the end
+	WallSeconds   float64 // real elapsed time of the whole session
+	BytesSent     int64   // bytes written to worker sockets
+	BytesRecv     int64   // bytes read from worker sockets
+	Stages        int     // task fan-out rounds executed
+	Tasks         int     // tasks dispatched (including reassignments)
+	WorkerDeaths  int     // workers lost (timeout, socket error, or kill)
+	Reassignments int     // tasks re-dispatched after a worker death
+	ShardResends  int     // shards re-shipped to a substitute worker
+}
+
+// remote is the coordinator's view of one worker.
+type remote struct {
+	slot  int
+	addr  string
+	conn  net.Conn
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	wmu   sync.Mutex
+	alive atomic.Bool
+	// lastPong is the UnixNano of the latest heartbeat reply.
+	lastPong atomic.Int64
+	deadOnce sync.Once
+	kill     func() error
+
+	// Dispatch-goroutine-only bookkeeping (no locking needed).
+	hasShard map[shardKey]bool
+}
+
+// resMsg is one reader-goroutine delivery to the dispatch loop.
+type resMsg struct {
+	slot int
+	res  *Result
+	rerr *RemoteError
+}
+
+// Session drives CP-ALS stages across a set of workers. All exported
+// methods are called from a single goroutine (the solver); internal
+// reader/heartbeat goroutines communicate through channels.
+type Session struct {
+	cfg     Config
+	t       *tensor.COO
+	rank    int
+	remotes []*remote
+
+	resultc chan resMsg
+	deathc  chan int
+	closed  chan struct{}
+
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+
+	stageSeq uint64
+	nextTask uint64
+	stats    Stats
+}
+
+func (s *Session) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// countingConn counts real bytes on the wire into the session totals.
+type countingConn struct {
+	net.Conn
+	sent, recv *atomic.Int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.recv.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.sent.Add(int64(n))
+	return n, err
+}
+
+// NewSession dials every worker, performs the handshake, and starts the
+// reader and heartbeat goroutines. t is the coordinator's resident tensor
+// (the source of shards and re-sends); rank is the decomposition rank.
+func NewSession(t *tensor.COO, rank int, cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("dist: no worker addresses")
+	}
+	if cfg.Kills != nil && len(cfg.Kills) != len(cfg.Addrs) {
+		return nil, fmt.Errorf("dist: %d kill hooks for %d workers", len(cfg.Kills), len(cfg.Addrs))
+	}
+	s := &Session{
+		cfg:     cfg,
+		t:       t,
+		rank:    rank,
+		resultc: make(chan resMsg, 4*len(cfg.Addrs)+16),
+		deathc:  make(chan int, len(cfg.Addrs)),
+		closed:  make(chan struct{}),
+	}
+	s.stats.Workers = len(cfg.Addrs)
+	for slot, addr := range cfg.Addrs {
+		r, err := s.connect(slot, addr)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("dist: worker %d (%s): %w", slot, addr, err)
+		}
+		s.remotes = append(s.remotes, r)
+	}
+	for _, r := range s.remotes {
+		go s.readLoop(r)
+		go s.heartbeat(r)
+	}
+	return s, nil
+}
+
+func (s *Session) connect(slot int, addr string) (*remote, error) {
+	conn, err := net.DialTimeout("tcp", addr, s.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	cc := &countingConn{Conn: conn, sent: &s.bytesSent, recv: &s.bytesRecv}
+	r := &remote{
+		slot:     slot,
+		addr:     addr,
+		conn:     cc,
+		br:       bufio.NewReaderSize(cc, 1<<16),
+		bw:       bufio.NewWriterSize(cc, 1<<16),
+		hasShard: map[shardKey]bool{},
+	}
+	if s.cfg.Kills != nil {
+		r.kill = s.cfg.Kills[slot]
+	}
+	r.alive.Store(true)
+	r.lastPong.Store(time.Now().UnixNano())
+
+	hello := &Hello{
+		Version: ProtocolVersion,
+		Order:   s.t.Order(),
+		Rank:    s.rank,
+		Dims:    s.t.Dims,
+		Worker:  slot,
+		Workers: len(s.cfg.Addrs),
+	}
+	if err := s.send(r, MsgHello, EncodeHello(hello)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	// The handshake reply is read synchronously, before readLoop starts.
+	conn.SetReadDeadline(time.Now().Add(s.cfg.DialTimeout))
+	mt, payload, err := ReadFrame(r.br)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("handshake: %w", err)
+	}
+	switch mt {
+	case MsgHelloAck:
+		ack, err := DecodeHello(payload)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if ack.Version != ProtocolVersion {
+			conn.Close()
+			return nil, fmt.Errorf("protocol version mismatch: worker %d, coordinator %d", ack.Version, ProtocolVersion)
+		}
+	case MsgErr:
+		e, derr := DecodeErr(payload)
+		conn.Close()
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, errors.New(e.Msg)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("handshake: unexpected %v frame", mt)
+	}
+	return r, nil
+}
+
+// send serializes one frame to a worker under its write mutex.
+func (s *Session) send(r *remote, t MsgType, payload []byte) error {
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	if err := WriteFrame(r.bw, t, payload); err != nil {
+		return err
+	}
+	return r.bw.Flush()
+}
+
+// markDead declares a worker lost exactly once: the connection is closed
+// (unblocking its reader) and the death is queued for the dispatch loop.
+func (s *Session) markDead(r *remote, reason string) {
+	r.deadOnce.Do(func() {
+		r.alive.Store(false)
+		r.conn.Close()
+		s.logf("dist: worker %d (%s) lost: %s", r.slot, r.addr, reason)
+		select {
+		case s.deathc <- r.slot:
+		default: // deathc is sized for one death per worker; drop is impossible
+		}
+	})
+}
+
+func (s *Session) readLoop(r *remote) {
+	for {
+		mt, payload, err := ReadFrame(r.br)
+		if err != nil {
+			if err != io.EOF {
+				s.markDead(r, err.Error())
+			} else {
+				s.markDead(r, "connection closed")
+			}
+			return
+		}
+		switch mt {
+		case MsgPong:
+			r.lastPong.Store(time.Now().UnixNano())
+		case MsgResult:
+			res, err := DecodeResult(payload)
+			if err != nil {
+				s.markDead(r, err.Error())
+				return
+			}
+			select {
+			case s.resultc <- resMsg{slot: r.slot, res: res}:
+			case <-s.closed:
+				return
+			}
+		case MsgErr:
+			e, err := DecodeErr(payload)
+			if err != nil {
+				s.markDead(r, err.Error())
+				return
+			}
+			select {
+			case s.resultc <- resMsg{slot: r.slot, rerr: e}:
+			case <-s.closed:
+				return
+			}
+		default:
+			s.markDead(r, fmt.Sprintf("unexpected %v frame", mt))
+			return
+		}
+	}
+}
+
+func (s *Session) heartbeat(r *remote) {
+	tick := time.NewTicker(s.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-tick.C:
+		}
+		if !r.alive.Load() {
+			return
+		}
+		seq++
+		if err := s.send(r, MsgPing, EncodeSeq(seq)); err != nil {
+			s.markDead(r, fmt.Sprintf("ping: %v", err))
+			return
+		}
+		silent := time.Since(time.Unix(0, r.lastPong.Load()))
+		if silent > s.cfg.HeartbeatTimeout {
+			s.markDead(r, fmt.Sprintf("heartbeat timeout (%v silent)", silent.Round(time.Millisecond)))
+			return
+		}
+	}
+}
+
+// Alive returns how many workers are still usable.
+func (s *Session) Alive() int {
+	n := 0
+	for _, r := range s.remotes {
+		if r.alive.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// KillWorker forcibly removes a worker slot: the external kill hook when
+// present (terminating a forked process), otherwise severing the
+// connection. Used by chaos-plan crashes and tests.
+func (s *Session) KillWorker(slot int) {
+	if slot < 0 || slot >= len(s.remotes) {
+		return
+	}
+	r := s.remotes[slot]
+	if r.kill != nil {
+		r.kill()
+	}
+	s.markDead(r, "killed")
+}
+
+// Stats returns the real measurements so far.
+func (s *Session) Stats() Stats {
+	st := s.stats
+	st.BytesSent = s.bytesSent.Load()
+	st.BytesRecv = s.bytesRecv.Load()
+	st.WorkersAlive = s.Alive()
+	return st
+}
+
+// Close shuts the session down: live workers get a Shutdown frame, every
+// connection is closed, and background goroutines stop.
+func (s *Session) Close() {
+	select {
+	case <-s.closed:
+		return
+	default:
+	}
+	close(s.closed)
+	for _, r := range s.remotes {
+		if r == nil {
+			continue
+		}
+		if r.alive.Load() {
+			s.send(r, MsgShutdown, nil)
+		}
+		r.conn.Close()
+	}
+}
+
+// broadcast sends one frame to every live worker. Send failures mark the
+// worker dead; the next stage reassigns its work.
+func (s *Session) broadcast(t MsgType, payload []byte) {
+	for _, r := range s.remotes {
+		if !r.alive.Load() {
+			continue
+		}
+		if err := s.send(r, t, payload); err != nil {
+			s.markDead(r, fmt.Sprintf("broadcast: %v", err))
+		}
+	}
+}
+
+// BroadcastFactor ships a full factor matrix to every live worker.
+func (s *Session) BroadcastFactor(mode int, m *la.Dense) {
+	s.broadcast(MsgFactor, EncodeFactor(&Factor{Mode: mode, M: m}))
+}
+
+// stageTask is one task of a fan-out round plus its scheduling state.
+type stageTask struct {
+	task *Task
+	home int // preferred worker slot (the one holding the resident state)
+	// prep readies a target worker for the task: re-sending a missing
+	// shard, attaching MTTKRP rows for a substitute, etc. Called before
+	// every (re)dispatch with the chosen target.
+	prep func(r *remote, t *Task) error
+	// onResult consumes the (first) result.
+	onResult func(res *Result) error
+
+	assigned int
+	done     bool
+}
+
+// pick returns the live worker for a task: its home slot when alive, else
+// the next live slot scanning upward (deterministic, so reruns with the
+// same death schedule place tasks identically).
+func (s *Session) pick(home int) *remote {
+	n := len(s.remotes)
+	for i := 0; i < n; i++ {
+		r := s.remotes[(home+i)%n]
+		if r.alive.Load() {
+			return r
+		}
+	}
+	return nil
+}
+
+func (s *Session) dispatch(st *stageTask) error {
+	for {
+		r := s.pick(st.assigned)
+		if r == nil {
+			return fmt.Errorf("dist: no live workers (stage %d)", s.stageSeq)
+		}
+		st.assigned = r.slot
+		t := *st.task // shallow copy: prep may attach per-target payloads
+		if st.prep != nil {
+			if err := st.prep(r, &t); err != nil {
+				if !r.alive.Load() {
+					continue // prep's send killed the worker; try the next one
+				}
+				return err
+			}
+		}
+		if err := s.send(r, MsgTask, EncodeTask(&t)); err != nil {
+			s.markDead(r, fmt.Sprintf("task send: %v", err))
+			continue
+		}
+		s.stats.Tasks++
+		return nil
+	}
+}
+
+// RunStage executes one fan-out round: chaos kills due at this stage fire
+// first, every task is dispatched to its home worker (or a live
+// substitute), and results are gathered, reassigning the tasks of any
+// worker that dies mid-flight. Results may arrive in any order; callers
+// apply them in a fixed order after the barrier.
+func (s *Session) runStage(tasks []*stageTask) error {
+	s.stageSeq++
+	s.stats.Stages++
+	if s.cfg.Plan != nil {
+		crashed, _ := s.cfg.Plan.TakeFaults(s.stageSeq)
+		for _, node := range crashed {
+			s.logf("dist: chaos kills worker %d at stage %d", node, s.stageSeq)
+			s.KillWorker(node)
+		}
+	}
+	// Deaths that happened between stages (broadcast failures, heartbeat
+	// timeouts) are consumed here; dispatch below already avoids them.
+	for {
+		select {
+		case <-s.deathc:
+			s.stats.WorkerDeaths++
+			continue
+		default:
+		}
+		break
+	}
+
+	byID := make(map[uint64]*stageTask, len(tasks))
+	for _, st := range tasks {
+		s.nextTask++
+		st.task.ID = s.nextTask
+		st.assigned = st.home
+		byID[st.task.ID] = st
+	}
+	for _, st := range tasks {
+		if err := s.dispatch(st); err != nil {
+			return err
+		}
+	}
+	if s.cfg.AfterDispatch != nil {
+		s.cfg.AfterDispatch(s.stageSeq)
+	}
+
+	remaining := len(tasks)
+	for remaining > 0 {
+		select {
+		case slot := <-s.deathc:
+			s.stats.WorkerDeaths++
+			for _, st := range tasks {
+				if st.done || st.assigned != slot {
+					continue
+				}
+				s.stats.Reassignments++
+				// Restart the scan one past the dead slot so the
+				// substitute choice is deterministic.
+				st.assigned = (slot + 1) % len(s.remotes)
+				if err := s.dispatch(st); err != nil {
+					return err
+				}
+			}
+		case m := <-s.resultc:
+			if m.rerr != nil {
+				return m.rerr
+			}
+			st := byID[m.res.ID]
+			if st == nil || st.done {
+				continue // duplicate after a reassignment race; identical bits either way
+			}
+			if m.slot != st.assigned {
+				continue // stale result from a slot whose task was reassigned
+			}
+			st.done = true
+			remaining--
+			if st.onResult != nil {
+				if err := st.onResult(m.res); err != nil {
+					return err
+				}
+			}
+		case <-s.closed:
+			return fmt.Errorf("dist: session closed during stage %d", s.stageSeq)
+		}
+	}
+	return nil
+}
+
+// buildShard materializes one (mode, range) shard from the coordinator's
+// resident tensor, entries in the stable ModeIndex Perm order.
+func (s *Session) buildShard(mode int, rg tensor.NNZRange) *Shard {
+	mi := s.t.ModeIndex(mode)
+	sh := &Shard{
+		Mode:    mode,
+		Order:   s.t.Order(),
+		RowLo:   rg.RowLo,
+		RowHi:   rg.RowHi,
+		Entries: make([]tensor.Entry, 0, rg.Hi-rg.Lo),
+	}
+	for p := rg.Lo; p < rg.Hi; p++ {
+		sh.Entries = append(sh.Entries, s.t.Entries[mi.Perm[p]])
+	}
+	return sh
+}
+
+// sendShard ships a shard to one worker, tracking residency for re-sends.
+func (s *Session) sendShard(r *remote, sh *Shard) error {
+	key := shardKey{sh.Mode, sh.RowLo, sh.RowHi}
+	if r.hasShard[key] {
+		return nil
+	}
+	if err := s.send(r, MsgShard, EncodeShard(sh)); err != nil {
+		s.markDead(r, fmt.Sprintf("shard send: %v", err))
+		return err
+	}
+	r.hasShard[key] = true
+	return nil
+}

@@ -1,0 +1,308 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cstf/internal/cpals"
+	"cstf/internal/la"
+	"cstf/internal/par"
+	"cstf/internal/tensor"
+)
+
+// Solve runs CP-ALS with the compute stages executed on remote workers. It
+// mirrors cpals.Solve stage for stage — same initialization, same update
+// order, same reduction trees — so the returned factorization is bitwise
+// identical to the single-process solver for every worker count and every
+// task placement, including placements forced by worker deaths.
+//
+// The returned Stats are real measurements (wall clock, bytes on sockets),
+// populated even when the solve fails partway.
+func Solve(t *tensor.COO, opts cpals.Options, cfg Config) (*cpals.Result, Stats, error) {
+	start := time.Now()
+	if err := opts.Validate(t); err != nil {
+		return nil, Stats{}, err
+	}
+	s, err := NewSession(t, opts.Rank, cfg)
+	if err != nil {
+		return nil, Stats{WallSeconds: time.Since(start).Seconds()}, err
+	}
+	defer s.Close()
+	res, err := s.solve(opts)
+	st := s.Stats()
+	st.WallSeconds = time.Since(start).Seconds()
+	return res, st, err
+}
+
+// rowsView is a zero-copy view of rows [lo, hi) of m.
+func rowsView(m *la.Dense, lo, hi int) *la.Dense {
+	return &la.Dense{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+// blockChunks cuts nb par.BlockSize blocks into at most parts contiguous
+// chunks; chunk k is [k*nb/parts, (k+1)*nb/parts). Empty chunks are kept
+// (callers skip them) so the chunk index doubles as the home worker slot.
+func blockChunk(k, nb, parts int) (lo, hi int) {
+	return k * nb / parts, (k + 1) * nb / parts
+}
+
+func (s *Session) solve(opts cpals.Options) (*cpals.Result, error) {
+	t := s.t
+	order := t.Order()
+	rank := opts.Rank
+	w := opts.Workers() // coordinator-local kernels (init, pinv, normalize)
+	W := len(s.remotes) // worker slots; partition frozen at session start
+
+	// Partition every mode once. The cut points depend only on (tensor, W),
+	// so re-runs — and reassignments within a run — see identical tasks.
+	ranges := make([][]tensor.NNZRange, order)
+	for m := 0; m < order; m++ {
+		ranges[m] = t.ModeIndex(m).Ranges(W)
+	}
+
+	// Ship each worker its shards: range k of every mode lives on slot k.
+	// A failed send marks the worker dead; the MTTKRP prep hook re-ships
+	// from the coordinator's resident tensor wherever the task lands.
+	for m := 0; m < order; m++ {
+		for k, rg := range ranges[m] {
+			r := s.remotes[k]
+			if !r.alive.Load() {
+				continue
+			}
+			s.sendShard(r, s.buildShard(m, rg))
+		}
+	}
+
+	// Deterministic initialization + initial grams, exactly as the serial
+	// solver computes them (elementwise init; block-ordered gram sums).
+	factors := make([]*la.Dense, order)
+	grams := make([]*la.Dense, order)
+	for n := 0; n < order; n++ {
+		if opts.InitFactors != nil {
+			factors[n] = opts.InitFactors[n].Clone()
+		} else {
+			factors[n] = cpals.InitFactor(opts.Seed, n, t.Dims[n], rank)
+		}
+		grams[n] = la.GramParallel(factors[n], w)
+		s.BroadcastFactor(n, factors[n])
+	}
+
+	normX := t.Norm()
+	res := &cpals.Result{Factors: factors, Iters: opts.StartIter}
+	res.Fits = append(res.Fits, opts.InitFits...)
+	lambda := la.VecClone(opts.InitLambda)
+	var lastM *la.Dense
+
+	for it := opts.StartIter; it < opts.MaxIters; it++ {
+		if err := opts.Interrupted(); err != nil {
+			return nil, err
+		}
+		for n := 0; n < order; n++ {
+			m, computedBy, err := s.mttkrpStage(n, ranges[n], rank)
+			if err != nil {
+				return nil, err
+			}
+			pinv := la.Pinv(cpals.HadamardOfGramsExcept(grams, n))
+			if err := s.rowSolveStage(n, ranges[n], pinv, m, computedBy, factors[n]); err != nil {
+				return nil, err
+			}
+			lambda = la.NormalizeColumnsParallel(factors[n], w)
+			s.BroadcastFactor(n, factors[n])
+			g, err := s.gramStage(n, factors[n], rank, W)
+			if err != nil {
+				return nil, err
+			}
+			grams[n] = g
+			lastM = m
+		}
+		res.Iters = it + 1
+		inner, err := s.fitStage(order-1, lastM, lambda, W)
+		if err != nil {
+			return nil, err
+		}
+		fit := cpals.FitFromInner(normX, inner, lambda, grams)
+		res.Fits = append(res.Fits, fit)
+		if opts.OnIteration != nil && opts.OnIteration(it, fit) {
+			break
+		}
+		if opts.CheckpointEvery > 0 && opts.OnCheckpoint != nil && (it+1)%opts.CheckpointEvery == 0 {
+			if err := opts.OnCheckpoint(it+1, lambda, factors, res.Fits); err != nil {
+				return nil, err
+			}
+		}
+		if nf := len(res.Fits); opts.Tol > 0 && nf > 1 {
+			if math.Abs(res.Fits[nf-1]-res.Fits[nf-2]) < opts.Tol {
+				break
+			}
+		}
+	}
+	res.Lambda = lambda
+	return res, nil
+}
+
+// mttkrpStage computes the full mode-n MTTKRP across the workers. Output
+// rows are disjoint between tasks, so assembling the partial results is
+// pure placement — no floating-point reduction — and each row's bits match
+// the shared-memory kernel. Returns the assembled matrix and, per range,
+// the slot that computed it (its rows are resident there for the row
+// solve).
+func (s *Session) mttkrpStage(n int, rgs []tensor.NNZRange, rank int) (*la.Dense, []int, error) {
+	m := la.NewDense(s.t.Dims[n], rank)
+	tasks := make([]*stageTask, len(rgs))
+	for k, rg := range rgs {
+		rg := rg
+		st := &stageTask{
+			task: &Task{Kind: TaskPartialMTTKRP, Mode: n, RowLo: rg.RowLo, RowHi: rg.RowHi},
+			home: k,
+			prep: func(r *remote, _ *Task) error {
+				if r.hasShard[shardKey{n, rg.RowLo, rg.RowHi}] {
+					return nil
+				}
+				s.stats.ShardResends++
+				return s.sendShard(r, s.buildShard(n, rg))
+			},
+			onResult: func(res *Result) error {
+				if res.Rows == nil || res.Rows.Rows != rg.RowHi-rg.RowLo || res.Rows.Cols != rank {
+					return fmt.Errorf("dist: mttkrp mode %d rows [%d,%d): malformed result", n, rg.RowLo, rg.RowHi)
+				}
+				copy(m.Data[rg.RowLo*rank:rg.RowHi*rank], res.Rows.Data)
+				return nil
+			},
+		}
+		tasks[k] = st
+	}
+	if err := s.runStage(tasks); err != nil {
+		return nil, nil, err
+	}
+	computedBy := make([]int, len(rgs))
+	for k, st := range tasks {
+		computedBy[k] = st.assigned
+	}
+	return m, computedBy, nil
+}
+
+// rowSolveStage computes a_i = m_i * pinv for every factor row. Each task
+// prefers the slot already holding its MTTKRP rows; any other target gets
+// the rows shipped from the coordinator's assembled copy. Rows past the
+// last range (trailing all-empty rows the partitioner drops) have zero
+// MTTKRP rows, so their solution is the zero row — written locally, exactly
+// what the serial solver computes for them.
+func (s *Session) rowSolveStage(n int, rgs []tensor.NNZRange, pinv, m *la.Dense, computedBy []int, a *la.Dense) error {
+	tasks := make([]*stageTask, len(rgs))
+	for k, rg := range rgs {
+		rg, home := rg, computedBy[k]
+		st := &stageTask{
+			task: &Task{Kind: TaskRowSolve, Mode: n, RowLo: rg.RowLo, RowHi: rg.RowHi, Pinv: pinv},
+			home: home,
+			prep: func(r *remote, task *Task) error {
+				if r.slot != home {
+					task.MRows = rowsView(m, rg.RowLo, rg.RowHi)
+				}
+				return nil
+			},
+			onResult: func(res *Result) error {
+				if res.Rows == nil || res.Rows.Rows != rg.RowHi-rg.RowLo || res.Rows.Cols != pinv.Cols {
+					return fmt.Errorf("dist: row-solve mode %d rows [%d,%d): malformed result", n, rg.RowLo, rg.RowHi)
+				}
+				copy(a.Data[rg.RowLo*a.Cols:rg.RowHi*a.Cols], res.Rows.Data)
+				return nil
+			},
+		}
+		tasks[k] = st
+	}
+	if err := s.runStage(tasks); err != nil {
+		return err
+	}
+	covered := 0
+	if len(rgs) > 0 {
+		covered = rgs[len(rgs)-1].RowHi
+	}
+	tail := a.Data[covered*a.Cols:]
+	for i := range tail {
+		tail[i] = 0
+	}
+	return nil
+}
+
+// gramStage computes grams[n] = A^T A as per-block partials on the workers,
+// summed by the coordinator in ascending global block order — the identical
+// summation tree la.GramParallel uses, hence identical bits.
+func (s *Session) gramStage(n int, a *la.Dense, rank, W int) (*la.Dense, error) {
+	nb := par.NumBlocks(a.Rows)
+	partials := make([]*la.Dense, nb)
+	var tasks []*stageTask
+	for k := 0; k < W; k++ {
+		lo, hi := blockChunk(k, nb, W)
+		if lo >= hi {
+			continue
+		}
+		tasks = append(tasks, &stageTask{
+			task: &Task{Kind: TaskGram, Mode: n, BlockLo: lo, BlockHi: hi},
+			home: k,
+			onResult: func(res *Result) error {
+				if len(res.Grams) != hi-lo {
+					return fmt.Errorf("dist: gram mode %d blocks [%d,%d): got %d partials", n, lo, hi, len(res.Grams))
+				}
+				for i, g := range res.Grams {
+					if g == nil || g.Rows != rank || g.Cols != rank {
+						return fmt.Errorf("dist: gram mode %d block %d: malformed partial", n, lo+i)
+					}
+					partials[lo+i] = g
+				}
+				return nil
+			},
+		})
+	}
+	if err := s.runStage(tasks); err != nil {
+		return nil, err
+	}
+	g := la.NewDense(rank, rank)
+	for _, p := range partials {
+		for i, v := range p.Data {
+			g.Data[i] += v
+		}
+	}
+	return g, nil
+}
+
+// fitStage computes <X, X_hat> as per-block partials on the workers over
+// the last mode's MTTKRP rows, summed in ascending block order — the
+// summation tree of par.SumBlocks, hence bitwise equal to FitFromWorkers.
+func (s *Session) fitStage(lastMode int, lastM *la.Dense, lambda []float64, W int) (float64, error) {
+	nb := par.NumBlocks(lastM.Rows)
+	partials := make([]float64, nb)
+	var tasks []*stageTask
+	for k := 0; k < W; k++ {
+		lo, hi := blockChunk(k, nb, W)
+		if lo >= hi {
+			continue
+		}
+		rowHi := hi * par.BlockSize
+		if rowHi > lastM.Rows {
+			rowHi = lastM.Rows
+		}
+		tasks = append(tasks, &stageTask{
+			task: &Task{
+				Kind: TaskFitPartial, Mode: lastMode, BlockLo: lo, BlockHi: hi,
+				Lambda: lambda, MRows: rowsView(lastM, lo*par.BlockSize, rowHi),
+			},
+			home: k,
+			onResult: func(res *Result) error {
+				if len(res.Partials) != hi-lo {
+					return fmt.Errorf("dist: fit blocks [%d,%d): got %d partials", lo, hi, len(res.Partials))
+				}
+				copy(partials[lo:hi], res.Partials)
+				return nil
+			},
+		})
+	}
+	if err := s.runStage(tasks); err != nil {
+		return 0, err
+	}
+	var inner float64
+	for _, p := range partials {
+		inner += p
+	}
+	return inner, nil
+}

@@ -1,0 +1,393 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"cstf/internal/la"
+	"cstf/internal/par"
+)
+
+// Worker serves CP-ALS tasks for one coordinator at a time. It is a pure
+// executor: all control flow (partitioning, scheduling, reduction order,
+// convergence) lives in the coordinator, so a worker is stateless between
+// sessions and can be killed at any moment without corrupting a run.
+type Worker struct {
+	// Logf, when non-nil, receives connection-lifecycle log lines.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewWorker returns a Worker ready to Serve.
+func NewWorker() *Worker { return &Worker{conns: map[net.Conn]struct{}{}} }
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// Serve accepts coordinator connections on ln until the listener fails or
+// Close is called, handling one session at a time. Sequential sessions
+// (e.g. consecutive benchmark runs) reuse the same worker process.
+func (w *Worker) Serve(ln net.Listener) error {
+	w.mu.Lock()
+	if w.conns == nil {
+		w.conns = map[net.Conn]struct{}{}
+	}
+	if w.closed {
+		w.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("dist: worker is closed")
+	}
+	w.ln = ln
+	w.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			w.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		w.conns[c] = struct{}{}
+		w.mu.Unlock()
+		w.logf("dist: worker session from %s", c.RemoteAddr())
+		w.handle(c)
+		w.mu.Lock()
+		delete(w.conns, c)
+		w.mu.Unlock()
+	}
+}
+
+// Close stops the listener and severs any active coordinator connection.
+// From the coordinator's perspective this is indistinguishable from the
+// worker process dying — which is exactly what chaos kills use it for.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+	if w.ln != nil {
+		w.ln.Close()
+	}
+	for c := range w.conns {
+		c.Close()
+	}
+	return nil
+}
+
+// shardKey identifies a resident shard or MTTKRP row block: shards are cut
+// per (mode, output-row range) and never overlap within a mode.
+type shardKey struct {
+	mode         int
+	rowLo, rowHi int
+}
+
+// wsession is the per-connection worker state. The read loop stores
+// shards/factors and the executor goroutine reads them; the mutex makes
+// the handoff safe when a reassigned shard arrives while an earlier task
+// of the same stage is still executing.
+type wsession struct {
+	mu      sync.Mutex
+	hello   *Hello
+	shards  map[shardKey]*Shard
+	factors []*la.Dense
+	mrows   map[shardKey]*la.Dense // MTTKRP outputs kept for the RowSolve that follows
+}
+
+func (w *Worker) handle(c net.Conn) {
+	defer c.Close()
+	br := bufio.NewReaderSize(c, 1<<16)
+	bw := bufio.NewWriterSize(c, 1<<16)
+	var wmu sync.Mutex
+	send := func(t MsgType, payload []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := WriteFrame(bw, t, payload); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+
+	s := &wsession{
+		shards: map[shardKey]*Shard{},
+		mrows:  map[shardKey]*la.Dense{},
+	}
+
+	// Tasks execute on their own goroutine so the read loop keeps
+	// answering heartbeats while a long MTTKRP runs.
+	taskc := make(chan *Task, 64)
+	done := make(chan struct{})
+	defer func() { close(taskc); <-done }()
+	go func() {
+		defer close(done)
+		broken := false // keep draining taskc so the read loop never blocks
+		for t := range taskc {
+			if broken {
+				continue
+			}
+			res, err := s.exec(t)
+			if err != nil {
+				if send(MsgErr, EncodeErr(&RemoteError{TaskID: t.ID, Msg: err.Error()})) != nil {
+					broken = true
+				}
+				continue
+			}
+			if send(MsgResult, EncodeResult(res)) != nil {
+				broken = true
+			}
+		}
+	}()
+
+	for {
+		mt, payload, err := ReadFrame(br)
+		if err != nil {
+			if err != io.EOF {
+				w.logf("dist: worker read: %v", err)
+			}
+			return
+		}
+		switch mt {
+		case MsgHello:
+			h, err := DecodeHello(payload)
+			if err != nil {
+				w.logf("dist: worker bad hello: %v", err)
+				return
+			}
+			if h.Version != ProtocolVersion {
+				send(MsgErr, EncodeErr(&RemoteError{Msg: fmt.Sprintf(
+					"protocol version mismatch: coordinator %d, worker %d", h.Version, ProtocolVersion)}))
+				return
+			}
+			s.mu.Lock()
+			s.hello = h
+			s.factors = make([]*la.Dense, h.Order)
+			s.mu.Unlock()
+			if err := send(MsgHelloAck, EncodeHello(&Hello{Version: ProtocolVersion, Order: h.Order, Rank: h.Rank, Dims: h.Dims, Worker: h.Worker, Workers: h.Workers})); err != nil {
+				return
+			}
+		case MsgShard:
+			sh, err := DecodeShard(payload)
+			if err != nil {
+				w.logf("dist: worker bad shard: %v", err)
+				return
+			}
+			s.mu.Lock()
+			s.shards[shardKey{sh.Mode, sh.RowLo, sh.RowHi}] = sh
+			s.mu.Unlock()
+		case MsgFactor:
+			f, err := DecodeFactor(payload)
+			if err != nil {
+				w.logf("dist: worker bad factor: %v", err)
+				return
+			}
+			s.mu.Lock()
+			if s.factors == nil || f.Mode >= len(s.factors) {
+				s.mu.Unlock()
+				w.logf("dist: worker factor before hello or mode out of range")
+				return
+			}
+			s.factors[f.Mode] = f.M
+			s.mu.Unlock()
+		case MsgTask:
+			t, err := DecodeTask(payload)
+			if err != nil {
+				w.logf("dist: worker bad task: %v", err)
+				return
+			}
+			taskc <- t
+		case MsgPing:
+			if err := send(MsgPong, payload); err != nil {
+				return
+			}
+		case MsgShutdown:
+			return
+		default:
+			w.logf("dist: worker unexpected frame %v", mt)
+			return
+		}
+	}
+}
+
+// snapshot resolves the state a task needs under the lock, so execution
+// proceeds without holding it.
+func (s *wsession) snapshot() (*Hello, []*la.Dense) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	factors := make([]*la.Dense, len(s.factors))
+	copy(factors, s.factors)
+	return s.hello, factors
+}
+
+func (s *wsession) exec(t *Task) (*Result, error) {
+	hello, factors := s.snapshot()
+	if hello == nil {
+		return nil, fmt.Errorf("task before hello")
+	}
+	switch t.Kind {
+	case TaskPartialMTTKRP:
+		return s.execMTTKRP(t, hello, factors)
+	case TaskRowSolve:
+		return s.execRowSolve(t)
+	case TaskGram:
+		return s.execGram(t, factors)
+	case TaskFitPartial:
+		return s.execFitPartial(t, factors)
+	default:
+		return nil, fmt.Errorf("unknown task kind %d", uint8(t.Kind))
+	}
+}
+
+// execMTTKRP computes output rows [RowLo, RowHi) of the mode-t.Mode MTTKRP
+// from the resident shard. The shard's entries are in the stable ModeIndex
+// Perm order, and each output row is accumulated entry by entry in that
+// order — the identical floating-point sequence the shared-memory
+// MTTKRPWorkers kernel performs for those rows.
+func (s *wsession) execMTTKRP(t *Task, hello *Hello, factors []*la.Dense) (*Result, error) {
+	key := shardKey{t.Mode, t.RowLo, t.RowHi}
+	s.mu.Lock()
+	sh := s.shards[key]
+	s.mu.Unlock()
+	if sh == nil {
+		return nil, fmt.Errorf("no resident shard for mode %d rows [%d,%d)", t.Mode, t.RowLo, t.RowHi)
+	}
+	order := hello.Order
+	for n := 0; n < order; n++ {
+		if n == t.Mode {
+			continue
+		}
+		if factors[n] == nil {
+			return nil, fmt.Errorf("mttkrp mode %d: factor %d not broadcast", t.Mode, n)
+		}
+	}
+	rank := hello.Rank
+	out := la.NewDense(t.RowHi-t.RowLo, rank)
+	tmp := make([]float64, rank)
+	for i := range sh.Entries {
+		e := &sh.Entries[i]
+		for c := range tmp {
+			tmp[c] = e.Val
+		}
+		for n := 0; n < order; n++ {
+			if n == t.Mode {
+				continue
+			}
+			if int(e.Idx[n]) >= factors[n].Rows {
+				return nil, fmt.Errorf("mttkrp mode %d: entry index %d out of range for factor %d (%d rows)",
+					t.Mode, e.Idx[n], n, factors[n].Rows)
+			}
+			la.VecMulInto(tmp, factors[n].Row(int(e.Idx[n])))
+		}
+		la.VecAdd(out.Row(int(e.Idx[t.Mode])-t.RowLo), tmp)
+	}
+	s.mu.Lock()
+	s.mrows[key] = out
+	s.mu.Unlock()
+	return &Result{ID: t.ID, Kind: t.Kind, RowLo: t.RowLo, Rows: out}, nil
+}
+
+// execRowSolve applies the pseudo-inverse row by row: a_i = m_i * Pinv.
+// The MTTKRP rows come from the task payload when the coordinator
+// reassigned the range, otherwise from the resident rows produced by this
+// worker's PartialMTTKRP moments earlier.
+func (s *wsession) execRowSolve(t *Task) (*Result, error) {
+	if t.Pinv == nil {
+		return nil, fmt.Errorf("row-solve without pinv")
+	}
+	m := t.MRows
+	if m == nil {
+		key := shardKey{t.Mode, t.RowLo, t.RowHi}
+		s.mu.Lock()
+		m = s.mrows[key]
+		s.mu.Unlock()
+		if m == nil {
+			return nil, fmt.Errorf("no resident mttkrp rows for mode %d rows [%d,%d)", t.Mode, t.RowLo, t.RowHi)
+		}
+	}
+	if m.Rows != t.RowHi-t.RowLo || m.Cols != t.Pinv.Rows {
+		return nil, fmt.Errorf("row-solve shape mismatch: rows %dx%d, pinv %dx%d, range [%d,%d)",
+			m.Rows, m.Cols, t.Pinv.Rows, t.Pinv.Cols, t.RowLo, t.RowHi)
+	}
+	out := la.NewDense(m.Rows, t.Pinv.Cols)
+	for i := 0; i < m.Rows; i++ {
+		la.VecMatInto(out.Row(i), m.Row(i), t.Pinv)
+	}
+	return &Result{ID: t.ID, Kind: t.Kind, RowLo: t.RowLo, Rows: out}, nil
+}
+
+// execGram computes one partial gram per global par.BlockSize row block in
+// [BlockLo, BlockHi) of the resident factor — the identical per-block
+// computation la.GramParallel performs, so the coordinator's block-order
+// sum reproduces its bits exactly.
+func (s *wsession) execGram(t *Task, factors []*la.Dense) (*Result, error) {
+	if t.Mode >= len(factors) || factors[t.Mode] == nil {
+		return nil, fmt.Errorf("gram: factor %d not broadcast", t.Mode)
+	}
+	f := factors[t.Mode]
+	nb := par.NumBlocks(f.Rows)
+	if t.BlockLo < 0 || t.BlockHi > nb {
+		return nil, fmt.Errorf("gram: block range [%d,%d) out of [0,%d)", t.BlockLo, t.BlockHi, nb)
+	}
+	grams := make([]*la.Dense, 0, t.BlockHi-t.BlockLo)
+	for b := t.BlockLo; b < t.BlockHi; b++ {
+		lo, hi := par.Block(b, f.Rows)
+		p := la.NewDense(f.Cols, f.Cols)
+		la.GramAccumulate(p, &la.Dense{Rows: hi - lo, Cols: f.Cols, Data: f.Data[lo*f.Cols : hi*f.Cols]})
+		grams = append(grams, p)
+	}
+	return &Result{ID: t.ID, Kind: t.Kind, BlockLo: t.BlockLo, Grams: grams}, nil
+}
+
+// execFitPartial computes one <X, X_hat> inner-product partial per global
+// row block of the last mode's MTTKRP result (shipped in MRows, rows
+// offset by BlockLo*par.BlockSize), against the resident normalized
+// factor — the per-block body of cpals.FitFromWorkers.
+func (s *wsession) execFitPartial(t *Task, factors []*la.Dense) (*Result, error) {
+	if t.Mode >= len(factors) || factors[t.Mode] == nil {
+		return nil, fmt.Errorf("fit: factor %d not broadcast", t.Mode)
+	}
+	if t.MRows == nil {
+		return nil, fmt.Errorf("fit without mttkrp rows")
+	}
+	if len(t.Lambda) != t.MRows.Cols {
+		return nil, fmt.Errorf("fit: lambda length %d != rank %d", len(t.Lambda), t.MRows.Cols)
+	}
+	f := factors[t.Mode]
+	base := t.BlockLo * par.BlockSize
+	if base+t.MRows.Rows > f.Rows {
+		return nil, fmt.Errorf("fit: rows [%d,%d) out of factor range %d", base, base+t.MRows.Rows, f.Rows)
+	}
+	partials := make([]float64, 0, t.BlockHi-t.BlockLo)
+	for b := t.BlockLo; b < t.BlockHi; b++ {
+		lo, hi := par.Block(b, f.Rows)
+		if hi-base > t.MRows.Rows {
+			return nil, fmt.Errorf("fit: block %d rows [%d,%d) beyond shipped rows", b, lo, hi)
+		}
+		var sum float64
+		for i := lo; i < hi; i++ {
+			mrow := t.MRows.Row(i - base)
+			arow := f.Row(i)
+			for r := range mrow {
+				sum += mrow[r] * arow[r] * t.Lambda[r]
+			}
+		}
+		partials = append(partials, sum)
+	}
+	return &Result{ID: t.ID, Kind: t.Kind, BlockLo: t.BlockLo, Partials: partials}, nil
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"cstf/internal/cpals"
+	"cstf/internal/dist"
+	"cstf/internal/tensor"
+)
+
+// Distributed-runtime benchmark: the same planted-rank CP-ALS problem
+// solved by the single-process reference and by the real TCP runtime with
+// 1, 2, and 4 local workers. Everything reported for the distributed runs
+// is MEASURED — wall clock and bytes on actual sockets — unlike the
+// simulated-cluster experiments; and every run is checked bitwise against
+// the serial factors, so the table doubles as the determinism acceptance
+// test at benchmark scale.
+
+// DistBenchConfig sizes the distributed benchmark; tests shrink it.
+type DistBenchConfig struct {
+	Dims       []int // planted tensor shape
+	NNZ        int   // nonzeros
+	TrueRank   int   // planted rank
+	Iters      int   // ALS iterations
+	WorkerSets []int // worker counts to run
+}
+
+// DefaultDistBenchConfig returns the `cstf-bench -exp dist` sizing.
+func DefaultDistBenchConfig() DistBenchConfig {
+	return DistBenchConfig{
+		Dims:       []int{3000, 2500, 2000},
+		NNZ:        300000,
+		TrueRank:   8,
+		Iters:      5,
+		WorkerSets: []int{1, 2, 4},
+	}
+}
+
+// DistRow is one configuration's measurements.
+type DistRow struct {
+	Workers     int     `json:"workers"` // 0 = single-process serial reference
+	WallMs      float64 `json:"wall_ms"`
+	WireSentMB  float64 `json:"wire_sent_mb"`
+	WireRecvMB  float64 `json:"wire_recv_mb"`
+	Fit         float64 `json:"fit"`
+	BitwiseSame bool    `json:"bitwise_equal_to_serial"`
+	Speedup     float64 `json:"speedup_vs_serial"`
+}
+
+// DistReport is the machine-readable result of DistBench
+// (results/BENCH_dist.json).
+type DistReport struct {
+	Dims     []int     `json:"dims"`
+	NNZ      int       `json:"nnz"`
+	Rank     int       `json:"rank"`
+	Iters    int       `json:"iters"`
+	Rows     []DistRow `json:"rows"`
+	AllExact bool      `json:"all_bitwise_equal"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *DistReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// DistBench runs the distributed benchmark with the default sizing.
+func DistBench(p Params) (*DistReport, error) {
+	return DistBenchWith(p, DefaultDistBenchConfig())
+}
+
+// DistBenchWith generates the planted tensor, solves it serially, then
+// once per worker count over real TCP loopback workers, verifying bitwise
+// identity each time.
+func DistBenchWith(p Params, cfg DistBenchConfig) (*DistReport, error) {
+	rank := p.Rank
+	if rank < 2 {
+		rank = 2
+	}
+	x := tensor.GenLowRank(p.Seed, cfg.NNZ, cfg.TrueRank, 0.05, cfg.Dims...)
+	opts := cpals.Options{Rank: rank, MaxIters: cfg.Iters, Seed: p.Seed}
+
+	rep := &DistReport{Dims: cfg.Dims, NNZ: x.NNZ(), Rank: rank, Iters: cfg.Iters, AllExact: true}
+
+	start := time.Now()
+	serial, err := cpals.Solve(x, opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: dist bench serial solve failed: %w", err)
+	}
+	serialMs := time.Since(start).Seconds() * 1e3
+	rep.Rows = append(rep.Rows, DistRow{
+		Workers: 0, WallMs: serialMs, Fit: serial.Fit(), BitwiseSame: true, Speedup: 1,
+	})
+
+	for _, n := range cfg.WorkerSets {
+		lc, err := dist.StartInProcess(n)
+		if err != nil {
+			return nil, err
+		}
+		res, stats, err := dist.Solve(x, opts, lc.Config())
+		lc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: dist bench with %d workers failed: %w", n, err)
+		}
+		row := DistRow{
+			Workers:     n,
+			WallMs:      stats.WallSeconds * 1e3,
+			WireSentMB:  float64(stats.BytesSent) / 1e6,
+			WireRecvMB:  float64(stats.BytesRecv) / 1e6,
+			Fit:         res.Fit(),
+			BitwiseSame: bitwiseEqual(serial, res),
+			Speedup:     serialMs / (stats.WallSeconds * 1e3),
+		}
+		if !row.BitwiseSame {
+			rep.AllExact = false
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// bitwiseEqual compares two CP results bit for bit: lambda, factors, fits.
+func bitwiseEqual(a, b *cpals.Result) bool {
+	if len(a.Lambda) != len(b.Lambda) || len(a.Factors) != len(b.Factors) || len(a.Fits) != len(b.Fits) {
+		return false
+	}
+	for i := range a.Lambda {
+		if math.Float64bits(a.Lambda[i]) != math.Float64bits(b.Lambda[i]) {
+			return false
+		}
+	}
+	for i := range a.Fits {
+		if math.Float64bits(a.Fits[i]) != math.Float64bits(b.Fits[i]) {
+			return false
+		}
+	}
+	for n := range a.Factors {
+		fa, fb := a.Factors[n], b.Factors[n]
+		if fa.Rows != fb.Rows || fa.Cols != fb.Cols {
+			return false
+		}
+		for i := range fa.Data {
+			if math.Float64bits(fa.Data[i]) != math.Float64bits(fb.Data[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RenderDistBench formats the report as a text table.
+func RenderDistBench(r *DistReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Distributed runtime: measured CP-ALS, %v, %d nnz, rank %d, %d iters\n",
+		r.Dims, r.NNZ, r.Rank, r.Iters)
+	fmt.Fprintf(&b, "%-12s %10s %12s %12s %9s %8s %8s\n",
+		"config", "wall ms", "sent MB", "recv MB", "fit", "exact", "speedup")
+	for _, row := range r.Rows {
+		name := "serial"
+		if row.Workers > 0 {
+			name = fmt.Sprintf("%d worker(s)", row.Workers)
+		}
+		fmt.Fprintf(&b, "%-12s %10.1f %12.2f %12.2f %9.4f %8v %8.2f\n",
+			name, row.WallMs, row.WireSentMB, row.WireRecvMB, row.Fit, row.BitwiseSame, row.Speedup)
+	}
+	if r.AllExact {
+		b.WriteString("every distributed run bitwise-identical to the serial solver\n")
+	} else {
+		b.WriteString("WARNING: distributed results diverged from the serial solver\n")
+	}
+	return b.String()
+}

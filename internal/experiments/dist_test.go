@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestDistBenchSmall(t *testing.T) {
+	p := DefaultParams()
+	p.Rank = 3
+	rep, err := DistBenchWith(p, DistBenchConfig{
+		Dims:       []int{80, 60, 40},
+		NNZ:        4000,
+		TrueRank:   3,
+		Iters:      3,
+		WorkerSets: []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 { // serial + 2 worker configs
+		t.Fatalf("want 3 rows, got %d", len(rep.Rows))
+	}
+	if !rep.AllExact {
+		t.Fatalf("distributed runs diverged from serial: %+v", rep.Rows)
+	}
+	for _, row := range rep.Rows[1:] {
+		if row.WireSentMB <= 0 || row.WireRecvMB <= 0 {
+			t.Fatalf("worker row missing wire bytes: %+v", row)
+		}
+		if row.WallMs <= 0 {
+			t.Fatalf("worker row missing wall time: %+v", row)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back DistReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if RenderDistBench(rep) == "" {
+		t.Fatal("empty render")
+	}
+}
