@@ -7,9 +7,9 @@ GO ?= go
 # paths: these also run under the race detector in `make ci`.
 RACE_PKGS := ./internal/cpals ./internal/la ./internal/par ./internal/tensor ./internal/rdd ./internal/cluster ./internal/chaos ./internal/mapreduce ./internal/core ./internal/serve ./internal/stream ./internal/dist
 
-.PHONY: ci fmt vet staticcheck build test race bench stream-smoke dist-smoke
+.PHONY: ci fmt vet staticcheck check-deprecated build test race bench stream-smoke dist-smoke
 
-ci: fmt vet staticcheck build test race
+ci: fmt vet staticcheck check-deprecated build test race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -47,10 +47,26 @@ stream-smoke:
 		-windows 3 -window 200 -full-sweep-every 2 -grow-every 150
 
 # End-to-end distributed smoke under the race detector: fork three real
-# cstf-worker processes and run a small decomposition over TCP.
+# cstf-worker processes and run a small decomposition over TCP — once with
+# the communication plan on (delta broadcasts + pipelined reduce, the
+# default) and once with both disabled, so the A/B paths both stay green.
 dist-smoke:
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) build -race -o "$$tmp/cstf-worker" ./cmd/cstf-worker && \
 	$(GO) run ./cmd/tensorgen -out "$$tmp/t.tns" -dims 80,60,40 -nnz 5000 -rank 3 && \
 	CSTF_WORKER_BIN="$$tmp/cstf-worker" $(GO) run -race ./cmd/cstf \
-		-in "$$tmp/t.tns" -dist-local 3 -rank 3 -iters 3 -tol 0
+		-in "$$tmp/t.tns" -dist-local 3 -rank 3 -iters 3 -tol 0 && \
+	CSTF_WORKER_BIN="$$tmp/cstf-worker" $(GO) run -race ./cmd/cstf \
+		-in "$$tmp/t.tns" -dist-local 3 -rank 3 -iters 3 -tol 0 \
+		-dist-no-delta -dist-no-pipeline
+
+# The flat DistAddrs/DistLocalWorkers/DistWorkerBin fields are deprecated
+# aliases for Options.Dist; they may appear only in decompose.go (the alias
+# mapping) and its test. Fails on any new use.
+check-deprecated:
+	@out=$$(grep -rn --include='*.go' \
+		--exclude='decompose.go' --exclude='decompose_test.go' \
+		-e 'DistAddrs' -e 'DistLocalWorkers' -e 'DistWorkerBin' .); \
+	if [ -n "$$out" ]; then \
+		echo "deprecated flat dist fields used outside decompose.go (use Options.Dist):"; \
+		echo "$$out"; exit 1; fi

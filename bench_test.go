@@ -242,7 +242,7 @@ func BenchmarkDecomposePublicAPI(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cstf.Decompose(x, cstf.Options{
-			Rank: 4, MaxIters: 2, Tol: cstf.NoTol, Nodes: 4,
+			Rank: 4, MaxIters: 2, NoConvergenceCheck: true, Nodes: 4,
 		}); err != nil {
 			b.Fatal(err)
 		}

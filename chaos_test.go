@@ -71,7 +71,7 @@ func TestChaosRecoveryMatchesFaultFree(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
-		opt.Chaos = testChaos()
+		opt.Faults.Chaos = testChaos()
 		faulty, err := cstf.Decompose(x, opt)
 		if err != nil {
 			t.Fatalf("%s with chaos: %v", algo, err)
@@ -104,7 +104,7 @@ func TestChaosBigTensorRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt.Chaos = &cstf.ChaosSpec{Seed: 1, HorizonStages: 8, NodeCrashes: 1}
+	opt.Faults.Chaos = &cstf.ChaosSpec{Seed: 1, HorizonStages: 8, NodeCrashes: 1}
 	faulty, err := cstf.Decompose(x, opt)
 	if err != nil {
 		t.Fatal(err)
@@ -144,8 +144,8 @@ func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
 
 			head := full
 			head.MaxIters = 4
-			head.CheckpointEvery = 2
-			head.CheckpointPath = path
+			head.Faults.CheckpointEvery = 2
+			head.Faults.CheckpointPath = path
 			if _, err := cstf.Decompose(x, head); err != nil {
 				t.Fatalf("head: %v", err)
 			}
@@ -185,8 +185,8 @@ func TestCheckpointResumeBigTensor(t *testing.T) {
 	}
 	head := full
 	head.MaxIters = 2
-	head.CheckpointEvery = 2
-	head.CheckpointPath = path
+	head.Faults.CheckpointEvery = 2
+	head.Faults.CheckpointPath = path
 	headDec, err := cstf.Decompose(x, head)
 	if err != nil {
 		t.Fatal(err)
@@ -210,7 +210,7 @@ func TestDecomposeResumeValidates(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cp.gob")
 	head := cstf.Options{
 		Algorithm: cstf.Serial, Rank: 3, MaxIters: 2, NoConvergenceCheck: true, Seed: 5,
-		CheckpointEvery: 1, CheckpointPath: path,
+		Faults: cstf.FaultOptions{CheckpointEvery: 1, CheckpointPath: path},
 	}
 	if _, err := cstf.Decompose(x, head); err != nil {
 		t.Fatal(err)

@@ -37,6 +37,9 @@ func main() {
 	distAddrs := flag.String("dist", "", "comma-separated cstf-worker addresses; implies -algo dist")
 	distLocal := flag.Int("dist-local", 0, "launch N local workers and run distributed; implies -algo dist")
 	distBin := flag.String("dist-worker-bin", "", "cstf-worker binary for -dist-local (default: $CSTF_WORKER_BIN, next to cstf, or $PATH; in-process fallback)")
+	distNoDelta := flag.Bool("dist-no-delta", false, "ship full factor matrices every mode-iteration instead of delta broadcasts")
+	distNoPipeline := flag.Bool("dist-no-pipeline", false, "make every distributed stage a strict barrier (no gram/MTTKRP overlap)")
+	distCSF := flag.Bool("dist-csf", false, "run worker MTTKRPs with the SPLATT CSF kernel (bitwise-matches the serial CSF solver, not the COO one)")
 	rank := flag.Int("rank", 8, "decomposition rank R")
 	iters := flag.Int("iters", 25, "maximum ALS iterations")
 	tol := flag.Float64("tol", 1e-5, "fit-improvement stopping tolerance (0 disables)")
@@ -93,10 +96,13 @@ func main() {
 	if *distAddrs != "" || *distLocal > 0 {
 		o.Algorithm = cstf.Dist
 		if *distAddrs != "" {
-			o.DistAddrs = strings.Split(*distAddrs, ",")
+			o.Dist.Addrs = strings.Split(*distAddrs, ",")
 		}
-		o.DistLocalWorkers = *distLocal
-		o.DistWorkerBin = *distBin
+		o.Dist.LocalWorkers = *distLocal
+		o.Dist.WorkerBin = *distBin
+		o.Dist.DisableDeltaBroadcast = *distNoDelta
+		o.Dist.DisablePipeline = *distNoPipeline
+		o.Dist.CSFKernel = *distCSF
 	}
 	if *dataset != "" {
 		o.WorkScale = 1 / *scale // report full-scale-equivalent modeled time
@@ -107,15 +113,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		o.Chaos = cs
+		o.Faults.Chaos = cs
 	}
 	if *checkpointEvery > 0 || *resume {
 		if *checkpoint == "" {
 			fatal(fmt.Errorf("-checkpoint-every and -resume require -checkpoint"))
 		}
 	}
-	o.CheckpointEvery = *checkpointEvery
-	o.CheckpointPath = *checkpoint
+	o.Faults.CheckpointEvery = *checkpointEvery
+	o.Faults.CheckpointPath = *checkpoint
 	if *progress {
 		o.OnIteration = func(iter int, fit float64) bool {
 			fmt.Printf("iter %3d  fit %.6f\n", iter+1, fit)
@@ -147,6 +153,11 @@ func main() {
 		fmt.Printf("  wall time:   %.3f s\n", m.WallSeconds)
 		fmt.Printf("  wire sent:   %.2f MB\n", float64(m.WireBytesSent)/1e6)
 		fmt.Printf("  wire recv:   %.2f MB\n", float64(m.WireBytesRecv)/1e6)
+		fmt.Printf("  shards:      %.2f MB\n", float64(m.WireShardBytes)/1e6)
+		fmt.Printf("  factors:     %.2f MB (%d delta frames)\n", float64(m.WireFactorBytes)/1e6, m.WireDeltaFrames)
+		if m.FactorResyncs > 0 {
+			fmt.Printf("  resyncs:     %d full-factor resends after reassignment\n", m.FactorResyncs)
+		}
 		if m.WorkerDeaths > 0 {
 			fmt.Printf("  worker deaths: %d (reassigned %d tasks, re-sent %d shards)\n",
 				m.WorkerDeaths, m.TaskReassignments, m.ShardResends)

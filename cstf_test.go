@@ -89,7 +89,7 @@ func TestDecomposeAllAlgorithmsAgree(t *testing.T) {
 	var fits []float64
 	for _, algo := range []Algorithm{Serial, COO, QCOO, BigTensor} {
 		dec, err := Decompose(x, Options{
-			Algorithm: algo, Rank: 2, MaxIters: 3, Tol: NoTol, Seed: 11, Nodes: 2,
+			Algorithm: algo, Rank: 2, MaxIters: 3, NoConvergenceCheck: true, Seed: 11, Nodes: 2,
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
@@ -110,7 +110,7 @@ func TestDecomposeAllAlgorithmsAgree(t *testing.T) {
 
 func TestDecomposeDefaults(t *testing.T) {
 	x := RandomTensor(9, 400, 30, 20, 10)
-	dec, err := Decompose(x, Options{MaxIters: 2, Tol: NoTol})
+	dec, err := Decompose(x, Options{MaxIters: 2, NoConvergenceCheck: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestDecomposeDefaults(t *testing.T) {
 
 func TestDecomposeSerialHasNoClusterMetrics(t *testing.T) {
 	x := RandomTensor(9, 300, 20, 20, 10)
-	dec, err := Decompose(x, Options{Algorithm: Serial, Rank: 2, MaxIters: 2, Tol: NoTol})
+	dec, err := Decompose(x, Options{Algorithm: Serial, Rank: 2, MaxIters: 2, NoConvergenceCheck: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestDecomposeErrors(t *testing.T) {
 
 func TestDecompositionAtAndTopK(t *testing.T) {
 	x := RandomTensor(4, 600, 25, 20, 15)
-	dec, err := Decompose(x, Options{Algorithm: Serial, Rank: 3, MaxIters: 5, Tol: NoTol, Seed: 2})
+	dec, err := Decompose(x, Options{Algorithm: Serial, Rank: 3, MaxIters: 5, NoConvergenceCheck: true, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestQCOOBeatsCOOOnLargeClusters(t *testing.T) {
 	}
 	run := func(a Algorithm) float64 {
 		dec, err := Decompose(x, Options{
-			Algorithm: a, Rank: 2, MaxIters: 3, Tol: NoTol, Nodes: 32, WorkScale: 2e4,
+			Algorithm: a, Rank: 2, MaxIters: 3, NoConvergenceCheck: true, Nodes: 32, WorkScale: 2e4,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -270,7 +270,7 @@ func TestDecomposeTraceOutput(t *testing.T) {
 	x := RandomTensor(2, 300, 15, 12, 10)
 	path := filepath.Join(t.TempDir(), "trace.json")
 	_, err := Decompose(x, Options{
-		Algorithm: QCOO, Rank: 2, MaxIters: 1, Tol: NoTol, Nodes: 2, TracePath: path,
+		Algorithm: QCOO, Rank: 2, MaxIters: 1, NoConvergenceCheck: true, Nodes: 2, TracePath: path,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -37,10 +37,64 @@ const (
 	BigTensor Algorithm = "bigtensor"
 	// Dist is the real distributed runtime (internal/dist): CP-ALS stages
 	// executed by worker processes over TCP, not the simulated cluster.
-	// Configure it with DistAddrs or DistLocalWorkers. Results are bitwise
-	// identical to Serial for every worker count.
+	// Configure it with Options.Dist (addresses or local worker count).
+	// Results are bitwise identical to Serial for every worker count.
 	Dist Algorithm = "dist"
 )
+
+// DistOptions groups the knobs of the real distributed runtime (the Dist
+// algorithm). The zero value launches nothing — set Addrs or LocalWorkers.
+type DistOptions struct {
+	// Addrs lists the TCP addresses of already-running cstf-worker
+	// processes. The slot order is the reduction rank order; keep it fixed
+	// across runs for reproducibility.
+	Addrs []string
+
+	// LocalWorkers, when Addrs is empty, launches this many local workers
+	// for the duration of the run: forked cstf-worker processes when a
+	// binary is found (WorkerBin, $CSTF_WORKER_BIN, next to the executable,
+	// or $PATH), otherwise in-process TCP-loopback workers.
+	LocalWorkers int
+
+	// WorkerBin optionally pins the cstf-worker binary LocalWorkers forks.
+	WorkerBin string
+
+	// DisableDeltaBroadcast turns off delta factor broadcasts, shipping
+	// full factor matrices to every worker each mode-iteration (the
+	// pre-delta wire behavior). Results are bitwise identical either way;
+	// the toggle exists for A/B measurement.
+	DisableDeltaBroadcast bool
+
+	// DisablePipeline turns off the overlap between one mode's partial-gram
+	// reduce and the next mode's MTTKRP, making every stage a strict
+	// barrier. Results are bitwise identical either way.
+	DisablePipeline bool
+
+	// CSFKernel makes workers run their partial MTTKRPs with the SPLATT
+	// CSF fiber-reuse kernel instead of the per-nonzero COO loop. The run
+	// is then bitwise identical to the single-process CSF solver, NOT to
+	// the COO-kernel Serial reference (the factored arithmetic associates
+	// the same sums differently).
+	CSFKernel bool
+}
+
+// FaultOptions groups fault injection and checkpointing.
+type FaultOptions struct {
+	// Chaos, when non-nil, injects a deterministic fault schedule: for the
+	// simulated algorithms, node crashes / disk failures / stragglers /
+	// network degradation against the cost model; for the Dist algorithm,
+	// REAL worker kills at stage boundaries (fault kinds with no physical
+	// analogue are ignored). Distributed algorithms only.
+	Chaos *ChaosSpec
+
+	// CheckpointEvery, with CheckpointPath, writes an iteration-granular
+	// checkpoint of the factor matrices after every CheckpointEvery-th
+	// completed ALS iteration. Simulated distributed runs charge the
+	// replicated HDFS write to the "Checkpoint" phase. DecomposeResume
+	// restarts from the file.
+	CheckpointEvery int
+	CheckpointPath  string
+}
 
 // Options configures Decompose. Zero values select the documented
 // defaults:
@@ -66,12 +120,11 @@ type Options struct {
 
 	// Tol is the fit-improvement stopping tolerance; iteration stops once
 	// |fit(k) - fit(k-1)| < Tol. The zero value keeps the 1e-5 default.
-	// To run exactly MaxIters iterations set NoConvergenceCheck instead
-	// (the legacy NoTol sentinel still works but is deprecated).
+	// To run exactly MaxIters iterations set NoConvergenceCheck instead.
 	Tol float64
 
 	// NoConvergenceCheck disables the Tol test entirely, so exactly
-	// MaxIters iterations run. This replaces the NoTol sentinel.
+	// MaxIters iterations run.
 	NoConvergenceCheck bool
 
 	// Parallelism is the number of worker goroutines the shared-memory
@@ -100,35 +153,37 @@ type Options struct {
 	// execution timeline to this file.
 	TracePath string
 
-	// Chaos, when non-nil, injects a deterministic fault schedule into the
-	// simulated cluster: node crashes (recovered by lineage recomputation on
-	// the Spark engine, HDFS re-replication on the Hadoop engine), disk
-	// failures, per-node stragglers, and transient network degradation.
-	// Distributed algorithms only.
+	// Dist configures the real distributed runtime (Algorithm Dist).
+	Dist DistOptions
+
+	// Faults configures fault injection and checkpointing.
+	Faults FaultOptions
+
+	// Chaos is the pre-grouping spelling of Faults.Chaos.
+	//
+	// Deprecated: set Faults.Chaos. Setting both is an error.
 	Chaos *ChaosSpec
 
-	// CheckpointEvery, with CheckpointPath, writes an iteration-granular
-	// checkpoint of the factor matrices after every CheckpointEvery-th
-	// completed ALS iteration. Distributed runs charge the replicated HDFS
-	// write to the "Checkpoint" phase. DecomposeResume restarts from the
-	// file.
+	// CheckpointEvery and CheckpointPath are the pre-grouping spellings of
+	// Faults.CheckpointEvery and Faults.CheckpointPath.
+	//
+	// Deprecated: set the Faults fields. Setting both forms is an error.
 	CheckpointEvery int
 	CheckpointPath  string
 
-	// DistAddrs, for the Dist algorithm, lists the TCP addresses of
-	// already-running cstf-worker processes. The slot order is the
-	// reduction rank order; keep it fixed across runs for reproducibility.
+	// DistAddrs is the pre-grouping spelling of Dist.Addrs.
+	//
+	// Deprecated: set Dist.Addrs. Setting both is an error.
 	DistAddrs []string
 
-	// DistLocalWorkers, for the Dist algorithm when DistAddrs is empty,
-	// launches this many local workers for the duration of the run:
-	// forked cstf-worker processes when a binary is found (DistWorkerBin,
-	// $CSTF_WORKER_BIN, next to the executable, or $PATH), otherwise
-	// in-process TCP-loopback workers.
+	// DistLocalWorkers is the pre-grouping spelling of Dist.LocalWorkers.
+	//
+	// Deprecated: set Dist.LocalWorkers. Setting both is an error.
 	DistLocalWorkers int
 
-	// DistWorkerBin optionally pins the cstf-worker binary DistLocalWorkers
-	// forks.
+	// DistWorkerBin is the pre-grouping spelling of Dist.WorkerBin.
+	//
+	// Deprecated: set Dist.WorkerBin. Setting both is an error.
 	DistWorkerBin string
 }
 
@@ -156,11 +211,48 @@ type ChaosSpec struct {
 	Speculation float64
 }
 
-// NoTol disables the convergence test so exactly MaxIters iterations run.
-//
-// Deprecated: set Options.NoConvergenceCheck instead. NoTol remains only so
-// existing callers compile and behave as before.
-const NoTol = -1.0
+// normalize maps the deprecated flat fields onto their grouped homes —
+// rejecting conflicting double-specification — and applies the documented
+// zero-value defaults. Every Decompose entry point goes through it.
+func (o Options) normalize() (Options, error) {
+	if o.Chaos != nil {
+		if o.Faults.Chaos != nil {
+			return o, fmt.Errorf("cstf: both Faults.Chaos and deprecated Chaos are set")
+		}
+		o.Faults.Chaos = o.Chaos
+	}
+	if o.CheckpointEvery != 0 {
+		if o.Faults.CheckpointEvery != 0 {
+			return o, fmt.Errorf("cstf: both Faults.CheckpointEvery and deprecated CheckpointEvery are set")
+		}
+		o.Faults.CheckpointEvery = o.CheckpointEvery
+	}
+	if o.CheckpointPath != "" {
+		if o.Faults.CheckpointPath != "" {
+			return o, fmt.Errorf("cstf: both Faults.CheckpointPath and deprecated CheckpointPath are set")
+		}
+		o.Faults.CheckpointPath = o.CheckpointPath
+	}
+	if len(o.DistAddrs) > 0 {
+		if len(o.Dist.Addrs) > 0 {
+			return o, fmt.Errorf("cstf: both Dist.Addrs and deprecated DistAddrs are set")
+		}
+		o.Dist.Addrs = o.DistAddrs
+	}
+	if o.DistLocalWorkers != 0 {
+		if o.Dist.LocalWorkers != 0 {
+			return o, fmt.Errorf("cstf: both Dist.LocalWorkers and deprecated DistLocalWorkers are set")
+		}
+		o.Dist.LocalWorkers = o.DistLocalWorkers
+	}
+	if o.DistWorkerBin != "" {
+		if o.Dist.WorkerBin != "" {
+			return o, fmt.Errorf("cstf: both Dist.WorkerBin and deprecated DistWorkerBin are set")
+		}
+		o.Dist.WorkerBin = o.DistWorkerBin
+	}
+	return o.withDefaults(), nil
+}
 
 func (o Options) withDefaults() Options {
 	if o.Algorithm == "" {
@@ -174,8 +266,6 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Tol == 0 {
 		o.Tol = 1e-5
-	} else if o.Tol == NoTol {
-		o.Tol = 0
 	}
 	if o.NoConvergenceCheck {
 		o.Tol = 0
@@ -231,6 +321,10 @@ type Metrics struct {
 	WallSeconds       float64 // measured elapsed time of the run
 	WireBytesSent     int64   // bytes written to worker TCP connections
 	WireBytesRecv     int64   // bytes read from worker TCP connections
+	WireShardBytes    int64   // payload bytes of tensor shards shipped
+	WireFactorBytes   int64   // payload bytes of factor state shipped (full + delta)
+	WireDeltaFrames   int     // factor-delta frames sent
+	FactorResyncs     int     // full-factor resyncs forced by task reassignment
 	DistWorkers       int     // worker processes the session started with
 	WorkerDeaths      int     // real workers lost (timeout, socket error, kill)
 	TaskReassignments int     // tasks re-dispatched after a worker death
@@ -335,7 +429,11 @@ func Decompose(t *Tensor, o Options) (*Decomposition, error) {
 // ctx for cancellation between ALS iterations: a cancelled context aborts
 // the run and returns ctx's error. All four algorithms honor it.
 func DecomposeContext(ctx context.Context, t *Tensor, o Options) (*Decomposition, error) {
-	return decompose(ctx, t, o.withDefaults(), resumeState{})
+	no, err := o.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return decompose(ctx, t, no, resumeState{})
 }
 
 // resumeState carries a loaded checkpoint into the solver options.
@@ -353,15 +451,15 @@ func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Deco
 		StartIter: rs.startIter, InitFactors: rs.factors,
 		InitLambda: rs.lambda, InitFits: rs.fits,
 	}
-	if o.CheckpointEvery > 0 && o.CheckpointPath != "" {
-		opts.CheckpointEvery = o.CheckpointEvery
+	if o.Faults.CheckpointEvery > 0 && o.Faults.CheckpointPath != "" {
+		opts.CheckpointEvery = o.Faults.CheckpointEvery
 		alg, rank, seed, dims := o.Algorithm, o.Rank, o.Seed, t.Dims()
-		path := o.CheckpointPath
+		path := o.Faults.CheckpointPath
 		opts.OnCheckpoint = func(iter int, lambda []float64, factors []*la.Dense, fits []float64) error {
 			return writeCheckpoint(path, checkpointFrom(alg, rank, seed, iter, dims, lambda, factors, fits))
 		}
 	}
-	if o.Chaos != nil && o.Algorithm == Serial {
+	if o.Faults.Chaos != nil && o.Algorithm == Serial {
 		return nil, fmt.Errorf("cstf: chaos injection requires a distributed algorithm")
 	}
 
@@ -375,10 +473,10 @@ func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Deco
 		if o.TracePath != "" {
 			c.EnableTrace()
 		}
-		if o.Chaos != nil {
-			c.SetFaultInjector(chaosPlan(o.Chaos, o.Nodes))
-			if o.Chaos.Speculation > 0 {
-				c.EnableSpeculation(o.Chaos.Speculation)
+		if o.Faults.Chaos != nil {
+			c.SetFaultInjector(chaosPlan(o.Faults.Chaos, o.Nodes))
+			if o.Faults.Chaos.Speculation > 0 {
+				c.EnableSpeculation(o.Faults.Chaos.Speculation)
 			}
 		}
 		return c
@@ -442,6 +540,10 @@ func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Deco
 			WallSeconds:       distStats.WallSeconds,
 			WireBytesSent:     distStats.BytesSent,
 			WireBytesRecv:     distStats.BytesRecv,
+			WireShardBytes:    distStats.ShardBytes,
+			WireFactorBytes:   distStats.FactorBytes,
+			WireDeltaFrames:   distStats.DeltaFrames,
+			FactorResyncs:     distStats.Resyncs,
 			DistWorkers:       distStats.Workers,
 			WorkerDeaths:      distStats.WorkerDeaths,
 			TaskReassignments: distStats.Reassignments,
@@ -475,29 +577,32 @@ func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Deco
 	return out, nil
 }
 
-// distSolve runs the real distributed runtime: workers from DistAddrs, or
+// distSolve runs the real distributed runtime: workers from Dist.Addrs, or
 // locally launched ones (forked cstf-worker processes when a binary is
 // available, in-process loopback workers otherwise). A ChaosSpec schedules
 // REAL worker kills against the session's stage clock; fault kinds with no
 // physical analogue here (stragglers, disk failures, network degradation)
 // are ignored.
 func distSolve(t *Tensor, o Options, opts cpals.Options) (*cpals.Result, *dist.Stats, error) {
-	cfg := dist.Config{Addrs: o.DistAddrs}
-	workers := len(o.DistAddrs)
+	cfg := dist.Config{Addrs: o.Dist.Addrs}
+	workers := len(o.Dist.Addrs)
 	if workers == 0 {
-		if o.DistLocalWorkers <= 0 {
-			return nil, nil, fmt.Errorf("cstf: the dist algorithm needs DistAddrs or DistLocalWorkers")
+		if o.Dist.LocalWorkers <= 0 {
+			return nil, nil, fmt.Errorf("cstf: the dist algorithm needs Dist.Addrs or Dist.LocalWorkers")
 		}
-		lc, err := dist.LaunchLocal(o.DistLocalWorkers, o.DistWorkerBin)
+		lc, err := dist.LaunchLocal(o.Dist.LocalWorkers, o.Dist.WorkerBin)
 		if err != nil {
 			return nil, nil, err
 		}
 		defer lc.Close()
 		cfg = lc.Config()
-		workers = o.DistLocalWorkers
+		workers = o.Dist.LocalWorkers
 	}
-	if o.Chaos != nil {
-		cfg.Plan = chaosPlan(o.Chaos, workers)
+	cfg.NoDelta = o.Dist.DisableDeltaBroadcast
+	cfg.NoPipeline = o.Dist.DisablePipeline
+	cfg.UseCSF = o.Dist.CSFKernel
+	if o.Faults.Chaos != nil {
+		cfg.Plan = chaosPlan(o.Faults.Chaos, workers)
 	}
 	res, stats, err := dist.Solve(t.coo, opts, cfg)
 	if err != nil {
@@ -543,7 +648,10 @@ func DecomposeBestContext(ctx context.Context, t *Tensor, o Options, restarts in
 	if restarts <= 0 {
 		return nil, fmt.Errorf("cstf: restarts must be positive, got %d", restarts)
 	}
-	o = o.withDefaults()
+	o, err := o.normalize()
+	if err != nil {
+		return nil, err
+	}
 	decs := make([]*Decomposition, restarts)
 	errs := make([]error, restarts)
 	par.Run(o.Parallelism, restarts, func(r int) {
@@ -578,6 +686,10 @@ func DecomposeBestContext(ctx context.Context, t *Tensor, o Options, restarts in
 		total.WallSeconds += m.WallSeconds
 		total.WireBytesSent += m.WireBytesSent
 		total.WireBytesRecv += m.WireBytesRecv
+		total.WireShardBytes += m.WireShardBytes
+		total.WireFactorBytes += m.WireFactorBytes
+		total.WireDeltaFrames += m.WireDeltaFrames
+		total.FactorResyncs += m.FactorResyncs
 		if m.DistWorkers > total.DistWorkers {
 			total.DistWorkers = m.DistWorkers
 		}

@@ -11,24 +11,68 @@ func apiTestTensor() *cstf.Tensor {
 	return cstf.ZipfTensor(3, 4000, 0.5, 60, 50, 40)
 }
 
-// NoConvergenceCheck must behave exactly like the deprecated NoTol
-// sentinel: run all MaxIters iterations.
-func TestNoConvergenceCheckMatchesNoTol(t *testing.T) {
+// NoConvergenceCheck must run all MaxIters iterations, and the default Tol
+// must still stop a converged run early.
+func TestNoConvergenceCheckRunsAllIters(t *testing.T) {
 	x := apiTestTensor()
-	legacy, err := cstf.Decompose(x, cstf.Options{Algorithm: cstf.Serial, Rank: 3, MaxIters: 6, Tol: cstf.NoTol, Seed: 1})
+	dec, err := cstf.Decompose(x, cstf.Options{Algorithm: cstf.Serial, Rank: 3, MaxIters: 6, NoConvergenceCheck: true, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	modern, err := cstf.Decompose(x, cstf.Options{Algorithm: cstf.Serial, Rank: 3, MaxIters: 6, NoConvergenceCheck: true, Seed: 1})
+	if dec.Iters != 6 {
+		t.Fatalf("iters %d, want 6", dec.Iters)
+	}
+	if len(dec.Fits) != 6 {
+		t.Fatalf("%d fits, want 6", len(dec.Fits))
+	}
+}
+
+// The deprecated flat fields must keep working as aliases of the grouped
+// options, and specifying both forms of the same knob must be rejected.
+func TestDeprecatedDistFieldAliases(t *testing.T) {
+	x := apiTestTensor()
+	base := cstf.Options{Algorithm: cstf.Dist, Rank: 3, MaxIters: 2, NoConvergenceCheck: true, Seed: 4}
+
+	grouped := base
+	grouped.Dist.LocalWorkers = 2
+	want, err := cstf.Decompose(x, grouped)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if legacy.Iters != 6 || modern.Iters != 6 {
-		t.Fatalf("iters %d / %d, want 6", legacy.Iters, modern.Iters)
+
+	flat := base
+	flat.DistLocalWorkers = 2
+	got, err := cstf.Decompose(x, flat)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for i := range legacy.Fits {
-		if legacy.Fits[i] != modern.Fits[i] {
-			t.Fatalf("fit[%d] %v vs %v", i, legacy.Fits[i], modern.Fits[i])
+	if want.Fit() != got.Fit() || want.Iters != got.Iters {
+		t.Fatalf("deprecated alias diverged: fit %v/%v iters %d/%d", want.Fit(), got.Fit(), want.Iters, got.Iters)
+	}
+
+	both := base
+	both.Dist.LocalWorkers = 2
+	both.DistLocalWorkers = 2
+	if _, err := cstf.Decompose(x, both); err == nil {
+		t.Fatal("conflicting Dist.LocalWorkers + DistLocalWorkers accepted")
+	}
+
+	conflicts := []cstf.Options{
+		{Algorithm: cstf.Serial, Chaos: &cstf.ChaosSpec{NodeCrashes: 1},
+			Faults: cstf.FaultOptions{Chaos: &cstf.ChaosSpec{NodeCrashes: 1}}},
+		{Algorithm: cstf.Serial, CheckpointEvery: 1,
+			Faults: cstf.FaultOptions{CheckpointEvery: 1}},
+		{Algorithm: cstf.Serial, CheckpointPath: "a",
+			Faults: cstf.FaultOptions{CheckpointPath: "b"}},
+		{Algorithm: cstf.Dist, DistAddrs: []string{"x"},
+			Dist: cstf.DistOptions{Addrs: []string{"x"}}},
+		{Algorithm: cstf.Dist, DistWorkerBin: "a",
+			Dist: cstf.DistOptions{WorkerBin: "b", LocalWorkers: 1}},
+	}
+	for i, o := range conflicts {
+		o.Rank, o.MaxIters = 2, 1
+		if _, err := cstf.Decompose(x, o); err == nil {
+			t.Fatalf("conflict case %d accepted", i)
 		}
 	}
 }

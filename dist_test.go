@@ -22,7 +22,7 @@ func TestDistAlgorithmMatchesSerial(t *testing.T) {
 
 	do := base
 	do.Algorithm = cstf.Dist
-	do.DistLocalWorkers = 4
+	do.Dist.LocalWorkers = 4
 	got, err := cstf.Decompose(x, do)
 	if err != nil {
 		t.Fatal(err)
@@ -64,7 +64,7 @@ func TestMetricsSeparateRealFromSimulated(t *testing.T) {
 
 	do := base
 	do.Algorithm = cstf.Dist
-	do.DistLocalWorkers = 2
+	do.Dist.LocalWorkers = 2
 	dd, err := cstf.Decompose(x, do)
 	if err != nil {
 		t.Fatal(err)
@@ -107,8 +107,8 @@ func TestDistChaosKillThroughPublicAPI(t *testing.T) {
 
 	do := base
 	do.Algorithm = cstf.Dist
-	do.DistLocalWorkers = 3
-	do.Chaos = &cstf.ChaosSpec{NodeCrashes: 1, HorizonStages: 8, Seed: 3}
+	do.Dist.LocalWorkers = 3
+	do.Faults.Chaos = &cstf.ChaosSpec{NodeCrashes: 1, HorizonStages: 8, Seed: 3}
 	got, err := cstf.Decompose(x, do)
 	if err != nil {
 		t.Fatal(err)

@@ -32,13 +32,13 @@ func main() {
 			// Two iterations; the second is steady state. Report the
 			// average, like the paper's 20-iteration means.
 			dec, err := cstf.Decompose(x, cstf.Options{
-				Algorithm: algo,
-				Rank:      2,
-				MaxIters:  2,
-				Tol:       cstf.NoTol,
-				Nodes:     nodes,
-				Seed:      1,
-				WorkScale: 1 / scale,
+				Algorithm:          algo,
+				Rank:               2,
+				MaxIters:           2,
+				NoConvergenceCheck: true,
+				Nodes:              nodes,
+				Seed:               1,
+				WorkScale:          1 / scale,
 			})
 			if err != nil {
 				log.Fatal(err)

@@ -31,13 +31,13 @@ func main() {
 		res := map[cstf.Algorithm]*cstf.Decomposition{}
 		for _, algo := range []cstf.Algorithm{cstf.COO, cstf.QCOO} {
 			dec, err := cstf.Decompose(x, cstf.Options{
-				Algorithm: algo,
-				Rank:      2, // the paper's rank
-				MaxIters:  5,
-				Tol:       cstf.NoTol,
-				Nodes:     nodes,
-				Seed:      9,
-				WorkScale: 1e4, // report full-scale-equivalent times
+				Algorithm:          algo,
+				Rank:               2, // the paper's rank
+				MaxIters:           5,
+				NoConvergenceCheck: true,
+				Nodes:              nodes,
+				Seed:               9,
+				WorkScale:          1e4, // report full-scale-equivalent times
 			})
 			if err != nil {
 				log.Fatal(err)

@@ -121,6 +121,17 @@ type Options struct {
 	// for every value.
 	Parallelism int
 
+	// CSFKernel switches the MTTKRP from the per-nonzero COO loop to the
+	// SPLATT fiber-reuse kernel over per-mode CSF trees (built once before
+	// the first iteration). On tensors with fiber locality this does
+	// substantially fewer vector operations. The factored arithmetic
+	// evaluates each output row as a different association of the same sum,
+	// so results match the COO kernel only to floating-point tolerance —
+	// but remain bitwise identical across Parallelism values, and are the
+	// bitwise reference for distributed runs with the CSF kernel enabled.
+	// The tensor must be duplicate-free (tensor.NewCSF enforces it).
+	CSFKernel bool
+
 	// Ctx, when non-nil, is checked between ALS iterations; a cancelled
 	// context aborts the solve with the context's error. Every solver in
 	// this repository (serial, COO, QCOO, BigTensor) honors it.
@@ -316,13 +327,22 @@ func Solve(t *tensor.COO, opts Options) (*Result, error) {
 	lambda := la.VecClone(opts.InitLambda)
 	var lastM *la.Dense
 	ws := &Workspace{}
+	var csfs []*tensor.CSF
+	if opts.CSFKernel {
+		csfs = BuildCSFs(t)
+	}
 
 	for it := opts.StartIter; it < opts.MaxIters; it++ {
 		if err := opts.Interrupted(); err != nil {
 			return nil, err
 		}
 		for n := 0; n < order; n++ {
-			m := MTTKRPWorkers(t, n, factors, w, ws.Out(n, t.Dims[n], rank, w), ws)
+			var m *la.Dense
+			if csfs != nil {
+				m = MTTKRPCSFWorkers(csfs[n], factors, w)
+			} else {
+				m = MTTKRPWorkers(t, n, factors, w, ws.Out(n, t.Dims[n], rank, w), ws)
+			}
 			v := HadamardOfGramsExcept(grams, n)
 			pinv := la.Pinv(v)
 			// A_n = M * pinv(V), row by row.

@@ -32,29 +32,7 @@ func MTTKRPCSF(csf *tensor.CSF, factors []*la.Dense) *la.Dense {
 		bufs[l] = make([]float64, rank)
 	}
 
-	// walk computes the contribution of node `n` at level `l` into dst.
-	var walk func(l int, n int32, dst []float64)
-	walk = func(l int, n int32, dst []float64) {
-		m := csf.ModeOrder[l]
-		row := factors[m].Row(int(csf.Idx[l][n]))
-		if l == order-1 {
-			// Leaf: value * row.
-			la.VecAddScaled(dst, csf.Vals[n], row)
-			return
-		}
-		// Internal: sum children into this level's scratch, then multiply
-		// by this node's row once — the reuse COO cannot express.
-		acc := bufs[l]
-		for i := range acc {
-			acc[i] = 0
-		}
-		for ch := csf.Ptr[l][n]; ch < csf.Ptr[l][n+1]; ch++ {
-			walk(l+1, ch, acc)
-		}
-		for i := range dst {
-			dst[i] += acc[i] * row[i]
-		}
-	}
+	walk := csfWalker(csf, factors, bufs)
 
 	for root := int32(0); root < int32(len(csf.Idx[0])); root++ {
 		dst := out.Row(int(csf.Idx[0][root]))
@@ -63,6 +41,53 @@ func MTTKRPCSF(csf *tensor.CSF, factors []*la.Dense) *la.Dense {
 		}
 	}
 	return out
+}
+
+// csfWalker returns the recursive fiber walk shared by the serial and
+// parallel CSF kernels: walk(l, n, dst) adds node n's subtree contribution
+// (at level l) into dst. The leaf level is iterated inline by its parent —
+// one call per fiber instead of one per nonzero — which changes no
+// floating-point operation order, only call overhead.
+func csfWalker(csf *tensor.CSF, factors []*la.Dense, bufs [][]float64) func(l int, n int32, dst []float64) {
+	order := len(csf.ModeOrder)
+	leafF := factors[csf.ModeOrder[order-1]]
+	var walk func(l int, n int32, dst []float64)
+	walk = func(l int, n int32, dst []float64) {
+		row := factors[csf.ModeOrder[l]].Row(int(csf.Idx[l][n]))
+		if l == order-1 {
+			// Only reached when the tree is 2-level (order == 2).
+			la.VecAddScaled(dst, csf.Vals[n], row)
+			return
+		}
+		// Internal: sum children into this level's scratch, then multiply
+		// by this node's row once — the reuse COO cannot express.
+		acc := bufs[l]
+		if l == order-2 {
+			// The first leaf initializes acc (v*row == 0 + v*row bitwise for
+			// the nonzero values CSF stores), the rest accumulate.
+			leafIdx := csf.Idx[order-1]
+			ch, hi := csf.Ptr[l][n], csf.Ptr[l][n+1]
+			row0 := leafF.Row(int(leafIdx[ch]))
+			v0 := csf.Vals[ch]
+			for i := range acc {
+				acc[i] = v0 * row0[i]
+			}
+			for ch++; ch < hi; ch++ {
+				la.VecAddScaled(acc, csf.Vals[ch], leafF.Row(int(leafIdx[ch])))
+			}
+		} else {
+			for i := range acc {
+				acc[i] = 0
+			}
+			for ch := csf.Ptr[l][n]; ch < csf.Ptr[l][n+1]; ch++ {
+				walk(l+1, ch, acc)
+			}
+		}
+		for i := range dst {
+			dst[i] += acc[i] * row[i]
+		}
+	}
+	return walk
 }
 
 // BuildCSFs constructs one CSF per mode (mode n as root, remaining modes

@@ -147,25 +147,7 @@ func MTTKRPCSFWorkers(csf *tensor.CSF, factors []*la.Dense, workers int) *la.Den
 		for l := 1; l < order; l++ {
 			bufs[l] = make([]float64, rank)
 		}
-		var walk func(l int, n int32, dst []float64)
-		walk = func(l int, n int32, dst []float64) {
-			m := csf.ModeOrder[l]
-			row := factors[m].Row(int(csf.Idx[l][n]))
-			if l == order-1 {
-				la.VecAddScaled(dst, csf.Vals[n], row)
-				return
-			}
-			acc := bufs[l]
-			for i := range acc {
-				acc[i] = 0
-			}
-			for ch := csf.Ptr[l][n]; ch < csf.Ptr[l][n+1]; ch++ {
-				walk(l+1, ch, acc)
-			}
-			for i := range dst {
-				dst[i] += acc[i] * row[i]
-			}
-		}
+		walk := csfWalker(csf, factors, bufs)
 		for root := int32(chunks[k][0]); root < int32(chunks[k][1]); root++ {
 			dst := out.Row(int(csf.Idx[0][root]))
 			for ch := csf.Ptr[0][root]; ch < csf.Ptr[0][root+1]; ch++ {

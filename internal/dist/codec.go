@@ -46,7 +46,7 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 		return 0, nil, err
 	}
 	t := MsgType(hdr[0])
-	if t < MsgHello || t > MsgShutdown {
+	if t < MsgHello || t > MsgFactorDelta {
 		return 0, nil, &DecodeError{Msg: fmt.Sprintf("unknown frame type %d", hdr[0])}
 	}
 	n := binary.BigEndian.Uint32(hdr[1:])
@@ -74,6 +74,12 @@ func appendU64(b []byte, v uint64) []byte {
 }
 func appendF64(b []byte, v float64) []byte {
 	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// appendUvarint encodes a varint (the only variable-width element in the
+// protocol; shard payloads are index-heavy and dominated by small values).
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
 }
 
 // appendDense encodes rows, cols, then the row-major data.
@@ -158,6 +164,25 @@ func (d *dec) u64() uint64 {
 
 func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
 
+// uvarint decodes one varint, bounding it to maxFrame so downstream int
+// conversions cannot overflow.
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	if v > maxFrame {
+		d.fail(fmt.Sprintf("varint %d out of range", v))
+		return 0
+	}
+	d.off += n
+	return v
+}
+
 // count validates an element count against the remaining payload, given a
 // fixed per-element width, before the caller allocates.
 func (d *dec) count(n uint32, elemBytes int, what string) int {
@@ -221,6 +246,7 @@ func (d *dec) done() error {
 // EncodeHello serializes a handshake.
 func EncodeHello(h *Hello) []byte {
 	b := appendU16(nil, h.Version)
+	b = appendU8(b, h.Flags)
 	b = appendU8(b, uint8(h.Order))
 	b = appendU16(b, uint16(h.Rank))
 	b = appendU16(b, uint16(h.Worker))
@@ -236,6 +262,7 @@ func DecodeHello(b []byte) (*Hello, error) {
 	d := &dec{b: b}
 	h := &Hello{
 		Version: d.u16(),
+		Flags:   d.u8(),
 		Order:   int(d.u8()),
 		Rank:    int(d.u16()),
 		Worker:  int(d.u16()),
@@ -265,26 +292,53 @@ func DecodeHello(b []byte) (*Hello, error) {
 	return h, nil
 }
 
-// EncodeShard serializes a nonzero shard: header then order*uint32 indices
-// plus a float64 value per entry.
+// EncodeShard serializes a nonzero shard in the row-grouped varint format:
+// header, then one group per distinct output row — varint row delta, varint
+// entry count, then per entry the OTHER modes' indices as varints plus the
+// float64 value. Grouping drops the 4-byte mode index every entry repeats,
+// and varints shrink the remaining indices; on real tensors this roughly
+// halves shard bytes versus the v1 fixed-width layout while the decoded
+// entry order — ascending row, original storage order within a row — is
+// exactly the stable ModeIndex Perm order the kernels require.
+//
+// Entries must already be in that order (buildShard guarantees it); a
+// violation is an internal invariant failure, not a wire condition.
 func EncodeShard(s *Shard) []byte {
 	b := appendU8(nil, uint8(s.Mode))
 	b = appendU8(b, uint8(s.Order))
 	b = appendU32(b, uint32(s.RowLo))
 	b = appendU32(b, uint32(s.RowHi))
 	b = appendU32(b, uint32(len(s.Entries)))
-	for i := range s.Entries {
-		e := &s.Entries[i]
-		for m := 0; m < s.Order; m++ {
-			b = appendU32(b, e.Idx[m])
+	prevRow := s.RowLo - 1 // first group's delta is row-RowLo+1 .. keeps deltas >= 1
+	for i := 0; i < len(s.Entries); {
+		row := int(s.Entries[i].Idx[s.Mode])
+		if row <= prevRow || row >= s.RowHi {
+			panic(fmt.Sprintf("dist: shard entries not in ascending row order (row %d after %d)", row, prevRow))
 		}
-		b = appendF64(b, e.Val)
+		j := i
+		for j < len(s.Entries) && int(s.Entries[j].Idx[s.Mode]) == row {
+			j++
+		}
+		b = appendUvarint(b, uint64(row-prevRow))
+		b = appendUvarint(b, uint64(j-i))
+		for ; i < j; i++ {
+			e := &s.Entries[i]
+			for m := 0; m < s.Order; m++ {
+				if m == s.Mode {
+					continue
+				}
+				b = appendUvarint(b, uint64(e.Idx[m]))
+			}
+			b = appendF64(b, e.Val)
+		}
+		prevRow = row
 	}
 	return b
 }
 
 // DecodeShard parses a nonzero shard, validating the entry count against
-// the payload length and every entry's mode index against [RowLo, RowHi).
+// the payload length, row deltas against [RowLo, RowHi), and group counts
+// against the declared total.
 func DecodeShard(b []byte) (*Shard, error) {
 	d := &dec{b: b}
 	s := &Shard{
@@ -302,19 +356,36 @@ func DecodeShard(b []byte) (*Shard, error) {
 	if d.err == nil && s.RowHi < s.RowLo {
 		d.fail(fmt.Sprintf("row range [%d,%d) inverted", s.RowLo, s.RowHi))
 	}
-	nnz := d.count(d.u32(), 4*s.Order+8, "shard entry")
+	// Tightest guaranteed wire width per entry: one varint byte per other
+	// mode plus the 8-byte value.
+	nnz := d.count(d.u32(), s.Order-1+8, "shard entry")
 	s.Entries = make([]tensor.Entry, 0, nnz)
-	for i := 0; i < nnz; i++ {
-		var e tensor.Entry
-		for m := 0; m < s.Order; m++ {
-			e.Idx[m] = d.u32()
+	row := s.RowLo - 1
+	for len(s.Entries) < nnz && d.err == nil {
+		row += int(d.uvarint())
+		if d.err == nil && (row < s.RowLo || row >= s.RowHi) {
+			d.fail(fmt.Sprintf("shard row %d outside [%d,%d)", row, s.RowLo, s.RowHi))
+			break
 		}
-		e.Val = d.f64()
-		if d.err == nil && (int(e.Idx[s.Mode]) < s.RowLo || int(e.Idx[s.Mode]) >= s.RowHi) {
-			d.fail(fmt.Sprintf("entry %d: mode-%d index %d outside shard rows [%d,%d)",
-				i, s.Mode, e.Idx[s.Mode], s.RowLo, s.RowHi))
+		cnt := int(d.uvarint())
+		if d.err == nil && (cnt < 1 || cnt > nnz-len(s.Entries)) {
+			d.fail(fmt.Sprintf("shard row group count %d out of range", cnt))
+			break
 		}
-		s.Entries = append(s.Entries, e)
+		for i := 0; i < cnt && d.err == nil; i++ {
+			var e tensor.Entry
+			for m := 0; m < s.Order; m++ {
+				if m == s.Mode {
+					e.Idx[m] = uint32(row)
+					continue
+				}
+				e.Idx[m] = uint32(d.uvarint())
+			}
+			e.Val = d.f64()
+			if d.err == nil {
+				s.Entries = append(s.Entries, e)
+			}
+		}
 	}
 	if err := d.done(); err != nil {
 		return nil, err
@@ -333,6 +404,55 @@ func DecodeFactor(b []byte) (*Factor, error) {
 	d := &dec{b: b}
 	f := &Factor{Mode: int(d.u8())}
 	f.M = d.dense()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// EncodeFactorDelta serializes a changed-rows factor update: mode, column
+// count, row count, the strictly ascending row indices, then the row data.
+func EncodeFactorDelta(f *FactorDelta) []byte {
+	b := appendU8(nil, uint8(f.Mode))
+	b = appendU16(b, uint16(f.Cols))
+	b = appendU32(b, uint32(len(f.Indices)))
+	for _, idx := range f.Indices {
+		b = appendU32(b, uint32(idx))
+	}
+	for _, v := range f.Rows {
+		b = appendF64(b, v)
+	}
+	return b
+}
+
+// DecodeFactorDelta parses a changed-rows factor update, validating the
+// row count against the payload and that the indices strictly ascend. The
+// receiver still has to bound the indices against its resident factor —
+// the frame does not carry the matrix shape.
+func DecodeFactorDelta(b []byte) (*FactorDelta, error) {
+	d := &dec{b: b}
+	f := &FactorDelta{
+		Mode: int(d.u8()),
+		Cols: int(d.u16()),
+	}
+	if d.err == nil && f.Cols < 1 {
+		d.fail("factor delta with no columns")
+	}
+	n := d.count(d.u32(), 4+8*f.Cols, "factor delta row")
+	f.Indices = make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		idx := int(d.u32())
+		if d.err == nil && len(f.Indices) > 0 && idx <= f.Indices[len(f.Indices)-1] {
+			d.fail(fmt.Sprintf("factor delta indices not ascending at %d", idx))
+		}
+		f.Indices = append(f.Indices, idx)
+	}
+	if d.err == nil {
+		f.Rows = make([]float64, n*f.Cols)
+		for i := range f.Rows {
+			f.Rows[i] = d.f64()
+		}
+	}
 	if err := d.done(); err != nil {
 		return nil, err
 	}

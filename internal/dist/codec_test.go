@@ -13,10 +13,13 @@ import (
 
 func testShard() *Shard {
 	s := &Shard{Mode: 1, Order: 3, RowLo: 4, RowHi: 9}
+	// Ascending mode-1 rows with repeats — the stable Perm order the
+	// row-grouped encoding requires.
+	rows := []uint32{4, 4, 5, 6, 6, 6, 8}
 	for i := 0; i < 7; i++ {
 		var e tensor.Entry
 		e.Idx[0] = uint32(i * 3)
-		e.Idx[1] = uint32(4 + i%5)
+		e.Idx[1] = rows[i]
 		e.Idx[2] = uint32(i)
 		e.Val = 0.5 + float64(i)
 		s.Entries = append(s.Entries, e)
@@ -46,6 +49,11 @@ func TestCodecRoundTrips(t *testing.T) {
 	f := &Factor{Mode: 2, M: denseOf(4, 3, 1)}
 	if got, err := DecodeFactor(EncodeFactor(f)); err != nil || !reflect.DeepEqual(got, f) {
 		t.Fatalf("factor round trip: got %+v, err %v", got, err)
+	}
+
+	fd := &FactorDelta{Mode: 1, Cols: 3, Indices: []int{0, 4, 17}, Rows: denseOf(3, 3, -2).Data}
+	if got, err := DecodeFactorDelta(EncodeFactorDelta(fd)); err != nil || !reflect.DeepEqual(got, fd) {
+		t.Fatalf("factor delta round trip: got %+v, err %v", got, err)
 	}
 
 	tasks := []*Task{
@@ -123,11 +131,12 @@ func TestCodecRejectsMalformedInput(t *testing.T) {
 	_, err = DecodeShard(corrupt)
 	wantDecodeError(t, "inflated count", err)
 
-	// An entry whose mode index falls outside [RowLo, RowHi).
-	bad := testShard()
-	bad.Entries[3].Idx[1] = 99
-	_, err = DecodeShard(EncodeShard(bad))
-	wantDecodeError(t, "out-of-range entry", err)
+	// A row-group delta that lands outside [RowLo, RowHi): offset 14 is the
+	// first group's row-delta varint (1 for row 4); 0x3F would mean row 66.
+	corrupt = append([]byte{}, full...)
+	corrupt[14] = 0x3F
+	_, err = DecodeShard(corrupt)
+	wantDecodeError(t, "out-of-range row group", err)
 
 	// Inverted task range and unknown kind.
 	_, err = DecodeTask(EncodeTask(&Task{ID: 1, Kind: TaskGram, BlockLo: 5, BlockHi: 2}))
@@ -141,11 +150,28 @@ func TestCodecRejectsMalformedInput(t *testing.T) {
 	_, err = DecodeTask(raw)
 	wantDecodeError(t, "presence byte", err)
 
-	// Hello with order beyond MaxOrder.
+	// Hello with order beyond MaxOrder (byte 3: version u16, flags u8, order).
 	h := EncodeHello(&Hello{Version: 1, Order: 3, Rank: 2, Dims: []int{2, 2, 2}})
-	h[2] = 200
+	h[3] = 200
 	_, err = DecodeHello(h)
 	wantDecodeError(t, "order", err)
+
+	// Factor deltas: non-ascending indices and an inflated row count.
+	fd := &FactorDelta{Mode: 1, Cols: 2, Indices: []int{3, 5, 9}, Rows: make([]float64, 6)}
+	dRaw := EncodeFactorDelta(fd)
+	swap := append([]byte{}, dRaw...)
+	copy(swap[7:11], swap[11:15]) // duplicate index 5 over index 3
+	_, err = DecodeFactorDelta(swap)
+	wantDecodeError(t, "non-ascending delta", err)
+	inflated := append([]byte{}, dRaw...)
+	inflated[4] = 0xFF // low bytes of the row count
+	_, err = DecodeFactorDelta(inflated)
+	wantDecodeError(t, "inflated delta count", err)
+	for cut := 0; cut < len(dRaw); cut++ {
+		if _, err := DecodeFactorDelta(dRaw[:cut]); err == nil {
+			t.Fatalf("delta truncation at %d accepted", cut)
+		}
+	}
 
 	// Frames: unknown type byte and oversized length.
 	_, _, err = ReadFrame(bytes.NewReader([]byte{0xEE, 0, 0, 0, 0}))
@@ -160,6 +186,7 @@ func FuzzDecode(f *testing.F) {
 	f.Add(uint8(MsgHello), EncodeHello(&Hello{Version: 1, Order: 3, Rank: 4, Dims: []int{5, 6, 7}, Worker: 1, Workers: 2}))
 	f.Add(uint8(MsgShard), EncodeShard(testShard()))
 	f.Add(uint8(MsgFactor), EncodeFactor(&Factor{Mode: 1, M: denseOf(3, 2, 0)}))
+	f.Add(uint8(MsgFactorDelta), EncodeFactorDelta(&FactorDelta{Mode: 0, Cols: 2, Indices: []int{1, 2}, Rows: []float64{1, 2, 3, 4}}))
 	f.Add(uint8(MsgTask), EncodeTask(&Task{ID: 3, Kind: TaskRowSolve, RowLo: 1, RowHi: 4, Pinv: denseOf(2, 2, 1)}))
 	f.Add(uint8(MsgTask), EncodeTask(&Task{ID: 4, Kind: TaskFitPartial, BlockLo: 0, BlockHi: 1, Lambda: []float64{1, 2}, MRows: denseOf(2, 2, 0)}))
 	f.Add(uint8(MsgResult), EncodeResult(&Result{ID: 3, Kind: TaskGram, Grams: []*la.Dense{denseOf(2, 2, 0)}}))
@@ -174,6 +201,8 @@ func FuzzDecode(f *testing.F) {
 			DecodeShard(b)
 		case MsgFactor:
 			DecodeFactor(b)
+		case MsgFactorDelta:
+			DecodeFactorDelta(b)
 		case MsgTask:
 			DecodeTask(b)
 		case MsgResult:

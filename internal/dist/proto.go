@@ -8,10 +8,12 @@
 // (DFacTo, SpDISTAL) that the distributed MTTKRP decomposes into a small
 // set of shippable stages. The coordinator partitions the tensor once per
 // mode with tensor.ModeIndex row partitioning, ships nonzero shards at
-// session start, broadcasts each updated factor per mode-iteration, and
-// reduces partial grams/MTTKRPs in a fixed order, so the factorization is
-// bitwise identical to the single-process cpals.Solve for every worker
-// count and every task placement (including after worker deaths):
+// session start, ships each updated factor per mode-iteration as a delta
+// of the rows that changed AND that the receiving worker's shards touch
+// (full matrices only at session start and on resync), and reduces partial
+// grams/MTTKRPs in a fixed order, so the factorization is bitwise
+// identical to the single-process cpals.Solve for every worker count and
+// every task placement (including after worker deaths):
 //
 //   - PartialMTTKRP output rows are disjoint between workers (the shards
 //     are cut at output-row boundaries), so "reduction" is assembly and
@@ -25,7 +27,9 @@
 // Failure handling: the coordinator pings every worker; a missed-heartbeat
 // timeout or any socket error marks the worker dead, and its outstanding
 // tasks are reassigned to survivors, re-sending the needed shard or
-// MTTKRP rows from the coordinator's resident copy. Dead workers never
+// MTTKRP rows from the coordinator's resident copy — and a full-factor
+// resync for any factor the substitute holds stale, never a delta against
+// state it was not sent. Dead workers never
 // rejoin a session. A chaos.FaultPlan can kill real worker processes at
 // stage boundaries, driving the same recovery path the simulator models.
 package dist
@@ -38,24 +42,27 @@ import (
 )
 
 // ProtocolVersion is bumped on any wire-format change. Hello carries it;
-// a mismatch aborts the handshake with a typed error.
-const ProtocolVersion = 1
+// a mismatch aborts the handshake with a typed error. Version 2 added
+// FactorDelta frames, the row-grouped varint shard encoding, and the Hello
+// flags byte.
+const ProtocolVersion = 2
 
 // MsgType identifies a protocol frame.
 type MsgType uint8
 
 // The protocol frame types. Coordinator-to-worker unless noted.
 const (
-	MsgHello    MsgType = iota + 1 // session config
-	MsgHelloAck                    // worker -> coordinator: handshake reply
-	MsgShard                       // one mode's nonzero shard for a row range
-	MsgFactor                      // full factor matrix broadcast
-	MsgTask                        // task descriptor
-	MsgResult                      // worker -> coordinator: task result
-	MsgPing                        // heartbeat probe
-	MsgPong                        // worker -> coordinator: heartbeat reply
-	MsgErr                         // worker -> coordinator: task failure
-	MsgShutdown                    // end of session
+	MsgHello       MsgType = iota + 1 // session config
+	MsgHelloAck                       // worker -> coordinator: handshake reply
+	MsgShard                          // one mode's nonzero shard for a row range
+	MsgFactor                         // full factor matrix broadcast
+	MsgTask                           // task descriptor
+	MsgResult                         // worker -> coordinator: task result
+	MsgPing                           // heartbeat probe
+	MsgPong                           // worker -> coordinator: heartbeat reply
+	MsgErr                            // worker -> coordinator: task failure
+	MsgShutdown                       // end of session
+	MsgFactorDelta                    // changed factor rows since the last send
 )
 
 func (t MsgType) String() string {
@@ -80,6 +87,8 @@ func (t MsgType) String() string {
 		return "err"
 	case MsgShutdown:
 		return "shutdown"
+	case MsgFactorDelta:
+		return "factor-delta"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(t))
 	}
@@ -120,10 +129,18 @@ func (k TaskKind) String() string {
 	}
 }
 
+// Hello flag bits (Hello.Flags).
+const (
+	// HelloUseCSF asks the worker to run PartialMTTKRP with the SPLATT
+	// CSF kernel on its shards instead of the per-nonzero COO loop.
+	HelloUseCSF uint8 = 1 << 0
+)
+
 // Hello is the session handshake: tensor shape, decomposition rank, and
 // the worker's identity within the session.
 type Hello struct {
 	Version uint16
+	Flags   uint8 // Hello* bits
 	Order   int
 	Rank    int   // decomposition rank R
 	Dims    []int // len Order
@@ -145,6 +162,19 @@ type Shard struct {
 type Factor struct {
 	Mode int
 	M    *la.Dense
+}
+
+// FactorDelta carries the factor rows of one mode that changed since the
+// coordinator's last send to this worker. Rows[i] (a length-Cols row)
+// replaces row Indices[i] of the resident factor; Indices are strictly
+// ascending. A delta is only ever sent against state the worker is known
+// to hold — a worker that never received the mode's full factor rejects
+// the frame as a protocol error.
+type FactorDelta struct {
+	Mode    int
+	Cols    int
+	Indices []int     // strictly ascending row indices
+	Rows    []float64 // len(Indices)*Cols, row-major
 }
 
 // Task is one task descriptor. Which fields are meaningful depends on

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 
 	"cstf/internal/chaos"
 	"cstf/internal/la"
+	"cstf/internal/par"
 	"cstf/internal/tensor"
 )
 
@@ -26,6 +28,22 @@ type Config struct {
 	// process kill for forked workers). Chaos-plan node crashes invoke it;
 	// a nil entry falls back to severing the connection.
 	Kills []func() error
+
+	// NoDelta disables delta factor broadcasts: every mode-iteration ships
+	// full factor matrices to every worker, the pre-v2 behavior. Kept for
+	// A/B benchmarking; results are bitwise identical either way.
+	NoDelta bool
+
+	// NoPipeline disables overlap between a mode's partial-gram reduce and
+	// the next mode's MTTKRP: every stage becomes a strict barrier. Kept
+	// for A/B benchmarking; results are bitwise identical either way.
+	NoPipeline bool
+
+	// UseCSF makes workers run PartialMTTKRP with the SPLATT CSF kernel on
+	// their shards. The run is then bitwise identical to the single-process
+	// CSF solver (cpals CSFKernel), NOT to the COO reference — the factored
+	// fiber arithmetic evaluates the same sums in a different order.
+	UseCSF bool
 
 	// DialTimeout bounds each worker dial (default 5s).
 	DialTimeout time.Duration
@@ -79,6 +97,31 @@ type Stats struct {
 	WorkerDeaths  int     // workers lost (timeout, socket error, or kill)
 	Reassignments int     // tasks re-dispatched after a worker death
 	ShardResends  int     // shards re-shipped to a substitute worker
+
+	// Communication-plan counters (payload bytes, excluding frame headers).
+	ShardBytes  int64 // nonzero shards shipped at session start + resends
+	FactorBytes int64 // factor state shipped: full broadcasts, deltas, resyncs
+	DeltaFrames int   // FactorDelta frames sent
+	DeltaRows   int64 // factor rows carried by those frames
+	Resyncs     int   // full-factor resyncs forced by task reassignment
+}
+
+// bitset is a fixed-size row set (touched-row bookkeeping).
+type bitset []uint64
+
+func newBitset(n int) bitset    { return make(bitset, (n+63)/64) }
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// outFrame is one queued write to a worker.
+type outFrame struct {
+	t       MsgType
+	payload []byte
 }
 
 // remote is the coordinator's view of one worker.
@@ -88,15 +131,31 @@ type remote struct {
 	conn  net.Conn
 	br    *bufio.Reader
 	bw    *bufio.Writer
-	wmu   sync.Mutex
 	alive atomic.Bool
 	// lastPong is the UnixNano of the latest heartbeat reply.
 	lastPong atomic.Int64
 	deadOnce sync.Once
 	kill     func() error
 
-	// Dispatch-goroutine-only bookkeeping (no locking needed).
+	// outbox feeds the per-worker writer goroutine: sends are queued and
+	// written asynchronously so a broadcast to worker k+1 overlaps the
+	// frames still draining to worker k. gone unblocks queued senders when
+	// the worker dies; wdone closes when the writer goroutine exits.
+	outbox chan outFrame
+	gone   chan struct{}
+	wdone  chan struct{}
+
+	// Solver-goroutine-only bookkeeping (no locking needed).
 	hasShard map[shardKey]bool
+	// touched[m] marks the factor-m rows this worker's resident work reads:
+	// rows referenced by its shards of the other modes plus its gram/fit
+	// block chunks. Frozen at session start; a death merges the dead
+	// worker's sets into its substitute's.
+	touched []bitset
+	// prev[m] is the factor-m state this worker was last sent (nil until
+	// the initial full broadcast). Deltas are computed against it, so a
+	// worker is never sent a delta against state it does not hold.
+	prev []*la.Dense
 }
 
 // resMsg is one reader-goroutine delivery to the dispatch loop.
@@ -108,7 +167,7 @@ type resMsg struct {
 
 // Session drives CP-ALS stages across a set of workers. All exported
 // methods are called from a single goroutine (the solver); internal
-// reader/heartbeat goroutines communicate through channels.
+// reader/writer/heartbeat goroutines communicate through channels.
 type Session struct {
 	cfg     Config
 	t       *tensor.COO
@@ -124,6 +183,8 @@ type Session struct {
 
 	stageSeq uint64
 	nextTask uint64
+	inflight []*stage
+	fatal    error
 	stats    Stats
 }
 
@@ -152,8 +213,9 @@ func (c *countingConn) Write(p []byte) (int, error) {
 }
 
 // NewSession dials every worker, performs the handshake, and starts the
-// reader and heartbeat goroutines. t is the coordinator's resident tensor
-// (the source of shards and re-sends); rank is the decomposition rank.
+// reader, writer, and heartbeat goroutines. t is the coordinator's
+// resident tensor (the source of shards and re-sends); rank is the
+// decomposition rank.
 func NewSession(t *tensor.COO, rank int, cfg Config) (*Session, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Addrs) == 0 {
@@ -166,7 +228,7 @@ func NewSession(t *tensor.COO, rank int, cfg Config) (*Session, error) {
 		cfg:     cfg,
 		t:       t,
 		rank:    rank,
-		resultc: make(chan resMsg, 4*len(cfg.Addrs)+16),
+		resultc: make(chan resMsg, 8*len(cfg.Addrs)+32),
 		deathc:  make(chan int, len(cfg.Addrs)),
 		closed:  make(chan struct{}),
 	}
@@ -181,6 +243,7 @@ func NewSession(t *tensor.COO, rank int, cfg Config) (*Session, error) {
 	}
 	for _, r := range s.remotes {
 		go s.readLoop(r)
+		go s.writeLoop(r)
 		go s.heartbeat(r)
 	}
 	return s, nil
@@ -198,6 +261,9 @@ func (s *Session) connect(slot int, addr string) (*remote, error) {
 		conn:     cc,
 		br:       bufio.NewReaderSize(cc, 1<<16),
 		bw:       bufio.NewWriterSize(cc, 1<<16),
+		outbox:   make(chan outFrame, 64),
+		gone:     make(chan struct{}),
+		wdone:    make(chan struct{}),
 		hasShard: map[shardKey]bool{},
 	}
 	if s.cfg.Kills != nil {
@@ -206,19 +272,29 @@ func (s *Session) connect(slot int, addr string) (*remote, error) {
 	r.alive.Store(true)
 	r.lastPong.Store(time.Now().UnixNano())
 
+	var flags uint8
+	if s.cfg.UseCSF {
+		flags |= HelloUseCSF
+	}
 	hello := &Hello{
 		Version: ProtocolVersion,
+		Flags:   flags,
 		Order:   s.t.Order(),
 		Rank:    s.rank,
 		Dims:    s.t.Dims,
 		Worker:  slot,
 		Workers: len(s.cfg.Addrs),
 	}
-	if err := s.send(r, MsgHello, EncodeHello(hello)); err != nil {
+	// The handshake is written and read synchronously, before the writer
+	// and reader goroutines start.
+	if err := WriteFrame(r.bw, MsgHello, EncodeHello(hello)); err != nil {
 		conn.Close()
 		return nil, err
 	}
-	// The handshake reply is read synchronously, before readLoop starts.
+	if err := r.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
 	conn.SetReadDeadline(time.Now().Add(s.cfg.DialTimeout))
 	mt, payload, err := ReadFrame(r.br)
 	conn.SetReadDeadline(time.Time{})
@@ -251,22 +327,90 @@ func (s *Session) connect(slot int, addr string) (*remote, error) {
 	return r, nil
 }
 
-// send serializes one frame to a worker under its write mutex.
-func (s *Session) send(r *remote, t MsgType, payload []byte) error {
-	r.wmu.Lock()
-	defer r.wmu.Unlock()
-	if err := WriteFrame(r.bw, t, payload); err != nil {
-		return err
+// enqueue queues one frame for a worker's writer goroutine. It blocks only
+// when the queue is full and the worker is draining; it fails fast when the
+// worker is dead or the session is closing.
+func (s *Session) enqueue(r *remote, t MsgType, payload []byte) error {
+	if !r.alive.Load() {
+		return fmt.Errorf("dist: worker %d is down", r.slot)
 	}
-	return r.bw.Flush()
+	select {
+	case r.outbox <- outFrame{t: t, payload: payload}:
+		return nil
+	case <-r.gone:
+		return fmt.Errorf("dist: worker %d is down", r.slot)
+	case <-s.closed:
+		return fmt.Errorf("dist: session closed")
+	}
+}
+
+// writeLoop drains one worker's outbox onto its socket, batching flushes.
+// On session close it drains what is queued and appends a Shutdown frame.
+func (s *Session) writeLoop(r *remote) {
+	defer close(r.wdone)
+	write := func(f outFrame) bool {
+		if err := WriteFrame(r.bw, f.t, f.payload); err != nil {
+			s.markDead(r, fmt.Sprintf("write: %v", err))
+			return false
+		}
+		return true
+	}
+	flush := func() bool {
+		if err := r.bw.Flush(); err != nil {
+			s.markDead(r, fmt.Sprintf("flush: %v", err))
+			return false
+		}
+		return true
+	}
+	for {
+		select {
+		case f := <-r.outbox:
+			if !write(f) {
+				return
+			}
+			// Batch whatever else is queued before paying for a flush.
+			for drained := false; !drained; {
+				select {
+				case f := <-r.outbox:
+					if !write(f) {
+						return
+					}
+				default:
+					drained = true
+				}
+			}
+			if !flush() {
+				return
+			}
+		case <-r.gone:
+			return
+		case <-s.closed:
+			for drained := false; !drained; {
+				select {
+				case f := <-r.outbox:
+					if !write(f) {
+						return
+					}
+				default:
+					drained = true
+				}
+			}
+			if write(outFrame{t: MsgShutdown}) {
+				flush()
+			}
+			return
+		}
+	}
 }
 
 // markDead declares a worker lost exactly once: the connection is closed
-// (unblocking its reader) and the death is queued for the dispatch loop.
+// (unblocking its reader and any in-flight write), queued senders are
+// released, and the death is queued for the dispatch loop.
 func (s *Session) markDead(r *remote, reason string) {
 	r.deadOnce.Do(func() {
 		r.alive.Store(false)
 		r.conn.Close()
+		close(r.gone)
 		s.logf("dist: worker %d (%s) lost: %s", r.slot, r.addr, reason)
 		select {
 		case s.deathc <- r.slot:
@@ -332,9 +476,15 @@ func (s *Session) heartbeat(r *remote) {
 			return
 		}
 		seq++
-		if err := s.send(r, MsgPing, EncodeSeq(seq)); err != nil {
-			s.markDead(r, fmt.Sprintf("ping: %v", err))
+		// Non-blocking: when the outbox is saturated with bulk frames the
+		// connection is demonstrably draining, so skip the probe (and the
+		// timeout check, which would be measuring our own backlog).
+		select {
+		case r.outbox <- outFrame{t: MsgPing, payload: EncodeSeq(seq)}:
+		case <-r.gone:
 			return
+		default:
+			continue
 		}
 		silent := time.Since(time.Unix(0, r.lastPong.Load()))
 		if silent > s.cfg.HeartbeatTimeout {
@@ -378,8 +528,9 @@ func (s *Session) Stats() Stats {
 	return st
 }
 
-// Close shuts the session down: live workers get a Shutdown frame, every
-// connection is closed, and background goroutines stop.
+// Close shuts the session down: writer goroutines drain and append a
+// Shutdown frame to live workers, every connection is closed, and
+// background goroutines stop.
 func (s *Session) Close() {
 	select {
 	case <-s.closed:
@@ -387,48 +538,214 @@ func (s *Session) Close() {
 	default:
 	}
 	close(s.closed)
+	deadline := time.After(250 * time.Millisecond)
 	for _, r := range s.remotes {
 		if r == nil {
 			continue
 		}
 		if r.alive.Load() {
-			s.send(r, MsgShutdown, nil)
+			select {
+			case <-r.wdone:
+			case <-deadline:
+			}
 		}
 		r.conn.Close()
 	}
 }
 
-// broadcast sends one frame to every live worker. Send failures mark the
-// worker dead; the next stage reassigns its work.
-func (s *Session) broadcast(t MsgType, payload []byte) {
+// --- communication plan ---
+
+// InitComms freezes the session's communication plan from the per-mode
+// shard partition: for every worker and mode, the set of factor rows its
+// resident work reads — rows referenced by its shards of the OTHER modes
+// (MTTKRP inputs) plus the rows of its gram/fit block chunk. Subsequent
+// FactorUpdate calls ship only touched rows that changed. No-op when
+// delta broadcasting is disabled.
+func (s *Session) InitComms(ranges [][]tensor.NNZRange) {
+	if s.cfg.NoDelta {
+		return
+	}
+	order := s.t.Order()
+	W := len(s.remotes)
 	for _, r := range s.remotes {
-		if !r.alive.Load() {
-			continue
+		r.touched = make([]bitset, order)
+		for m := range r.touched {
+			r.touched[m] = newBitset(s.t.Dims[m])
 		}
-		if err := s.send(r, t, payload); err != nil {
-			s.markDead(r, fmt.Sprintf("broadcast: %v", err))
+		r.prev = make([]*la.Dense, order)
+	}
+	for mm := 0; mm < order; mm++ {
+		mi := s.t.ModeIndex(mm)
+		for k := range ranges[mm] {
+			rg := ranges[mm][k]
+			r := s.remotes[k]
+			for p := rg.Lo; p < rg.Hi; p++ {
+				e := &s.t.Entries[mi.Perm[p]]
+				for m := 0; m < order; m++ {
+					if m != mm {
+						r.touched[m].set(int(e.Idx[m]))
+					}
+				}
+			}
+		}
+	}
+	for m := 0; m < order; m++ {
+		nb := par.NumBlocks(s.t.Dims[m])
+		if !distributeBlocks(nb, W) {
+			continue // gram/fit for this mode run on the coordinator
+		}
+		for k := 0; k < W; k++ {
+			lo, hi := blockChunk(k, nb, W)
+			rlo, rhi := lo*par.BlockSize, hi*par.BlockSize
+			if rhi > s.t.Dims[m] {
+				rhi = s.t.Dims[m]
+			}
+			for i := rlo; i < rhi; i++ {
+				s.remotes[k].touched[m].set(i)
+			}
 		}
 	}
 }
 
-// BroadcastFactor ships a full factor matrix to every live worker.
-func (s *Session) BroadcastFactor(mode int, m *la.Dense) {
-	s.broadcast(MsgFactor, EncodeFactor(&Factor{Mode: mode, M: m}))
+// rowBitsEqual compares two rows bit for bit (Float64bits, so NaN payloads
+// and signed zeros are compared exactly).
+func rowBitsEqual(a, b []float64) bool {
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
 }
+
+// FactorUpdate ships the new state of factor `mode` to every live worker:
+// the full matrix when delta broadcasting is off or the worker holds no
+// prior state, otherwise only its touched rows whose bits changed since
+// the last send (falling back to the full matrix when the delta would not
+// be smaller). Enqueue-only — the per-worker writers overlap the actual
+// socket traffic with whatever the coordinator does next.
+func (s *Session) FactorUpdate(mode int, m *la.Dense) {
+	var full []byte // lazily encoded once, shared across workers
+	encodeFull := func() []byte {
+		if full == nil {
+			full = EncodeFactor(&Factor{Mode: mode, M: m})
+		}
+		return full
+	}
+	for _, r := range s.remotes {
+		if !r.alive.Load() {
+			continue
+		}
+		if s.cfg.NoDelta || r.prev == nil {
+			if s.enqueue(r, MsgFactor, encodeFull()) == nil {
+				s.stats.FactorBytes += int64(len(full))
+			}
+			continue
+		}
+		if r.prev[mode] == nil {
+			if s.enqueue(r, MsgFactor, encodeFull()) == nil {
+				s.stats.FactorBytes += int64(len(full))
+				r.prev[mode] = m.Clone()
+			}
+			continue
+		}
+		prev := r.prev[mode]
+		tb := r.touched[mode]
+		var idxs []int
+		for i := 0; i < m.Rows; i++ {
+			if tb.get(i) && !rowBitsEqual(prev.Row(i), m.Row(i)) {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) == 0 {
+			continue
+		}
+		if len(idxs)*(4+8*m.Cols) >= m.Rows*8*m.Cols {
+			if s.enqueue(r, MsgFactor, encodeFull()) == nil {
+				s.stats.FactorBytes += int64(len(full))
+				r.prev[mode] = m.Clone()
+			}
+			continue
+		}
+		fd := &FactorDelta{Mode: mode, Cols: m.Cols, Indices: idxs,
+			Rows: make([]float64, 0, len(idxs)*m.Cols)}
+		for _, i := range idxs {
+			fd.Rows = append(fd.Rows, m.Row(i)...)
+		}
+		payload := EncodeFactorDelta(fd)
+		if s.enqueue(r, MsgFactorDelta, payload) == nil {
+			s.stats.DeltaFrames++
+			s.stats.DeltaRows += int64(len(idxs))
+			s.stats.FactorBytes += int64(len(payload))
+			for _, i := range idxs {
+				copy(prev.Row(i), m.Row(i))
+			}
+		}
+	}
+}
+
+// ensureCurrent guarantees a worker holds the current bits of factor
+// `mode` before a task that reads it lands somewhere other than its home:
+// a full-factor resync unless the worker is already current on every row
+// of its touched set (the invariant delta broadcasts maintain; a task's
+// read rows are always inside the set, because a death merges the dead
+// worker's sets into the substitute before its tasks are re-dispatched).
+// Deltas are never used here — a substitute may hold stale rows from
+// before its sets were widened, and the contract is that a delta is only
+// sent against state the worker is known to hold.
+func (s *Session) ensureCurrent(r *remote, mode int, m *la.Dense) error {
+	if s.cfg.NoDelta {
+		return nil // every live worker already got the full broadcast
+	}
+	if prev := r.prev[mode]; prev != nil && prev.Rows == m.Rows && prev.Cols == m.Cols {
+		tb := r.touched[mode]
+		current := true
+		for i := 0; i < m.Rows; i++ {
+			if tb.get(i) && !rowBitsEqual(prev.Row(i), m.Row(i)) {
+				current = false
+				break
+			}
+		}
+		if current {
+			return nil
+		}
+	}
+	payload := EncodeFactor(&Factor{Mode: mode, M: m})
+	if err := s.enqueue(r, MsgFactor, payload); err != nil {
+		return err
+	}
+	s.stats.FactorBytes += int64(len(payload))
+	s.stats.Resyncs++
+	r.prev[mode] = m.Clone()
+	return nil
+}
+
+// --- stages ---
 
 // stageTask is one task of a fan-out round plus its scheduling state.
 type stageTask struct {
 	task *Task
 	home int // preferred worker slot (the one holding the resident state)
 	// prep readies a target worker for the task: re-sending a missing
-	// shard, attaching MTTKRP rows for a substitute, etc. Called before
-	// every (re)dispatch with the chosen target.
+	// shard, resyncing a stale factor, attaching MTTKRP rows for a
+	// substitute, etc. Called before every (re)dispatch with the chosen
+	// target.
 	prep func(r *remote, t *Task) error
 	// onResult consumes the (first) result.
 	onResult func(res *Result) error
 
 	assigned int
 	done     bool
+}
+
+// stage is one in-flight fan-out round. Several stages may be in flight at
+// once (pipelining); the event pump routes results to the right one by
+// task ID and reassigns the tasks of dead workers across all of them.
+type stage struct {
+	seq       uint64
+	tasks     []*stageTask
+	byID      map[uint64]*stageTask
+	remaining int
 }
 
 // pick returns the live worker for a task: its home slot when alive, else
@@ -456,26 +773,27 @@ func (s *Session) dispatch(st *stageTask) error {
 		if st.prep != nil {
 			if err := st.prep(r, &t); err != nil {
 				if !r.alive.Load() {
-					continue // prep's send killed the worker; try the next one
+					continue // prep's send hit a dead worker; try the next one
 				}
 				return err
 			}
 		}
-		if err := s.send(r, MsgTask, EncodeTask(&t)); err != nil {
-			s.markDead(r, fmt.Sprintf("task send: %v", err))
-			continue
+		if err := s.enqueue(r, MsgTask, EncodeTask(&t)); err != nil {
+			if !r.alive.Load() {
+				continue
+			}
+			return err
 		}
 		s.stats.Tasks++
 		return nil
 	}
 }
 
-// RunStage executes one fan-out round: chaos kills due at this stage fire
-// first, every task is dispatched to its home worker (or a live
-// substitute), and results are gathered, reassigning the tasks of any
-// worker that dies mid-flight. Results may arrive in any order; callers
-// apply them in a fixed order after the barrier.
-func (s *Session) runStage(tasks []*stageTask) error {
+// beginStage starts one fan-out round WITHOUT waiting for it: chaos kills
+// due at this stage fire first, pending deaths are consumed, and every
+// task is queued to its home worker (or a live substitute). The stage
+// completes inside awaitStage — possibly after later stages have begun.
+func (s *Session) beginStage(tasks []*stageTask) *stage {
 	s.stageSeq++
 	s.stats.Stages++
 	if s.cfg.Plan != nil {
@@ -485,74 +803,138 @@ func (s *Session) runStage(tasks []*stageTask) error {
 			s.KillWorker(node)
 		}
 	}
-	// Deaths that happened between stages (broadcast failures, heartbeat
-	// timeouts) are consumed here; dispatch below already avoids them.
-	for {
-		select {
-		case <-s.deathc:
-			s.stats.WorkerDeaths++
-			continue
-		default:
-		}
-		break
-	}
+	s.drainDeaths()
 
-	byID := make(map[uint64]*stageTask, len(tasks))
+	stg := &stage{
+		seq:       s.stageSeq,
+		tasks:     tasks,
+		byID:      make(map[uint64]*stageTask, len(tasks)),
+		remaining: len(tasks),
+	}
 	for _, st := range tasks {
 		s.nextTask++
 		st.task.ID = s.nextTask
 		st.assigned = st.home
-		byID[st.task.ID] = st
+		stg.byID[st.task.ID] = st
 	}
+	s.inflight = append(s.inflight, stg)
 	for _, st := range tasks {
 		if err := s.dispatch(st); err != nil {
-			return err
+			s.setFatal(err)
+			break
 		}
 	}
 	if s.cfg.AfterDispatch != nil {
-		s.cfg.AfterDispatch(s.stageSeq)
+		s.cfg.AfterDispatch(stg.seq)
 	}
+	return stg
+}
 
-	remaining := len(tasks)
-	for remaining > 0 {
+// awaitStage pumps events until the stage completes: results may arrive
+// in any order and from any in-flight stage; deaths reassign tasks across
+// all in-flight stages. Callers apply results in a fixed order after the
+// await, so completion order never affects the arithmetic.
+func (s *Session) awaitStage(stg *stage) error {
+	for stg.remaining > 0 && s.fatal == nil {
 		select {
 		case slot := <-s.deathc:
-			s.stats.WorkerDeaths++
-			for _, st := range tasks {
-				if st.done || st.assigned != slot {
-					continue
-				}
-				s.stats.Reassignments++
-				// Restart the scan one past the dead slot so the
-				// substitute choice is deterministic.
-				st.assigned = (slot + 1) % len(s.remotes)
-				if err := s.dispatch(st); err != nil {
-					return err
-				}
-			}
+			s.handleDeath(slot)
 		case m := <-s.resultc:
-			if m.rerr != nil {
-				return m.rerr
-			}
-			st := byID[m.res.ID]
-			if st == nil || st.done {
-				continue // duplicate after a reassignment race; identical bits either way
-			}
-			if m.slot != st.assigned {
-				continue // stale result from a slot whose task was reassigned
-			}
-			st.done = true
-			remaining--
-			if st.onResult != nil {
-				if err := st.onResult(m.res); err != nil {
-					return err
-				}
-			}
+			s.handleResult(m)
 		case <-s.closed:
-			return fmt.Errorf("dist: session closed during stage %d", s.stageSeq)
+			s.setFatal(fmt.Errorf("dist: session closed during stage %d", stg.seq))
 		}
 	}
-	return nil
+	for i, f := range s.inflight {
+		if f == stg {
+			s.inflight = append(s.inflight[:i], s.inflight[i+1:]...)
+			break
+		}
+	}
+	return s.fatal
+}
+
+// runStage is the barrier form: begin and immediately await.
+func (s *Session) runStage(tasks []*stageTask) error {
+	return s.awaitStage(s.beginStage(tasks))
+}
+
+func (s *Session) setFatal(err error) {
+	if s.fatal == nil {
+		s.fatal = err
+	}
+}
+
+// drainDeaths consumes deaths that occurred while no stage was waiting
+// (broadcast failures, heartbeat timeouts between stages).
+func (s *Session) drainDeaths() {
+	for {
+		select {
+		case slot := <-s.deathc:
+			s.handleDeath(slot)
+		default:
+			return
+		}
+	}
+}
+
+// handleDeath processes one worker death: its touched-row sets merge into
+// its deterministic substitute (so future deltas keep the substitute
+// current for the inherited work), and its unfinished tasks across every
+// in-flight stage are re-dispatched starting one past the dead slot.
+func (s *Session) handleDeath(slot int) {
+	s.stats.WorkerDeaths++
+	dead := s.remotes[slot]
+	if dead.touched != nil {
+		if sub := s.pick((slot + 1) % len(s.remotes)); sub != nil && sub.touched != nil {
+			for m := range sub.touched {
+				sub.touched[m].or(dead.touched[m])
+			}
+		}
+	}
+	for _, stg := range s.inflight {
+		for _, st := range stg.tasks {
+			if st.done || st.assigned != slot {
+				continue
+			}
+			s.stats.Reassignments++
+			// Restart the scan one past the dead slot so the substitute
+			// choice is deterministic.
+			st.assigned = (slot + 1) % len(s.remotes)
+			if err := s.dispatch(st); err != nil {
+				s.setFatal(err)
+				return
+			}
+		}
+	}
+}
+
+// handleResult routes one worker result to its in-flight task.
+func (s *Session) handleResult(m resMsg) {
+	if m.rerr != nil {
+		s.setFatal(m.rerr)
+		return
+	}
+	for _, stg := range s.inflight {
+		st, ok := stg.byID[m.res.ID]
+		if !ok {
+			continue
+		}
+		if st.done {
+			return // duplicate after a reassignment race; identical bits either way
+		}
+		if m.slot != st.assigned {
+			return // stale result from a slot whose task was reassigned
+		}
+		st.done = true
+		stg.remaining--
+		if st.onResult != nil {
+			if err := st.onResult(m.res); err != nil {
+				s.setFatal(err)
+			}
+		}
+		return
+	}
 }
 
 // buildShard materializes one (mode, range) shard from the coordinator's
@@ -578,10 +960,11 @@ func (s *Session) sendShard(r *remote, sh *Shard) error {
 	if r.hasShard[key] {
 		return nil
 	}
-	if err := s.send(r, MsgShard, EncodeShard(sh)); err != nil {
-		s.markDead(r, fmt.Sprintf("shard send: %v", err))
+	payload := EncodeShard(sh)
+	if err := s.enqueue(r, MsgShard, payload); err != nil {
 		return err
 	}
+	s.stats.ShardBytes += int64(len(payload))
 	r.hasShard[key] = true
 	return nil
 }

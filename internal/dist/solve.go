@@ -15,7 +15,9 @@ import (
 // mirrors cpals.Solve stage for stage — same initialization, same update
 // order, same reduction trees — so the returned factorization is bitwise
 // identical to the single-process solver for every worker count and every
-// task placement, including placements forced by worker deaths.
+// task placement, including placements forced by worker deaths. (With
+// Config.UseCSF the reference is the single-process CSF solver — cpals
+// Options.CSFKernel — not the COO one; see the Config docs.)
 //
 // The returned Stats are real measurements (wall clock, bytes on sockets),
 // populated even when the solve fails partway.
@@ -47,6 +49,15 @@ func blockChunk(k, nb, parts int) (lo, hi int) {
 	return k * nb / parts, (k + 1) * nb / parts
 }
 
+// The coordinator loop. Stages are BEGUN in the exact sequence the
+// pre-pipelined runtime used — per mode: MTTKRP, row solve, gram; fit
+// last — so chaos-plan stage numbers mean the same thing. What overlaps
+// is the waiting: mode n's partial-gram reduce is awaited only after mode
+// n+1's MTTKRP has been begun (and the iteration's fit is begun before
+// the last gram is awaited), so the gram round trips hide behind the most
+// expensive stage instead of adding to it. Results are applied in fixed
+// block order after each await, so completion order never touches the
+// arithmetic and the bitwise guarantee is preserved.
 func (s *Session) solve(opts cpals.Options) (*cpals.Result, error) {
 	t := s.t
 	order := t.Order()
@@ -60,6 +71,10 @@ func (s *Session) solve(opts cpals.Options) (*cpals.Result, error) {
 	for m := 0; m < order; m++ {
 		ranges[m] = t.ModeIndex(m).Ranges(W)
 	}
+
+	// Freeze the communication plan: which factor rows each worker's
+	// resident work reads, hence what each delta broadcast must carry.
+	s.InitComms(ranges)
 
 	// Ship each worker its shards: range k of every mode lives on slot k.
 	// A failed send marks the worker dead; the MTTKRP prep hook re-ships
@@ -76,6 +91,8 @@ func (s *Session) solve(opts cpals.Options) (*cpals.Result, error) {
 
 	// Deterministic initialization + initial grams, exactly as the serial
 	// solver computes them (elementwise init; block-ordered gram sums).
+	// The first FactorUpdate per mode is always a full broadcast — it also
+	// seeds the per-worker last-sent snapshots deltas diff against.
 	factors := make([]*la.Dense, order)
 	grams := make([]*la.Dense, order)
 	for n := 0; n < order; n++ {
@@ -85,7 +102,7 @@ func (s *Session) solve(opts cpals.Options) (*cpals.Result, error) {
 			factors[n] = cpals.InitFactor(opts.Seed, n, t.Dims[n], rank)
 		}
 		grams[n] = la.GramParallel(factors[n], w)
-		s.BroadcastFactor(n, factors[n])
+		s.FactorUpdate(n, factors[n])
 	}
 
 	normX := t.Norm()
@@ -94,12 +111,32 @@ func (s *Session) solve(opts cpals.Options) (*cpals.Result, error) {
 	lambda := la.VecClone(opts.InitLambda)
 	var lastM *la.Dense
 
+	// The in-flight gram reduce, when pipelining is on.
+	var pendingGram *gramRun
+	pendingMode := -1
+	awaitPending := func() error {
+		if pendingGram == nil {
+			return nil
+		}
+		g, err := s.awaitGram(pendingGram)
+		if err != nil {
+			return err
+		}
+		grams[pendingMode] = g
+		pendingGram = nil
+		return nil
+	}
+
 	for it := opts.StartIter; it < opts.MaxIters; it++ {
 		if err := opts.Interrupted(); err != nil {
 			return nil, err
 		}
 		for n := 0; n < order; n++ {
-			m, computedBy, err := s.mttkrpStage(n, ranges[n], rank)
+			mtt := s.beginMTTKRP(n, ranges[n], rank, factors)
+			if err := awaitPending(); err != nil {
+				return nil, err
+			}
+			m, computedBy, err := s.awaitMTTKRP(mtt)
 			if err != nil {
 				return nil, err
 			}
@@ -108,16 +145,23 @@ func (s *Session) solve(opts cpals.Options) (*cpals.Result, error) {
 				return nil, err
 			}
 			lambda = la.NormalizeColumnsParallel(factors[n], w)
-			s.BroadcastFactor(n, factors[n])
-			g, err := s.gramStage(n, factors[n], rank, W)
-			if err != nil {
-				return nil, err
+			s.FactorUpdate(n, factors[n])
+			pg := s.beginGram(n, factors[n], rank, W, w)
+			if s.cfg.NoPipeline {
+				if grams[n], err = s.awaitGram(pg); err != nil {
+					return nil, err
+				}
+			} else {
+				pendingGram, pendingMode = pg, n
 			}
-			grams[n] = g
 			lastM = m
 		}
 		res.Iters = it + 1
-		inner, err := s.fitStage(order-1, lastM, lambda, W)
+		fr := s.beginFit(order-1, lastM, lambda, W, w, factors)
+		if err := awaitPending(); err != nil {
+			return nil, err
+		}
+		inner, err := s.awaitFit(fr)
 		if err != nil {
 			return nil, err
 		}
@@ -141,21 +185,39 @@ func (s *Session) solve(opts cpals.Options) (*cpals.Result, error) {
 	return res, nil
 }
 
-// mttkrpStage computes the full mode-n MTTKRP across the workers. Output
+// mttkrpRun is an in-flight MTTKRP stage.
+type mttkrpRun struct {
+	stg   *stage
+	mode  int
+	m     *la.Dense
+	tasks []*stageTask
+}
+
+// beginMTTKRP starts the full mode-n MTTKRP across the workers. Output
 // rows are disjoint between tasks, so assembling the partial results is
 // pure placement — no floating-point reduction — and each row's bits match
-// the shared-memory kernel. Returns the assembled matrix and, per range,
-// the slot that computed it (its rows are resident there for the row
-// solve).
-func (s *Session) mttkrpStage(n int, rgs []tensor.NNZRange, rank int) (*la.Dense, []int, error) {
-	m := la.NewDense(s.t.Dims[n], rank)
-	tasks := make([]*stageTask, len(rgs))
+// the shared-memory kernel. A task that lands off its home slot gets its
+// shard re-shipped and every input factor resynced as needed.
+func (s *Session) beginMTTKRP(n int, rgs []tensor.NNZRange, rank int, factors []*la.Dense) *mttkrpRun {
+	run := &mttkrpRun{mode: n, m: la.NewDense(s.t.Dims[n], rank)}
+	run.tasks = make([]*stageTask, len(rgs))
 	for k, rg := range rgs {
-		rg := rg
-		st := &stageTask{
+		rg, k := rg, k
+		run.tasks[k] = &stageTask{
 			task: &Task{Kind: TaskPartialMTTKRP, Mode: n, RowLo: rg.RowLo, RowHi: rg.RowHi},
 			home: k,
 			prep: func(r *remote, _ *Task) error {
+				if r.slot != k {
+					// The MTTKRP inputs are every factor but mode n.
+					for m := range factors {
+						if m == n {
+							continue
+						}
+						if err := s.ensureCurrent(r, m, factors[m]); err != nil {
+							return err
+						}
+					}
+				}
 				if r.hasShard[shardKey{n, rg.RowLo, rg.RowHi}] {
 					return nil
 				}
@@ -166,20 +228,27 @@ func (s *Session) mttkrpStage(n int, rgs []tensor.NNZRange, rank int) (*la.Dense
 				if res.Rows == nil || res.Rows.Rows != rg.RowHi-rg.RowLo || res.Rows.Cols != rank {
 					return fmt.Errorf("dist: mttkrp mode %d rows [%d,%d): malformed result", n, rg.RowLo, rg.RowHi)
 				}
-				copy(m.Data[rg.RowLo*rank:rg.RowHi*rank], res.Rows.Data)
+				copy(run.m.Data[rg.RowLo*rank:rg.RowHi*rank], res.Rows.Data)
 				return nil
 			},
 		}
-		tasks[k] = st
 	}
-	if err := s.runStage(tasks); err != nil {
+	run.stg = s.beginStage(run.tasks)
+	return run
+}
+
+// awaitMTTKRP completes an MTTKRP stage, returning the assembled matrix
+// and, per range, the slot that computed it (its rows are resident there
+// for the row solve).
+func (s *Session) awaitMTTKRP(run *mttkrpRun) (*la.Dense, []int, error) {
+	if err := s.awaitStage(run.stg); err != nil {
 		return nil, nil, err
 	}
-	computedBy := make([]int, len(rgs))
-	for k, st := range tasks {
+	computedBy := make([]int, len(run.tasks))
+	for k, st := range run.tasks {
 		computedBy[k] = st.assigned
 	}
-	return m, computedBy, nil
+	return run.m, computedBy, nil
 }
 
 // rowSolveStage computes a_i = m_i * pinv for every factor row. Each task
@@ -225,14 +294,40 @@ func (s *Session) rowSolveStage(n int, rgs []tensor.NNZRange, pinv, m *la.Dense,
 	return nil
 }
 
-// gramStage computes grams[n] = A^T A as per-block partials on the workers,
-// summed by the coordinator in ascending global block order — the identical
-// summation tree la.GramParallel uses, hence identical bits.
-func (s *Session) gramStage(n int, a *la.Dense, rank, W int) (*la.Dense, error) {
+// gramRun is an in-flight gram stage.
+type gramRun struct {
+	stg      *stage
+	mode     int
+	rank     int
+	partials []*la.Dense
+	local    *la.Dense // set when the gram was computed on the coordinator
+}
+
+// distributeBlocks reports whether a mode with nb par blocks is worth
+// distributing over W workers. Below one block per worker the chunks can't
+// engage the fleet, and shipping the stage to a subset would force full
+// factor currency on those workers — defeating delta broadcasts. Such
+// modes are computed on the coordinator instead; both paths use the same
+// block-ordered summation, so the result is bitwise identical either way.
+func distributeBlocks(nb, W int) bool { return nb >= W }
+
+// beginGram starts grams[n] = A^T A as per-block partials on the workers.
+// awaitGram sums them in ascending global block order — the identical
+// summation tree la.GramParallel uses, hence identical bits regardless of
+// completion order. Modes too small to spread across the fleet (see
+// distributeBlocks) are computed locally; the stage slot is still burned
+// so chaos-plan stage numbers keep their meaning.
+func (s *Session) beginGram(n int, a *la.Dense, rank, W, w int) *gramRun {
 	nb := par.NumBlocks(a.Rows)
-	partials := make([]*la.Dense, nb)
+	run := &gramRun{mode: n, rank: rank, partials: make([]*la.Dense, nb)}
+	if !distributeBlocks(nb, W) {
+		run.local = la.GramParallel(a, w)
+		run.stg = s.beginStage(nil)
+		return run
+	}
 	var tasks []*stageTask
 	for k := 0; k < W; k++ {
+		k := k
 		lo, hi := blockChunk(k, nb, W)
 		if lo >= hi {
 			continue
@@ -240,6 +335,12 @@ func (s *Session) gramStage(n int, a *la.Dense, rank, W int) (*la.Dense, error) 
 		tasks = append(tasks, &stageTask{
 			task: &Task{Kind: TaskGram, Mode: n, BlockLo: lo, BlockHi: hi},
 			home: k,
+			prep: func(r *remote, _ *Task) error {
+				if r.slot != k {
+					return s.ensureCurrent(r, n, a)
+				}
+				return nil
+			},
 			onResult: func(res *Result) error {
 				if len(res.Grams) != hi-lo {
 					return fmt.Errorf("dist: gram mode %d blocks [%d,%d): got %d partials", n, lo, hi, len(res.Grams))
@@ -248,17 +349,25 @@ func (s *Session) gramStage(n int, a *la.Dense, rank, W int) (*la.Dense, error) 
 					if g == nil || g.Rows != rank || g.Cols != rank {
 						return fmt.Errorf("dist: gram mode %d block %d: malformed partial", n, lo+i)
 					}
-					partials[lo+i] = g
+					run.partials[lo+i] = g
 				}
 				return nil
 			},
 		})
 	}
-	if err := s.runStage(tasks); err != nil {
+	run.stg = s.beginStage(tasks)
+	return run
+}
+
+func (s *Session) awaitGram(run *gramRun) (*la.Dense, error) {
+	if err := s.awaitStage(run.stg); err != nil {
 		return nil, err
 	}
-	g := la.NewDense(rank, rank)
-	for _, p := range partials {
+	if run.local != nil {
+		return run.local, nil
+	}
+	g := la.NewDense(run.rank, run.rank)
+	for _, p := range run.partials {
 		for i, v := range p.Data {
 			g.Data[i] += v
 		}
@@ -266,14 +375,42 @@ func (s *Session) gramStage(n int, a *la.Dense, rank, W int) (*la.Dense, error) 
 	return g, nil
 }
 
-// fitStage computes <X, X_hat> as per-block partials on the workers over
-// the last mode's MTTKRP rows, summed in ascending block order — the
-// summation tree of par.SumBlocks, hence bitwise equal to FitFromWorkers.
-func (s *Session) fitStage(lastMode int, lastM *la.Dense, lambda []float64, W int) (float64, error) {
+// fitRun is an in-flight fit stage.
+type fitRun struct {
+	stg      *stage
+	partials []float64
+	local    bool // inner product was computed on the coordinator
+	inner    float64
+}
+
+// beginFit starts <X, X_hat> as per-block partials on the workers over the
+// last mode's MTTKRP rows; awaitFit sums them in ascending block order —
+// the summation tree of par.SumBlocks, hence bitwise equal to
+// FitFromWorkers. Like beginGram, a last mode too small to spread across
+// the fleet is computed locally behind an empty (numbered) stage.
+func (s *Session) beginFit(lastMode int, lastM *la.Dense, lambda []float64, W, w int, factors []*la.Dense) *fitRun {
 	nb := par.NumBlocks(lastM.Rows)
-	partials := make([]float64, nb)
+	run := &fitRun{partials: make([]float64, nb)}
+	if !distributeBlocks(nb, W) {
+		f := factors[lastMode]
+		run.local = true
+		run.inner = par.SumBlocks(w, lastM.Rows, func(lo, hi int) float64 {
+			var sum float64
+			for i := lo; i < hi; i++ {
+				mrow := lastM.Row(i)
+				arow := f.Row(i)
+				for r := range mrow {
+					sum += mrow[r] * arow[r] * lambda[r]
+				}
+			}
+			return sum
+		})
+		run.stg = s.beginStage(nil)
+		return run
+	}
 	var tasks []*stageTask
 	for k := 0; k < W; k++ {
+		k := k
 		lo, hi := blockChunk(k, nb, W)
 		if lo >= hi {
 			continue
@@ -288,20 +425,34 @@ func (s *Session) fitStage(lastMode int, lastM *la.Dense, lambda []float64, W in
 				Lambda: lambda, MRows: rowsView(lastM, lo*par.BlockSize, rowHi),
 			},
 			home: k,
+			prep: func(r *remote, _ *Task) error {
+				if r.slot != k {
+					return s.ensureCurrent(r, lastMode, factors[lastMode])
+				}
+				return nil
+			},
 			onResult: func(res *Result) error {
 				if len(res.Partials) != hi-lo {
 					return fmt.Errorf("dist: fit blocks [%d,%d): got %d partials", lo, hi, len(res.Partials))
 				}
-				copy(partials[lo:hi], res.Partials)
+				copy(run.partials[lo:hi], res.Partials)
 				return nil
 			},
 		})
 	}
-	if err := s.runStage(tasks); err != nil {
+	run.stg = s.beginStage(tasks)
+	return run
+}
+
+func (s *Session) awaitFit(run *fitRun) (float64, error) {
+	if err := s.awaitStage(run.stg); err != nil {
 		return 0, err
 	}
+	if run.local {
+		return run.inner, nil
+	}
 	var inner float64
-	for _, p := range partials {
+	for _, p := range run.partials {
 		inner += p
 	}
 	return inner, nil

@@ -7,8 +7,10 @@ import (
 	"net"
 	"sync"
 
+	"cstf/internal/cpals"
 	"cstf/internal/la"
 	"cstf/internal/par"
+	"cstf/internal/tensor"
 )
 
 // Worker serves CP-ALS tasks for one coordinator at a time. It is a pure
@@ -99,16 +101,36 @@ type shardKey struct {
 	rowLo, rowHi int
 }
 
+// gramKey identifies one cached partial gram: (mode, global block index).
+type gramKey struct {
+	mode, block int
+}
+
 // wsession is the per-connection worker state. The read loop stores
 // shards/factors and the executor goroutine reads them; the mutex makes
 // the handoff safe when a reassigned shard arrives while an earlier task
-// of the same stage is still executing.
+// of the same stage is still executing. Factor updates (full or delta)
+// swap the matrix pointer under the mutex — copy-on-write — so a task
+// that snapshotted the previous matrix keeps reading consistent state.
 type wsession struct {
 	mu      sync.Mutex
 	hello   *Hello
 	shards  map[shardKey]*Shard
 	factors []*la.Dense
 	mrows   map[shardKey]*la.Dense // MTTKRP outputs kept for the RowSolve that follows
+
+	// gramCache keeps per-block partial grams across iterations; a factor
+	// update invalidates exactly the blocks whose rows changed, so Gram
+	// tasks over converged (or untouched) blocks reuse the resident
+	// partial instead of recomputing it. Reuse is bitwise-safe: a block
+	// survives in the cache only if none of its rows changed, and
+	// GramAccumulate is deterministic in the row bits.
+	gramCache map[gramKey]*la.Dense
+
+	// csfs caches the per-shard CSF trees for the optional SPLATT kernel
+	// (Hello flag HelloUseCSF). Shards are immutable within a session, so
+	// entries are never invalidated.
+	csfs map[shardKey]*tensor.CSF
 }
 
 func (w *Worker) handle(c net.Conn) {
@@ -126,8 +148,10 @@ func (w *Worker) handle(c net.Conn) {
 	}
 
 	s := &wsession{
-		shards: map[shardKey]*Shard{},
-		mrows:  map[shardKey]*la.Dense{},
+		shards:    map[shardKey]*Shard{},
+		mrows:     map[shardKey]*la.Dense{},
+		gramCache: map[gramKey]*la.Dense{},
+		csfs:      map[shardKey]*tensor.CSF{},
 	}
 
 	// Tasks execute on their own goroutine so the read loop keeps
@@ -142,7 +166,7 @@ func (w *Worker) handle(c net.Conn) {
 			if broken {
 				continue
 			}
-			res, err := s.exec(t)
+			res, err := s.execGuarded(t)
 			if err != nil {
 				if send(MsgErr, EncodeErr(&RemoteError{TaskID: t.ID, Msg: err.Error()})) != nil {
 					broken = true
@@ -204,7 +228,22 @@ func (w *Worker) handle(c net.Conn) {
 				return
 			}
 			s.factors[f.Mode] = f.M
+			for k := range s.gramCache {
+				if k.mode == f.Mode {
+					delete(s.gramCache, k)
+				}
+			}
 			s.mu.Unlock()
+		case MsgFactorDelta:
+			fd, err := DecodeFactorDelta(payload)
+			if err != nil {
+				w.logf("dist: worker bad factor delta: %v", err)
+				return
+			}
+			if err := s.applyDelta(fd); err != nil {
+				send(MsgErr, EncodeErr(&RemoteError{Msg: err.Error()}))
+				return
+			}
 		case MsgTask:
 			t, err := DecodeTask(payload)
 			if err != nil {
@@ -223,6 +262,51 @@ func (w *Worker) handle(c net.Conn) {
 			return
 		}
 	}
+}
+
+// applyDelta patches the changed rows of one factor copy-on-write: the
+// resident matrix is cloned, the rows land in the clone, and the pointer
+// swaps under the lock. A task that snapshotted the old matrix keeps
+// reading unchanged state — the coordinator guarantees any task that must
+// see the new rows is sent after the delta on the same ordered connection.
+// A delta for a factor never broadcast is a protocol error: deltas are
+// only valid against state this worker was actually sent.
+func (s *wsession) applyDelta(fd *FactorDelta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.factors == nil || fd.Mode < 0 || fd.Mode >= len(s.factors) {
+		return fmt.Errorf("factor delta before hello or mode %d out of range", fd.Mode)
+	}
+	f := s.factors[fd.Mode]
+	if f == nil {
+		return fmt.Errorf("factor delta for mode %d before any full broadcast", fd.Mode)
+	}
+	if fd.Cols != f.Cols {
+		return fmt.Errorf("factor delta mode %d: %d cols, resident factor has %d", fd.Mode, fd.Cols, f.Cols)
+	}
+	n := len(fd.Indices)
+	if n > 0 && fd.Indices[n-1] >= f.Rows {
+		return fmt.Errorf("factor delta mode %d: row %d out of %d", fd.Mode, fd.Indices[n-1], f.Rows)
+	}
+	nf := f.Clone()
+	for i, idx := range fd.Indices {
+		copy(nf.Row(idx), fd.Rows[i*fd.Cols:(i+1)*fd.Cols])
+		delete(s.gramCache, gramKey{fd.Mode, idx / par.BlockSize})
+	}
+	s.factors[fd.Mode] = nf
+	return nil
+}
+
+// execGuarded runs a task, converting any panic (e.g. a malformed shard
+// driving a library precondition) into a reported task error instead of
+// crashing the worker process.
+func (s *wsession) execGuarded(t *Task) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("task panic: %v", r)
+		}
+	}()
+	return s.exec(t)
 }
 
 // snapshot resolves the state a task needs under the lock, so execution
@@ -276,6 +360,9 @@ func (s *wsession) execMTTKRP(t *Task, hello *Hello, factors []*la.Dense) (*Resu
 			return nil, fmt.Errorf("mttkrp mode %d: factor %d not broadcast", t.Mode, n)
 		}
 	}
+	if hello.Flags&HelloUseCSF != 0 {
+		return s.execMTTKRPCSF(t, hello, factors, sh)
+	}
 	rank := hello.Rank
 	out := la.NewDense(t.RowHi-t.RowLo, rank)
 	tmp := make([]float64, rank)
@@ -296,6 +383,64 @@ func (s *wsession) execMTTKRP(t *Task, hello *Hello, factors []*la.Dense) (*Resu
 		}
 		la.VecAdd(out.Row(int(e.Idx[t.Mode])-t.RowLo), tmp)
 	}
+	s.mu.Lock()
+	s.mrows[key] = out
+	s.mu.Unlock()
+	return &Result{ID: t.ID, Kind: t.Kind, RowLo: t.RowLo, Rows: out}, nil
+}
+
+// execMTTKRPCSF is the optional SPLATT-kernel variant of PartialMTTKRP: a
+// CSF tree is built once per resident shard (rooted at the shard's mode,
+// remaining modes ascending — the BuildCSFs ordering) and walked with
+// fiber reuse. Because NewCSF sorts entries deterministically and every
+// root's subtree is a pure function of that root's entry set, the output
+// rows are bitwise identical to the corresponding rows of a full-tensor
+// CSF MTTKRP — the dist CSF path reproduces the single-process CSF solver
+// exactly, though not the COO reference (the factored arithmetic differs).
+func (s *wsession) execMTTKRPCSF(t *Task, hello *Hello, factors []*la.Dense, sh *Shard) (*Result, error) {
+	if t.Mode >= len(hello.Dims) || t.RowHi > hello.Dims[t.Mode] || t.RowLo < 0 {
+		return nil, fmt.Errorf("csf mttkrp mode %d: rows [%d,%d) out of dims", t.Mode, t.RowLo, t.RowHi)
+	}
+	key := shardKey{t.Mode, t.RowLo, t.RowHi}
+	s.mu.Lock()
+	csf := s.csfs[key]
+	s.mu.Unlock()
+	if csf == nil {
+		// Entry indices are validated once, before the tree is cached;
+		// subsequent iterations walk the trusted tree directly.
+		for i := range sh.Entries {
+			e := &sh.Entries[i]
+			for n := 0; n < hello.Order; n++ {
+				if n == t.Mode {
+					continue
+				}
+				if int(e.Idx[n]) >= hello.Dims[n] {
+					return nil, fmt.Errorf("csf mttkrp mode %d: entry index %d out of range for factor %d (%d rows)",
+						t.Mode, e.Idx[n], n, hello.Dims[n])
+				}
+			}
+		}
+		tc := tensor.New(hello.Dims...)
+		tc.Entries = sh.Entries
+		mo := make([]int, 0, hello.Order)
+		mo = append(mo, t.Mode)
+		for m := 0; m < hello.Order; m++ {
+			if m != t.Mode {
+				mo = append(mo, m)
+			}
+		}
+		csf = tensor.NewCSF(tc, mo) // panics on duplicates; execGuarded reports it
+		s.mu.Lock()
+		s.csfs[key] = csf
+		s.mu.Unlock()
+	}
+	if factors[t.Mode] == nil {
+		// The kernel probes factors[0].Cols but never reads the target
+		// mode's rows; give it the right shape.
+		factors[t.Mode] = la.NewDense(hello.Dims[t.Mode], hello.Rank)
+	}
+	full := cpals.MTTKRPCSF(csf, factors)
+	out := rowsView(full, t.RowLo, t.RowHi)
 	s.mu.Lock()
 	s.mrows[key] = out
 	s.mu.Unlock()
@@ -346,9 +491,28 @@ func (s *wsession) execGram(t *Task, factors []*la.Dense) (*Result, error) {
 	}
 	grams := make([]*la.Dense, 0, t.BlockHi-t.BlockLo)
 	for b := t.BlockLo; b < t.BlockHi; b++ {
-		lo, hi := par.Block(b, f.Rows)
-		p := la.NewDense(f.Cols, f.Cols)
-		la.GramAccumulate(p, &la.Dense{Rows: hi - lo, Cols: f.Cols, Data: f.Data[lo*f.Cols : hi*f.Cols]})
+		// Reuse the resident partial when no row of the block has changed
+		// since it was computed. The cache is only consulted while the
+		// resident factor still is the snapshot this task executes against;
+		// a concurrent update swaps the pointer and invalidates the
+		// changed blocks, so a hit is always bitwise-equal to a recompute.
+		key := gramKey{t.Mode, b}
+		s.mu.Lock()
+		var p *la.Dense
+		if s.factors[t.Mode] == f {
+			p = s.gramCache[key]
+		}
+		s.mu.Unlock()
+		if p == nil {
+			lo, hi := par.Block(b, f.Rows)
+			p = la.NewDense(f.Cols, f.Cols)
+			la.GramAccumulate(p, &la.Dense{Rows: hi - lo, Cols: f.Cols, Data: f.Data[lo*f.Cols : hi*f.Cols]})
+			s.mu.Lock()
+			if s.factors[t.Mode] == f {
+				s.gramCache[key] = p
+			}
+			s.mu.Unlock()
+		}
 		grams = append(grams, p)
 	}
 	return &Result{ID: t.ID, Kind: t.Kind, BlockLo: t.BlockLo, Grams: grams}, nil

@@ -29,7 +29,7 @@ func TestAllDatasetsAllSolversAgree(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			opts := cstf.Options{Rank: 2, MaxIters: 2, Tol: cstf.NoTol, Seed: 77, Nodes: 4}
+			opts := cstf.Options{Rank: 2, MaxIters: 2, NoConvergenceCheck: true, Seed: 77, Nodes: 4}
 
 			ref, err := cstf.Decompose(x, withAlgo(opts, cstf.Serial))
 			if err != nil {
@@ -79,7 +79,7 @@ func TestFileFormatsProduceIdenticalDecompositions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := cstf.Options{Algorithm: cstf.QCOO, Rank: 2, MaxIters: 2, Tol: cstf.NoTol, Seed: 5, Nodes: 2}
+	opts := cstf.Options{Algorithm: cstf.QCOO, Rank: 2, MaxIters: 2, NoConvergenceCheck: true, Seed: 5, Nodes: 2}
 	a, err := cstf.Decompose(fromGz, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -105,7 +105,7 @@ func TestEndToEndDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := cstf.Options{Algorithm: cstf.QCOO, Rank: 3, MaxIters: 2, Tol: cstf.NoTol, Seed: 9, Nodes: 4}
+	opts := cstf.Options{Algorithm: cstf.QCOO, Rank: 3, MaxIters: 2, NoConvergenceCheck: true, Seed: 9, Nodes: 4}
 	a, err := cstf.Decompose(x, opts)
 	if err != nil {
 		t.Fatal(err)

@@ -20,8 +20,8 @@ func TestTrainCheckpointServeRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "model.ckpt")
 	x := RandomTensor(3, 600, 40, 30, 20)
 	dec, err := Decompose(x, Options{
-		Rank: 3, MaxIters: 4, Tol: NoTol, Seed: 5,
-		CheckpointEvery: 1, CheckpointPath: path,
+		Rank: 3, MaxIters: 4, NoConvergenceCheck: true, Seed: 5,
+		Faults: FaultOptions{CheckpointEvery: 1, CheckpointPath: path},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -98,7 +98,7 @@ func TestTrainCheckpointServeRoundTrip(t *testing.T) {
 // the decomposition's own matrices stay untouched by serving.
 func TestServerClonesFactors(t *testing.T) {
 	x := RandomTensor(8, 300, 20, 15, 10)
-	dec, err := Decompose(x, Options{Rank: 2, MaxIters: 2, Tol: NoTol})
+	dec, err := Decompose(x, Options{Rank: 2, MaxIters: 2, NoConvergenceCheck: true})
 	if err != nil {
 		t.Fatal(err)
 	}
