@@ -7,7 +7,7 @@ GO ?= go
 # paths: these also run under the race detector in `make ci`.
 RACE_PKGS := ./internal/cpals ./internal/la ./internal/par ./internal/tensor ./internal/rdd ./internal/cluster ./internal/chaos ./internal/mapreduce ./internal/core ./internal/serve ./internal/stream ./internal/dist
 
-.PHONY: ci fmt vet staticcheck check-deprecated build test race bench stream-smoke dist-smoke
+.PHONY: ci fmt vet staticcheck check-deprecated build test race bench stream-smoke dist-smoke dist-chaos-smoke
 
 ci: fmt vet staticcheck check-deprecated build test race
 
@@ -59,6 +59,23 @@ dist-smoke:
 	CSTF_WORKER_BIN="$$tmp/cstf-worker" $(GO) run -race ./cmd/cstf \
 		-in "$$tmp/t.tns" -dist-local 3 -rank 3 -iters 3 -tol 0 \
 		-dist-no-delta -dist-no-pipeline
+
+# End-to-end fault-recovery smoke under the race detector: forked workers
+# survive an injected partition plus a corrupted frame mid-solve, then a
+# checkpointed run is interrupted and resumed from its checkpoint file.
+dist-chaos-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -race -o "$$tmp/cstf-worker" ./cmd/cstf-worker && \
+	$(GO) run ./cmd/tensorgen -out "$$tmp/t.tns" -dims 80,60,40 -nnz 5000 -rank 3 && \
+	CSTF_WORKER_BIN="$$tmp/cstf-worker" $(GO) run -race ./cmd/cstf \
+		-in "$$tmp/t.tns" -dist-local 3 -rank 3 -iters 4 -tol 0 \
+		-chaos "partitions=1,corrupt=1,horizon=8,seed=3" && \
+	CSTF_WORKER_BIN="$$tmp/cstf-worker" $(GO) run -race ./cmd/cstf \
+		-in "$$tmp/t.tns" -dist-local 3 -rank 3 -iters 2 -tol 0 \
+		-checkpoint "$$tmp/cp.ckpt" -checkpoint-every 1 && \
+	CSTF_WORKER_BIN="$$tmp/cstf-worker" $(GO) run -race ./cmd/cstf \
+		-in "$$tmp/t.tns" -dist-local 3 -rank 3 -iters 4 -tol 0 \
+		-checkpoint "$$tmp/cp.ckpt" -resume
 
 # The flat DistAddrs/DistLocalWorkers/DistWorkerBin fields are deprecated
 # aliases for Options.Dist; they may appear only in decompose.go (the alias

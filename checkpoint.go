@@ -18,8 +18,10 @@ import (
 // checkpoint behind.
 
 // checkpointFrom snapshots live solver state (which the checkpoint hook only
-// borrows) into an owned record.
-func checkpointFrom(alg Algorithm, rank int, seed uint64, iter int, dims []int, lambda []float64, factors []*la.Dense, fits []float64) *ckpt.File {
+// borrows) into an owned record. workers records the distributed fleet size
+// that produced the snapshot (0 for serial/simulated runs) — informational
+// only, since resume is bitwise-independent of the fleet size.
+func checkpointFrom(alg Algorithm, rank, workers int, seed uint64, iter int, dims []int, lambda []float64, factors []*la.Dense, fits []float64) *ckpt.File {
 	cp := &ckpt.File{
 		Algorithm: string(alg),
 		Rank:      rank,
@@ -28,6 +30,7 @@ func checkpointFrom(alg Algorithm, rank int, seed uint64, iter int, dims []int, 
 		Dims:      append([]int(nil), dims...),
 		Lambda:    la.VecClone(lambda),
 		Fits:      append([]float64(nil), fits...),
+		Workers:   workers,
 	}
 	for _, f := range factors {
 		cp.Factors = append(cp.Factors, la.VecClone(f.Data))

@@ -178,6 +178,25 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(experiments.RenderCheckpointSweep(checkpoints))
+		faults, err := experiments.FaultsBench(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderFaultsBench(faults))
+		if *out != "" {
+			path := filepath.Join(*out, "BENCH_faults.json")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := faults.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
 	}
 	if run("serve") {
 		ran = true

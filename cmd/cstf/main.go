@@ -40,6 +40,7 @@ func main() {
 	distNoDelta := flag.Bool("dist-no-delta", false, "ship full factor matrices every mode-iteration instead of delta broadcasts")
 	distNoPipeline := flag.Bool("dist-no-pipeline", false, "make every distributed stage a strict barrier (no gram/MTTKRP overlap)")
 	distCSF := flag.Bool("dist-csf", false, "run worker MTTKRPs with the SPLATT CSF kernel (bitwise-matches the serial CSF solver, not the COO one)")
+	distMinWorkers := flag.Int("dist-min-workers", 0, "live-worker floor before degrading to a coordinator-local solve (0 = 1; negative makes fleet collapse a hard error)")
 	rank := flag.Int("rank", 8, "decomposition rank R")
 	iters := flag.Int("iters", 25, "maximum ALS iterations")
 	tol := flag.Float64("tol", 1e-5, "fit-improvement stopping tolerance (0 disables)")
@@ -49,7 +50,7 @@ func main() {
 	progress := flag.Bool("progress", false, "print the fit after every ALS iteration")
 	factors := flag.String("factors", "", "directory to write factor matrices (optional)")
 	trace := flag.String("trace", "", "write a Chrome trace of the modeled execution to this file")
-	chaosSpec := flag.String("chaos", "", `inject faults, e.g. "crashes=1,stragglers=2,slow=4,net=0.5,seed=7" (keys: crashes, disks, stragglers, slow, netdrops, net, horizon, spec, seed)`)
+	chaosSpec := flag.String("chaos", "", `inject faults, e.g. "crashes=1,partitions=1,corrupt=1,seed=7" (keys: crashes, disks, partitions, corrupt, torn, stragglers, slow, netdrops, net, horizon, spec, seed)`)
 	checkpoint := flag.String("checkpoint", "", "checkpoint file for -checkpoint-every / -resume")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "write -checkpoint after every N completed iterations (0 disables)")
 	resume := flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
@@ -103,6 +104,7 @@ func main() {
 		o.Dist.DisableDeltaBroadcast = *distNoDelta
 		o.Dist.DisablePipeline = *distNoPipeline
 		o.Dist.CSFKernel = *distCSF
+		o.Dist.MinWorkers = *distMinWorkers
 	}
 	if *dataset != "" {
 		o.WorkScale = 1 / *scale // report full-scale-equivalent modeled time
@@ -161,6 +163,15 @@ func main() {
 		if m.WorkerDeaths > 0 {
 			fmt.Printf("  worker deaths: %d (reassigned %d tasks, re-sent %d shards)\n",
 				m.WorkerDeaths, m.TaskReassignments, m.ShardResends)
+		}
+		if m.WorkerRejoins > 0 {
+			fmt.Printf("  worker rejoins: %d\n", m.WorkerRejoins)
+		}
+		if m.CorruptFrames > 0 {
+			fmt.Printf("  corrupt frames: %d rejected by checksum\n", m.CorruptFrames)
+		}
+		if m.DistDegraded {
+			fmt.Println("  degraded:    fleet collapsed; finished coordinator-local (bitwise identical)")
 		}
 	}
 	if dec.Metrics.SimSeconds > 0 {
@@ -235,6 +246,12 @@ func parseChaos(s string) (*cstf.ChaosSpec, error) {
 			_, err = fmt.Sscanf(v, "%d", &cs.NodeCrashes)
 		case "disks":
 			_, err = fmt.Sscanf(v, "%d", &cs.DiskFailures)
+		case "partitions":
+			_, err = fmt.Sscanf(v, "%d", &cs.NetPartitions)
+		case "corrupt":
+			_, err = fmt.Sscanf(v, "%d", &cs.FrameCorrupts)
+		case "torn":
+			_, err = fmt.Sscanf(v, "%d", &cs.TornWrites)
 		case "stragglers":
 			_, err = fmt.Sscanf(v, "%d", &cs.Stragglers)
 		case "slow":

@@ -76,6 +76,15 @@ type DistOptions struct {
 	// the COO-kernel Serial reference (the factored arithmetic associates
 	// the same sums differently).
 	CSFKernel bool
+
+	// MinWorkers is the live-worker floor checked at every iteration
+	// boundary. When the fleet drops below it (or a stage finds no live
+	// target at all), the run does not fail: the coordinator degrades to
+	// a local solve from its last iteration-boundary snapshot, bitwise
+	// identical to the distributed result. 0 means a floor of 1; a
+	// negative value disables degradation, making fleet collapse a hard
+	// error as in earlier releases.
+	MinWorkers int
 }
 
 // FaultOptions groups fault injection and checkpointing.
@@ -83,8 +92,9 @@ type FaultOptions struct {
 	// Chaos, when non-nil, injects a deterministic fault schedule: for the
 	// simulated algorithms, node crashes / disk failures / stragglers /
 	// network degradation against the cost model; for the Dist algorithm,
-	// REAL worker kills at stage boundaries (fault kinds with no physical
-	// analogue are ignored). Distributed algorithms only.
+	// REAL faults at stage boundaries — worker kills, network partitions,
+	// frame corruption, torn checkpoint writes (fault kinds with no
+	// physical analogue are ignored). Distributed algorithms only.
 	Chaos *ChaosSpec
 
 	// CheckpointEvery, with CheckpointPath, writes an iteration-granular
@@ -197,6 +207,12 @@ type ChaosSpec struct {
 
 	NodeCrashes  int // executors lost (cache dropped, recovery charged)
 	DiskFailures int // HDFS block losses (executor survives)
+
+	// Real-runtime fault kinds (Dist algorithm; ignored by the simulated
+	// algorithms, which have no sockets or checkpoint files to damage).
+	NetPartitions int // worker connections severed; the process survives and rejoins
+	FrameCorrupts int // one-shot bit flips on a coordinator->worker frame (CRC-caught)
+	TornWrites    int // checkpoint files damaged right after being written
 
 	Stragglers      int     // slow-node windows
 	StragglerFactor float64 // compute slowdown of a straggling node; default 4
@@ -329,6 +345,9 @@ type Metrics struct {
 	WorkerDeaths      int     // real workers lost (timeout, socket error, kill)
 	TaskReassignments int     // tasks re-dispatched after a worker death
 	ShardResends      int     // tensor shards re-shipped to substitute workers
+	WorkerRejoins     int     // disconnected workers re-admitted after redial
+	CorruptFrames     int     // checksum-failed frames the coordinator rejected
+	DistDegraded      bool    // fleet collapsed; run finished coordinator-local
 
 	// Fault-tolerance counters, nonzero only when Chaos or task-failure
 	// injection was active.
@@ -454,9 +473,15 @@ func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Deco
 	if o.Faults.CheckpointEvery > 0 && o.Faults.CheckpointPath != "" {
 		opts.CheckpointEvery = o.Faults.CheckpointEvery
 		alg, rank, seed, dims := o.Algorithm, o.Rank, o.Seed, t.Dims()
+		ckWorkers := 0
+		if o.Algorithm == Dist {
+			if ckWorkers = len(o.Dist.Addrs); ckWorkers == 0 {
+				ckWorkers = o.Dist.LocalWorkers
+			}
+		}
 		path := o.Faults.CheckpointPath
 		opts.OnCheckpoint = func(iter int, lambda []float64, factors []*la.Dense, fits []float64) error {
-			return writeCheckpoint(path, checkpointFrom(alg, rank, seed, iter, dims, lambda, factors, fits))
+			return writeCheckpoint(path, checkpointFrom(alg, rank, ckWorkers, seed, iter, dims, lambda, factors, fits))
 		}
 	}
 	if o.Faults.Chaos != nil && o.Algorithm == Serial {
@@ -548,6 +573,9 @@ func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Deco
 			WorkerDeaths:      distStats.WorkerDeaths,
 			TaskReassignments: distStats.Reassignments,
 			ShardResends:      distStats.ShardResends,
+			WorkerRejoins:     distStats.Rejoins,
+			CorruptFrames:     distStats.CorruptFrames,
+			DistDegraded:      distStats.Degraded,
 		}
 	}
 	if c != nil {
@@ -580,9 +608,11 @@ func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Deco
 // distSolve runs the real distributed runtime: workers from Dist.Addrs, or
 // locally launched ones (forked cstf-worker processes when a binary is
 // available, in-process loopback workers otherwise). A ChaosSpec schedules
-// REAL worker kills against the session's stage clock; fault kinds with no
-// physical analogue here (stragglers, disk failures, network degradation)
-// are ignored.
+// REAL faults against the session's stage clock: worker kills, network
+// partitions (severed connections the worker survives and rejoins from),
+// frame corruption (CRC-caught bit flips), and torn checkpoint writes.
+// Fault kinds with no physical analogue here (stragglers, disk failures,
+// network degradation) are ignored.
 func distSolve(t *Tensor, o Options, opts cpals.Options) (*cpals.Result, *dist.Stats, error) {
 	cfg := dist.Config{Addrs: o.Dist.Addrs}
 	workers := len(o.Dist.Addrs)
@@ -601,14 +631,34 @@ func distSolve(t *Tensor, o Options, opts cpals.Options) (*cpals.Result, *dist.S
 	cfg.NoDelta = o.Dist.DisableDeltaBroadcast
 	cfg.NoPipeline = o.Dist.DisablePipeline
 	cfg.UseCSF = o.Dist.CSFKernel
+	cfg.MinWorkers = o.Dist.MinWorkers
 	if o.Faults.Chaos != nil {
 		cfg.Plan = chaosPlan(o.Faults.Chaos, workers)
+		if o.Faults.Chaos.TornWrites > 0 && o.Faults.CheckpointPath != "" {
+			// A TornWrite event damages the just-written checkpoint file
+			// in place — the on-disk state a crash mid-write would leave.
+			// The ckpt checksum must surface it as a CorruptError on
+			// resume, never as silently wrong factors.
+			path := o.Faults.CheckpointPath
+			cfg.OnTornWrite = func(int) { tearFile(path) }
+		}
 	}
 	res, stats, err := dist.Solve(t.coo, opts, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	return res, &stats, nil
+}
+
+// tearFile truncates a file to half its size — the torn tail a crash
+// mid-write leaves when the writer lacks (or hasn't reached) the atomic
+// rename. Used only by chaos TornWrite injection.
+func tearFile(path string) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return
+	}
+	os.Truncate(path, st.Size()/2)
 }
 
 // chaosPlan translates the public spec into the internal fault plan.
@@ -618,6 +668,9 @@ func chaosPlan(cs *ChaosSpec, nodes int) *chaos.FaultPlan {
 		Horizon:         cs.HorizonStages,
 		Crashes:         cs.NodeCrashes,
 		DiskFailures:    cs.DiskFailures,
+		NetPartitions:   cs.NetPartitions,
+		FrameCorrupts:   cs.FrameCorrupts,
+		TornWrites:      cs.TornWrites,
 		Stragglers:      cs.Stragglers,
 		StragglerFactor: cs.StragglerFactor,
 		StragglerStages: cs.StragglerStages,
@@ -696,6 +749,9 @@ func DecomposeBestContext(ctx context.Context, t *Tensor, o Options, restarts in
 		total.WorkerDeaths += m.WorkerDeaths
 		total.TaskReassignments += m.TaskReassignments
 		total.ShardResends += m.ShardResends
+		total.WorkerRejoins += m.WorkerRejoins
+		total.CorruptFrames += m.CorruptFrames
+		total.DistDegraded = total.DistDegraded || m.DistDegraded
 		for phase, s := range m.SecondsByMode {
 			total.SecondsByMode[phase] += s
 		}

@@ -1,12 +1,15 @@
 // Package chaos builds deterministic fault schedules for the simulated
-// cluster. A FaultPlan is a seeded list of events — node crashes, per-node
-// stragglers, transient network degradation, and HDFS disk failures —
-// pinned to the cluster's stage clock rather than wall time, so the same
-// plan replays bitwise-identically across runs and across host-parallelism
+// cluster and the real dist runtime. A FaultPlan is a seeded list of
+// events — node crashes, per-node stragglers, transient network
+// degradation, HDFS disk failures, plus the dist-runtime kinds: connection
+// partitions, frame corruptions, and torn checkpoint writes — pinned to
+// the cluster's stage clock rather than wall time, so the same plan
+// replays bitwise-identically across runs and across host-parallelism
 // settings. The plan implements cluster.FaultInjector: permanent faults
-// (crashes, disk failures) are delivered exactly once at the first stage
-// boundary at or past their scheduled stage, while transient conditions
-// (stragglers, slow networks) apply to every stage inside their window.
+// (crashes, disk failures, partitions, corruptions, torn writes) are
+// delivered exactly once at the first stage boundary at or past their
+// scheduled stage, while transient conditions (stragglers, slow networks)
+// apply to every stage inside their window.
 package chaos
 
 import (
@@ -34,6 +37,19 @@ const (
 	// DiskFailure destroys the HDFS block replicas stored on one node; the
 	// executor itself survives. Delivered once.
 	DiskFailure
+	// NetPartition severs one worker's connection at a stage boundary
+	// WITHOUT killing the process (dist runtime): the worker survives and
+	// may be re-admitted by the coordinator's rejoin loop. Delivered once.
+	NetPartition
+	// FrameCorrupt flips one byte of the next frame sent to one worker
+	// (dist runtime): the receiver's CRC32-C must catch it and reset the
+	// connection rather than absorb a wrong result. Delivered once.
+	FrameCorrupt
+	// TornWrite truncates the coordinator checkpoint written at or after
+	// the scheduled stage, simulating a crash mid-write; a later resume
+	// must detect the damage (typed corrupt error), never load garbage.
+	// Delivered once.
+	TornWrite
 )
 
 func (k Kind) String() string {
@@ -46,9 +62,25 @@ func (k Kind) String() string {
 		return "net-degrade"
 	case DiskFailure:
 		return "disk-failure"
+	case NetPartition:
+		return "net-partition"
+	case FrameCorrupt:
+		return "frame-corrupt"
+	case TornWrite:
+		return "torn-write"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
+}
+
+// permanent reports whether the kind is delivered exactly once at a stage
+// boundary (vs a transient window condition).
+func (k Kind) permanent() bool {
+	switch k {
+	case NodeCrash, DiskFailure, NetPartition, FrameCorrupt, TornWrite:
+		return true
+	}
+	return false
 }
 
 // Event is one scheduled fault. Stage is the 1-based stage-sequence number
@@ -99,6 +131,10 @@ type Spec struct {
 	NetFactor       float64 // bandwidth multiplier in (0,1) (default 0.5)
 	NetStages       uint64  // degradation window length (default Horizon/4)
 	DiskFailures    int     // HDFS disk failures to schedule
+
+	NetPartitions int // connection severs without process kill (dist)
+	FrameCorrupts int // single-byte frame corruptions (dist)
+	TornWrites    int // torn checkpoint writes (dist coordinator)
 }
 
 func (s *Spec) withDefaults() Spec {
@@ -170,6 +206,26 @@ func NewPlan(seed uint64, spec Spec) *FaultPlan {
 			Node:  node(uint64(DiskFailure), uint64(i)),
 		})
 	}
+	for i := 0; i < s.NetPartitions; i++ {
+		p.Events = append(p.Events, Event{
+			Kind:  NetPartition,
+			Stage: 1 + draw(uint64(NetPartition), uint64(i), s.Horizon),
+			Node:  node(uint64(NetPartition), uint64(i)),
+		})
+	}
+	for i := 0; i < s.FrameCorrupts; i++ {
+		p.Events = append(p.Events, Event{
+			Kind:  FrameCorrupt,
+			Stage: 1 + draw(uint64(FrameCorrupt), uint64(i), s.Horizon),
+			Node:  node(uint64(FrameCorrupt), uint64(i)),
+		})
+	}
+	for i := 0; i < s.TornWrites; i++ {
+		p.Events = append(p.Events, Event{
+			Kind:  TornWrite,
+			Stage: 1 + draw(uint64(TornWrite), uint64(i), s.Horizon),
+		})
+	}
 	sortEvents(p.Events)
 	return p
 }
@@ -211,6 +267,13 @@ func (p *FaultPlan) Validate(nodes int) error {
 			if e.Factor <= 0 || e.Factor >= 1 {
 				return fmt.Errorf("chaos: event %d (%v): bandwidth factor %g must be in (0,1)", i, e.Kind, e.Factor)
 			}
+		case NetPartition, FrameCorrupt:
+			if e.Node < 0 || (nodes > 0 && e.Node >= nodes) {
+				return fmt.Errorf("chaos: event %d (%v): node %d out of range [0,%d)", i, e.Kind, e.Node, nodes)
+			}
+		case TornWrite:
+			// No node target: the torn write hits the coordinator's own
+			// checkpoint file.
 		default:
 			return fmt.Errorf("chaos: event %d: unknown kind %d", i, int(e.Kind))
 		}
@@ -218,25 +281,41 @@ func (p *FaultPlan) Validate(nodes int) error {
 	return nil
 }
 
-// TakeFaults implements cluster.FaultInjector: it pops every undelivered
-// NodeCrash and DiskFailure scheduled at or before stage seq. Each event is
-// delivered exactly once for the lifetime of the plan.
-func (p *FaultPlan) TakeFaults(seq uint64) (crashedNodes, failedDisks []int) {
+// TakeEvents pops every undelivered permanent event of the given kinds
+// scheduled at or before stage seq, in schedule order. Delivery state is
+// shared with TakeFaults — an event popped by one is never popped by the
+// other. Transient kinds (Straggler, NetDegrade) are window conditions,
+// not deliveries, and are ignored here; query them with StageConditions.
+func (p *FaultPlan) TakeEvents(seq uint64, kinds ...Kind) []Event {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.delivered == nil {
 		p.delivered = make([]bool, len(p.Events))
 	}
+	var out []Event
 	for i, e := range p.Events {
-		if p.delivered[i] || e.Stage > seq {
+		if p.delivered[i] || e.Stage > seq || !e.Kind.permanent() {
 			continue
 		}
-		switch e.Kind {
-		case NodeCrash:
-			p.delivered[i] = true
+		for _, k := range kinds {
+			if e.Kind == k {
+				p.delivered[i] = true
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TakeFaults implements cluster.FaultInjector: it pops every undelivered
+// NodeCrash and DiskFailure scheduled at or before stage seq. Each event is
+// delivered exactly once for the lifetime of the plan.
+func (p *FaultPlan) TakeFaults(seq uint64) (crashedNodes, failedDisks []int) {
+	for _, e := range p.TakeEvents(seq, NodeCrash, DiskFailure) {
+		if e.Kind == NodeCrash {
 			crashedNodes = append(crashedNodes, e.Node)
-		case DiskFailure:
-			p.delivered[i] = true
+		} else {
 			failedDisks = append(failedDisks, e.Node)
 		}
 	}

@@ -4,13 +4,15 @@ import "testing"
 
 // FuzzFaultPlan checks the FaultInjector contract over arbitrary seeds and
 // specs: generated plans validate, every permanent event is delivered
-// exactly once regardless of the query schedule, and StageConditions is a
+// exactly once regardless of the query schedule (and regardless of whether
+// it is popped through TakeFaults or TakeEvents), and StageConditions is a
 // pure in-bounds function of (seq, nodes).
 func FuzzFaultPlan(f *testing.F) {
-	f.Add(uint64(1), 4, uint64(20), 1, 1, 1, 1)
-	f.Add(uint64(42), 8, uint64(100), 3, 2, 2, 3)
-	f.Add(uint64(0), 1, uint64(0), 0, 0, 0, 0)
-	f.Fuzz(func(t *testing.T, seed uint64, nodes int, horizon uint64, crashes, stragglers, netDrops, disks int) {
+	f.Add(uint64(1), 4, uint64(20), 1, 1, 1, 1, 1, 1, 1)
+	f.Add(uint64(42), 8, uint64(100), 3, 2, 2, 3, 2, 2, 2)
+	f.Add(uint64(0), 1, uint64(0), 0, 0, 0, 0, 0, 0, 0)
+	f.Add(uint64(7), 3, uint64(12), 0, 0, 0, 0, 2, 1, 1)
+	f.Fuzz(func(t *testing.T, seed uint64, nodes int, horizon uint64, crashes, stragglers, netDrops, disks, partitions, corrupts, torn int) {
 		if nodes < 0 || nodes > 64 || horizon > 1<<16 {
 			t.Skip()
 		}
@@ -27,28 +29,44 @@ func FuzzFaultPlan(f *testing.F) {
 			Nodes: nodes, Horizon: horizon,
 			Crashes: clamp(crashes), Stragglers: clamp(stragglers),
 			NetDrops: clamp(netDrops), DiskFailures: clamp(disks),
+			NetPartitions: clamp(partitions), FrameCorrupts: clamp(corrupts),
+			TornWrites: clamp(torn),
 		}
 		p := NewPlan(seed, spec)
 		effNodes := spec.withDefaults().Nodes
 		if err := p.Validate(effNodes); err != nil {
 			t.Fatalf("generated plan invalid: %v", err)
 		}
-		want := spec.Crashes + spec.DiskFailures
+		want := spec.Crashes + spec.DiskFailures + spec.NetPartitions +
+			spec.FrameCorrupts + spec.TornWrites
 
-		// Deliver through an adversarial query schedule: odd steps first,
-		// then a catch-all. Total deliveries must equal the permanent events.
+		// Deliver through an adversarial query schedule interleaving both
+		// delivery APIs: odd steps first, then a catch-all. Total deliveries
+		// must equal the permanent events; no event may be delivered by both.
 		got := 0
 		for seq := uint64(1); seq <= spec.withDefaults().Horizon+2; seq += 2 {
 			cr, dk := p.TakeFaults(seq)
 			got += len(cr) + len(dk)
+			got += len(p.TakeEvents(seq, NetPartition, FrameCorrupt, TornWrite))
 		}
 		cr, dk := p.TakeFaults(1 << 62)
 		got += len(cr) + len(dk)
+		got += len(p.TakeEvents(1<<62, NetPartition, FrameCorrupt, TornWrite))
+		// Double delivery through the other API must find nothing: the two
+		// delivery paths share one delivered-set.
+		got += len(p.TakeEvents(1<<62, NodeCrash, DiskFailure))
 		if got != want {
 			t.Fatalf("delivered %d permanent events, scheduled %d", got, want)
 		}
 		if cr, dk = p.TakeFaults(1 << 62); len(cr)+len(dk) != 0 {
 			t.Fatalf("redelivery after drain: %v %v", cr, dk)
+		}
+		if ev := p.TakeEvents(1<<62, NodeCrash, DiskFailure, NetPartition, FrameCorrupt, TornWrite); len(ev) != 0 {
+			t.Fatalf("redelivery after drain: %v", ev)
+		}
+		// Transient kinds are never "delivered".
+		if ev := p.TakeEvents(1<<62, Straggler, NetDegrade); len(ev) != 0 {
+			t.Fatalf("transient kinds delivered as events: %v", ev)
 		}
 
 		for seq := uint64(1); seq < 40; seq++ {

@@ -5,20 +5,46 @@
 // Keeping the schema in one place means no consumer re-parses the gob layout
 // privately.
 //
-// Files are gob-encoded and written atomically (temp file + rename), so a
-// crash mid-write never leaves a truncated checkpoint behind and a reader
-// polling the path never observes a half-written file.
+// Files are written atomically and durably: the record goes to a temp file,
+// the temp file is fsynced, renamed over the target, and the parent
+// directory is fsynced — so a crash at any instant leaves either the old
+// complete file or the new complete file, never a hybrid. On top of that
+// the current format ("CSTFCKP1") carries a CRC32-C of the payload, so
+// damage that slips past the rename discipline (torn sectors, bit rot,
+// truncation by a failing disk) is detected at read time as a typed
+// *CorruptError instead of being decoded into silently wrong factors.
+// Checksum-less files written by earlier versions still read.
 package ckpt
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 )
+
+// magic identifies the checksummed checkpoint format: 8 magic bytes, a
+// 4-byte little-endian CRC32-C of the gob payload, then the payload.
+const magic = "CSTFCKP1"
+
+// headerLen is the byte length of the magic + checksum prefix.
+const headerLen = len(magic) + 4
+
+// castagnoli is the CRC32-C polynomial table (hardware-accelerated on
+// amd64/arm64), matching the frame checksums of the distributed runtime.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // File is the on-disk checkpoint record. The exported field NAMES are the
 // wire contract — gob matches fields by name, so renaming any of them would
-// break decoding of previously written checkpoints.
+// break decoding of previously written checkpoints. (Adding fields is safe:
+// gob ignores names the decoder does not know and zeroes names the encoder
+// did not send, which is how checksum-less-era files keep reading.)
 type File struct {
 	Algorithm string
 	Rank      int
@@ -28,6 +54,14 @@ type File struct {
 	Lambda    []float64
 	Fits      []float64   // fit after each of the Iter completed iterations
 	Factors   [][]float64 // one row-major matrix per mode, Dims[n] x Rank
+
+	// Workers records how many distributed workers produced the snapshot
+	// (0: serial or unknown — files from before the field existed decode
+	// to 0). Informational: resume does NOT need it, because the dist
+	// partition is a pure function of (tensor, worker count) and ALS is
+	// deterministic, so a checkpoint from W workers resumes bitwise
+	// identically on any fleet size — or locally.
+	Workers int
 }
 
 // InvalidError reports a checkpoint whose fields are structurally
@@ -39,6 +73,21 @@ type InvalidError struct {
 
 func (e *InvalidError) Error() string {
 	return fmt.Sprintf("ckpt: invalid checkpoint %s: %s", e.Path, e.Reason)
+}
+
+// CorruptError reports a checkpoint file whose bytes are damaged — torn
+// write, truncation, checksum mismatch, or undecodable gob. It is a
+// distinct type from InvalidError (which means the bytes decoded fine but
+// the record is inconsistent) so recovery layers can react differently:
+// corruption triggers fallback to an older retained version, invalidity is
+// a producer bug.
+type CorruptError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("ckpt: corrupt checkpoint %s: %s", e.Path, e.Reason)
 }
 
 // Validate checks the record's internal consistency. path is only used to
@@ -75,17 +124,35 @@ func (f *File) Validate(path string) error {
 	return nil
 }
 
-// Write atomically replaces path with the encoded record.
+// Write atomically and durably replaces path with the encoded record:
+// temp file, fsync, rename, fsync of the parent directory. After Write
+// returns, the checkpoint survives power loss; during Write, a reader of
+// path only ever sees the previous complete file.
 func Write(path string, f *File) error {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, headerLen)) // header placeholder
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return fmt.Errorf("ckpt: encode: %w", err)
+	}
+	data := buf.Bytes()
+	copy(data[:len(magic)], magic)
+	binary.LittleEndian.PutUint32(data[len(magic):headerLen],
+		crc32.Checksum(data[headerLen:], castagnoli))
+
 	tmp := path + ".tmp"
 	w, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("ckpt: %w", err)
 	}
-	if err := gob.NewEncoder(w).Encode(f); err != nil {
+	if _, err := w.Write(data); err != nil {
 		w.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("ckpt: encode: %w", err)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: fsync: %w", err)
 	}
 	if err := w.Close(); err != nil {
 		os.Remove(tmp)
@@ -95,19 +162,54 @@ func Write(path string, f *File) error {
 		os.Remove(tmp)
 		return fmt.Errorf("ckpt: %w", err)
 	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Filesystems
+// that refuse fsync on directories (some network mounts) are tolerated: the
+// rename is still atomic, only its durability timing is weakened.
+func syncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
 	return nil
 }
 
-// Read decodes the record at path without validating it.
+// Read decodes the record at path without validating it. Damaged bytes —
+// truncated header, checksum mismatch, undecodable gob — come back as a
+// typed *CorruptError. Checksum-less files from earlier versions are
+// detected by their missing magic and decoded as plain gob.
 func Read(path string) (*File, error) {
-	r, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: %w", err)
 	}
-	defer r.Close()
+	if len(data) >= len(magic) && string(data[:len(magic)]) == magic {
+		if len(data) < headerLen {
+			return nil, &CorruptError{Path: path, Reason: "truncated header"}
+		}
+		want := binary.LittleEndian.Uint32(data[len(magic):headerLen])
+		payload := data[headerLen:]
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			return nil, &CorruptError{Path: path,
+				Reason: fmt.Sprintf("checksum %08x != %08x over %d payload bytes", got, want, len(payload))}
+		}
+		return decodeGob(path, payload)
+	}
+	// Legacy checksum-less format: the whole file is the gob payload.
+	return decodeGob(path, data)
+}
+
+func decodeGob(path string, payload []byte) (*File, error) {
 	f := &File{}
-	if err := gob.NewDecoder(r).Decode(f); err != nil {
-		return nil, fmt.Errorf("ckpt: decode %s: %w", path, err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(f); err != nil {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("gob: %v", err)}
 	}
 	return f, nil
 }
@@ -122,4 +224,42 @@ func Load(path string) (*File, error) {
 		return nil, err
 	}
 	return f, nil
+}
+
+// VersionPath names retained version n of the checkpoint at path:
+// "path.v<n>". Retention layers (stream.Publisher) hardlink or copy each
+// published generation there so a corrupted live file has intact ancestors
+// to fall back to.
+func VersionPath(path string, n int) string {
+	return fmt.Sprintf("%s.v%d", path, n)
+}
+
+// ListVersions returns the retained version numbers present next to path,
+// ascending. A missing directory or no versions is not an error.
+func ListVersions(path string) ([]int, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	prefix := base + ".v"
+	var vs []int
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), prefix) {
+			continue
+		}
+		n, err := strconv.Atoi(e.Name()[len(prefix):])
+		if err != nil || n < 0 {
+			continue
+		}
+		vs = append(vs, n)
+	}
+	sort.Ints(vs)
+	return vs, nil
 }

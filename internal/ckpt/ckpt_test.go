@@ -1,6 +1,8 @@
 package ckpt
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"os"
 	"path/filepath"
@@ -91,5 +93,114 @@ func TestReadMissingAndCorrupt(t *testing.T) {
 	}
 	if _, err := Read(path); err == nil {
 		t.Fatal("want decode error for corrupt file")
+	}
+}
+
+// TestChecksumDetectsCorruption flips each byte of a written checkpoint in
+// turn: every flip must surface as a typed *CorruptError (checksum or
+// magic/gob failure), never as a silently decoded wrong record.
+func TestChecksumDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.ckpt")
+	if err := Write(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(orig[:len(magic)]) != magic {
+		t.Fatalf("written file lacks magic %q", magic)
+	}
+	for i := headerLen; i < len(orig); i++ {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0x40
+		bad := filepath.Join(dir, "bad.ckpt")
+		if err := os.WriteFile(bad, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Read(bad)
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("byte %d flipped: want *CorruptError, got %v", i, err)
+		}
+	}
+}
+
+// TestTornWriteDetected truncates a checkpoint at several points — the torn
+// tail a crashed writer (without the rename discipline) would leave — and
+// expects a typed *CorruptError every time.
+func TestTornWriteDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.ckpt")
+	if err := Write(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, len(magic), headerLen, headerLen + 1, len(orig) / 2, len(orig) - 1} {
+		torn := filepath.Join(dir, "torn.ckpt")
+		if err := os.WriteFile(torn, orig[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Read(torn)
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("truncated to %d bytes: want *CorruptError, got %v", n, err)
+		}
+	}
+}
+
+// TestLegacyChecksumlessFileReads writes a raw gob stream — the format of
+// checkpoints produced before the checksum header existed — and expects
+// Read to fall back to plain decoding, with Workers zeroed.
+func TestLegacyChecksumlessFileReads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.ckpt")
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sample()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("legacy file rejected: %v", err)
+	}
+	if got.Rank != 2 || got.Iter != 3 || got.Workers != 0 {
+		t.Fatalf("legacy decode wrong: %+v", got)
+	}
+}
+
+// TestVersionHelpers exercises VersionPath/ListVersions over a retention
+// directory with gaps and stray entries.
+func TestVersionHelpers(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "m.ckpt")
+	if err := Write(base, sample()); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{3, 1, 7} {
+		if err := Write(VersionPath(base, n), sample()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Strays that must be ignored.
+	for _, name := range []string{"m.ckpt.vx", "m.ckpt.v-2", "other.ckpt.v1"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vs, err := ListVersions(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 || vs[0] != 1 || vs[1] != 3 || vs[2] != 7 {
+		t.Fatalf("versions %v, want [1 3 7]", vs)
+	}
+	if vs, err := ListVersions(filepath.Join(dir, "missing", "m.ckpt")); err != nil || vs != nil {
+		t.Fatalf("missing dir: %v %v", vs, err)
 	}
 }

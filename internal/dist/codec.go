@@ -3,6 +3,7 @@ package dist
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -10,27 +11,47 @@ import (
 	"cstf/internal/tensor"
 )
 
-// Compact binary wire codec. Framing is a 5-byte header — type byte plus
-// big-endian uint32 payload length — followed by the payload. Payload
-// encodings are fixed-width big-endian; float64s travel as IEEE-754 bits.
-// Every decoder is total: malformed input of any kind returns a
-// *DecodeError, never a panic, and element counts are validated against
-// the remaining payload BEFORE allocation so a corrupt length prefix
-// cannot force a huge allocation.
+// Compact binary wire codec. Framing is a 9-byte header — type byte,
+// big-endian uint32 payload length, big-endian CRC32-C over the type byte
+// and payload — followed by the payload. Payload encodings are fixed-width
+// big-endian; float64s travel as IEEE-754 bits. Every decoder is total:
+// malformed input of any kind returns a *DecodeError, never a panic, and
+// element counts are validated against the remaining payload BEFORE
+// allocation so a corrupt length prefix cannot force a huge allocation.
+// A checksum mismatch is a *CorruptFrameError, distinct from *DecodeError,
+// so callers can tell line corruption from a peer speaking garbage; both
+// end the connection — corruption is never silently absorbed.
 
 // maxFrame bounds a frame payload (1 GiB). Shards of real tensors are the
 // largest messages; a tensor bigger than this must be cut into more
 // workers, not a bigger frame.
 const maxFrame = 1 << 30
 
-// WriteFrame writes one frame: type byte, big-endian length, payload.
+// frameHeaderLen is the wire header size: type(1) + length(4) + crc32c(4).
+const frameHeaderLen = 9
+
+// castagnoli is the CRC32-C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameCRC covers the type byte and the payload. The length field is not
+// covered directly, but a corrupted length makes the receiver checksum a
+// different byte span, so it still fails the CRC (or the read blocks and
+// the heartbeat kills the connection).
+func frameCRC(t MsgType, payload []byte) uint32 {
+	crc := crc32.Update(0, castagnoli, []byte{byte(t)})
+	return crc32.Update(crc, castagnoli, payload)
+}
+
+// WriteFrame writes one frame: type byte, big-endian length, CRC32-C,
+// payload.
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("dist: frame payload %d bytes exceeds limit %d", len(payload), maxFrame)
 	}
-	var hdr [5]byte
+	var hdr [frameHeaderLen]byte
 	hdr[0] = byte(t)
 	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[5:], frameCRC(t, payload))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -39,9 +60,10 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 }
 
 // ReadFrame reads one frame. Transport errors pass through; a length
-// beyond maxFrame or an unknown type byte yields a *DecodeError.
+// beyond maxFrame or an unknown type byte yields a *DecodeError; a
+// checksum mismatch yields a *CorruptFrameError.
 func ReadFrame(r io.Reader) (MsgType, []byte, error) {
-	var hdr [5]byte
+	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
@@ -56,6 +78,10 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
+	}
+	want := binary.BigEndian.Uint32(hdr[5:])
+	if got := frameCRC(t, payload); got != want {
+		return 0, nil, &CorruptFrameError{Type: t, Want: want, Got: got}
 	}
 	return t, payload, nil
 }

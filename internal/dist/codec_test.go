@@ -173,11 +173,46 @@ func TestCodecRejectsMalformedInput(t *testing.T) {
 		}
 	}
 
-	// Frames: unknown type byte and oversized length.
-	_, _, err = ReadFrame(bytes.NewReader([]byte{0xEE, 0, 0, 0, 0}))
+	// Frames: unknown type byte and oversized length (9-byte header:
+	// type, u32 length, u32 crc32c).
+	_, _, err = ReadFrame(bytes.NewReader([]byte{0xEE, 0, 0, 0, 0, 0, 0, 0, 0}))
 	wantDecodeError(t, "frame type", err)
-	_, _, err = ReadFrame(bytes.NewReader([]byte{byte(MsgPing), 0xFF, 0xFF, 0xFF, 0xFF}))
+	_, _, err = ReadFrame(bytes.NewReader([]byte{byte(MsgPing), 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}))
 	wantDecodeError(t, "frame length", err)
+}
+
+// TestFrameChecksumDetectsCorruption flips every bit of a framed message
+// in turn; no flip may yield the original frame back as a clean read. A
+// flipped payload or type byte must surface as *CorruptFrameError (or a
+// *DecodeError for an invalid type byte); a flipped length byte either
+// fails the checksum over the mis-sized span or starves the read.
+func TestFrameChecksumDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	payload := EncodeSeq(0x1122334455667788)
+	if err := WriteFrame(&buf, MsgPing, payload); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	sawCorrupt := false
+	for i := 0; i < len(frame)*8; i++ {
+		mut := append([]byte{}, frame...)
+		mut[i/8] ^= 1 << (i % 8)
+		mt, got, err := ReadFrame(bytes.NewReader(mut))
+		if err == nil && mt == MsgPing && bytes.Equal(got, payload) {
+			t.Fatalf("bit flip %d absorbed silently", i)
+		}
+		var ce *CorruptFrameError
+		if errors.As(err, &ce) {
+			sawCorrupt = true
+		}
+	}
+	if !sawCorrupt {
+		t.Fatal("no flip produced a *CorruptFrameError")
+	}
+	// And a double check that an intact frame still reads cleanly.
+	if _, got, err := ReadFrame(bytes.NewReader(frame)); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("intact frame rejected: %x err %v", got, err)
+	}
 }
 
 // FuzzDecode drives every payload decoder with arbitrary bytes; the only

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"math"
 	"os/exec"
 	"path/filepath"
@@ -152,25 +153,60 @@ func TestMidFlightKillReassigns(t *testing.T) {
 	}
 }
 
-// TestAllWorkersDead asserts a clean typed failure, not a hang, when every
-// worker is gone.
+// TestAllWorkersDead exercises both fleet-collapse behaviours: by default
+// the coordinator degrades to a local solve from its iteration-boundary
+// snapshot (bitwise identical to the serial run, no hang), and with the
+// floor disabled (MinWorkers < 0) the collapse surfaces as a typed
+// *NoWorkersError.
 func TestAllWorkersDead(t *testing.T) {
 	x := plantedTensor()
-	c, err := StartInProcess(2)
+	serial, err := cpals.Solve(x, solveOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer c.Close()
-	cfg := c.Config()
-	cfg.AfterDispatch = func(stage uint64) {
-		if stage == 1 {
-			c.Kills[0]()
-			c.Kills[1]()
+
+	killAll := func(c *LocalCluster) func(uint64) {
+		return func(stage uint64) {
+			if stage == 1 {
+				c.Kills[0]()
+				c.Kills[1]()
+			}
 		}
 	}
-	if _, _, err := Solve(x, solveOpts(), cfg); err == nil {
-		t.Fatal("solve succeeded with zero live workers")
-	}
+
+	t.Run("degrades", func(t *testing.T) {
+		c, err := StartInProcess(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		cfg := c.Config()
+		cfg.AfterDispatch = killAll(c)
+		res, st, err := Solve(x, solveOpts(), cfg)
+		if err != nil {
+			t.Fatalf("degraded solve failed: %v", err)
+		}
+		if !st.Degraded {
+			t.Fatal("Stats.Degraded not set after fleet collapse")
+		}
+		sameBits(t, "degraded", serial, res)
+	})
+
+	t.Run("floor-disabled", func(t *testing.T) {
+		c, err := StartInProcess(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		cfg := c.Config()
+		cfg.MinWorkers = -1
+		cfg.AfterDispatch = killAll(c)
+		_, _, err = Solve(x, solveOpts(), cfg)
+		var nw *NoWorkersError
+		if !errors.As(err, &nw) {
+			t.Fatalf("want *NoWorkersError with floor disabled, got %v", err)
+		}
+	})
 }
 
 // TestSpawnedWorkerProcesses runs the full OS-process story: build the real

@@ -25,13 +25,21 @@
 //   - RowSolve and factor normalization are elementwise / per-row.
 //
 // Failure handling: the coordinator pings every worker; a missed-heartbeat
-// timeout or any socket error marks the worker dead, and its outstanding
-// tasks are reassigned to survivors, re-sending the needed shard or
-// MTTKRP rows from the coordinator's resident copy — and a full-factor
-// resync for any factor the substitute holds stale, never a delta against
-// state it was not sent. Dead workers never
-// rejoin a session. A chaos.FaultPlan can kill real worker processes at
-// stage boundaries, driving the same recovery path the simulator models.
+// timeout, a checksum-failed frame, or any socket error marks the worker
+// dead, and its outstanding tasks are reassigned to survivors, re-sending
+// the needed shard or MTTKRP rows from the coordinator's resident copy —
+// and a full-factor resync for any factor the substitute holds stale,
+// never a delta against state it was not sent. A dead worker is not gone
+// for good: a background rejoin loop redials its address with exponential
+// backoff + jitter and, when the worker answers the handshake again, it is
+// re-admitted mid-solve — shards re-ship lazily, factors resync in full —
+// and its home tasks route back to it. If the live fleet falls below
+// Config.MinWorkers, the coordinator degrades to a local solve from its
+// last iteration-boundary snapshot, bitwise identical to the distributed
+// result. A chaos.FaultPlan can kill real worker processes, sever
+// connections without killing (NetPartition), and corrupt outbound frames
+// (FrameCorrupt) at stage boundaries, driving the same recovery paths the
+// simulator models.
 package dist
 
 import (
@@ -44,8 +52,9 @@ import (
 // ProtocolVersion is bumped on any wire-format change. Hello carries it;
 // a mismatch aborts the handshake with a typed error. Version 2 added
 // FactorDelta frames, the row-grouped varint shard encoding, and the Hello
-// flags byte.
-const ProtocolVersion = 2
+// flags byte. Version 3 widened the frame header with a CRC32-C over the
+// type byte and payload.
+const ProtocolVersion = 3
 
 // MsgType identifies a protocol frame.
 type MsgType uint8
@@ -246,4 +255,18 @@ type DecodeError struct {
 
 func (e *DecodeError) Error() string {
 	return fmt.Sprintf("dist: decode error at byte %d: %s", e.Offset, e.Msg)
+}
+
+// CorruptFrameError reports a frame whose CRC32-C did not match its
+// contents: the bytes were damaged in flight (or by a torn write on a
+// proxy), not malformed by the peer. The receiver resets the connection —
+// frame boundaries cannot be trusted after corruption — and the
+// coordinator's normal death/rejoin machinery retries the lost work.
+type CorruptFrameError struct {
+	Type      MsgType
+	Want, Got uint32 // header checksum vs computed checksum
+}
+
+func (e *CorruptFrameError) Error() string {
+	return fmt.Sprintf("dist: corrupt %s frame: checksum %08x != %08x", e.Type, e.Got, e.Want)
 }

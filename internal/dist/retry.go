@@ -1,0 +1,136 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"cstf/internal/rng"
+)
+
+// RetryPolicy is the shared backoff schedule for everything in the runtime
+// that retries: session dials, worker rejoin redials, Accept on temporary
+// listener errors, and the per-task reassignment cap. One policy type so
+// the whole runtime degrades the same way under the same failure.
+//
+// Delays grow geometrically from Base by Multiplier up to Max, with a
+// deterministic jitter of ±Jitter/2 of the delay derived from (seed,
+// attempt) — deterministic so tests and chaos replays stay reproducible,
+// jittered so a fleet of workers redialing a restarted coordinator does
+// not thundering-herd on the same tick.
+type RetryPolicy struct {
+	MaxAttempts int           // total tries before giving up; <=0 means defaultRetry.MaxAttempts
+	Base        time.Duration // first delay; <=0 means defaultRetry.Base
+	Max         time.Duration // delay cap; <=0 means defaultRetry.Max
+	Multiplier  float64       // geometric growth; <1 means defaultRetry.Multiplier
+	Jitter      float64       // fraction of the delay randomized, in [0,1]; <0 disables
+}
+
+// defaultRetry is tuned for LAN dials: five attempts spanning ~3s.
+var defaultRetry = RetryPolicy{
+	MaxAttempts: 5,
+	Base:        100 * time.Millisecond,
+	Max:         2 * time.Second,
+	Multiplier:  2,
+	Jitter:      0.5,
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = defaultRetry.MaxAttempts
+	}
+	if p.Base <= 0 {
+		p.Base = defaultRetry.Base
+	}
+	if p.Max <= 0 {
+		p.Max = defaultRetry.Max
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = defaultRetry.Multiplier
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Delay returns the backoff before attempt (0-based; attempt 0 runs
+// immediately). The jitter is a pure function of (seed, attempt).
+func (p RetryPolicy) Delay(seed uint64, attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt <= 0 {
+		return 0
+	}
+	d := float64(p.Base)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if p.Jitter > 0 {
+		// Center the jitter: delay * (1 + Jitter*(u-0.5)), u in [0,1).
+		u := rng.UniformAt(seed, 0x9e3779b97f4a7c15, uint64(attempt))
+		d *= 1 + p.Jitter*(u-0.5)
+	}
+	return time.Duration(d)
+}
+
+// Do runs f up to MaxAttempts times, sleeping the policy delay between
+// tries. It stops early — returning errRetryAborted — when stop closes
+// mid-backoff, so shutdown never waits out a backoff schedule. The last
+// attempt's error is returned when every try fails.
+func (p RetryPolicy) Do(seed uint64, stop <-chan struct{}, f func(attempt int) error) error {
+	p = p.withDefaults()
+	var err error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if d := p.Delay(seed, attempt); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-stop:
+				t.Stop()
+				return errRetryAborted
+			}
+		}
+		select {
+		case <-stop:
+			return errRetryAborted
+		default:
+		}
+		if err = f(attempt); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// errRetryAborted reports a retry loop cut short by session shutdown.
+var errRetryAborted = fmt.Errorf("dist: retry aborted by shutdown")
+
+// DialRetry dials addr under the policy: each attempt gets its own
+// timeout, failed attempts back off with jitter, and a close of stop
+// abandons the loop immediately.
+func DialRetry(addr string, timeout time.Duration, p RetryPolicy, stop <-chan struct{}) (net.Conn, error) {
+	seed := rng.Hash64(rng.HashAny(addr))
+	var conn net.Conn
+	err := p.Do(seed, stop, func(int) error {
+		c, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return err
+		}
+		conn = c
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dist: dial %s: %w", addr, err)
+	}
+	return conn, nil
+}

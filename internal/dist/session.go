@@ -14,6 +14,7 @@ import (
 	"cstf/internal/chaos"
 	"cstf/internal/la"
 	"cstf/internal/par"
+	"cstf/internal/rng"
 	"cstf/internal/tensor"
 )
 
@@ -45,8 +46,36 @@ type Config struct {
 	// fiber arithmetic evaluates the same sums in a different order.
 	UseCSF bool
 
-	// DialTimeout bounds each worker dial (default 5s).
+	// DialTimeout bounds each worker dial attempt (default 5s).
 	DialTimeout time.Duration
+
+	// Retry is the shared backoff schedule: initial dials retry under it
+	// (a worker whose listener comes up late still joins), dead workers
+	// are redialed under its delay curve by the rejoin loop, and a task
+	// may be (re)dispatched at most MaxAttempts+workers times before the
+	// session aborts instead of bouncing forever. Zero fields take the
+	// package defaults (5 attempts, 100ms..2s, x2, 50% jitter).
+	Retry RetryPolicy
+
+	// DisableRejoin turns off the background re-admission of dead
+	// workers: a lost worker then stays lost for the session (the
+	// pre-v3 behavior). Reassignment to survivors still happens.
+	DisableRejoin bool
+
+	// MinWorkers is the live-worker floor consumed by Solve: when the
+	// live count drops below it (at an iteration boundary, or on a
+	// mid-iteration fleet collapse), the coordinator degrades to a
+	// local solve from its last iteration snapshot — bitwise identical
+	// to the distributed result — instead of failing. 0 means 1
+	// (degrade only when no workers remain); negative disables
+	// degradation entirely, turning fleet collapse into a hard error.
+	MinWorkers int
+
+	// OnTornWrite, when non-nil, fires right after the iteration
+	// checkpoint callback when the chaos plan schedules a TornWrite at
+	// or before the current stage: the caller is expected to damage the
+	// checkpoint file, simulating a crash mid-write. Test/bench only.
+	OnTornWrite func(iter int)
 
 	// HeartbeatEvery is the ping cadence (default 250ms).
 	HeartbeatEvery time.Duration
@@ -97,6 +126,9 @@ type Stats struct {
 	WorkerDeaths  int     // workers lost (timeout, socket error, or kill)
 	Reassignments int     // tasks re-dispatched after a worker death
 	ShardResends  int     // shards re-shipped to a substitute worker
+	Rejoins       int     // dead workers re-admitted mid-solve
+	CorruptFrames int     // inbound frames rejected by the CRC32-C check
+	Degraded      bool    // solve finished on the coordinator after fleet collapse
 
 	// Communication-plan counters (payload bytes, excluding frame headers).
 	ShardBytes  int64 // nonzero shards shipped at session start + resends
@@ -124,11 +156,14 @@ type outFrame struct {
 	payload []byte
 }
 
-// remote is the coordinator's view of one worker.
+// remote is the coordinator's view of one worker connection. A rejoined
+// worker gets a brand-new remote for its slot — pointer identity therefore
+// distinguishes "the connection that computed these rows" from "the slot".
 type remote struct {
 	slot  int
 	addr  string
 	conn  net.Conn
+	cc    *countingConn
 	br    *bufio.Reader
 	bw    *bufio.Writer
 	alive atomic.Bool
@@ -176,16 +211,59 @@ type Session struct {
 
 	resultc chan resMsg
 	deathc  chan int
+	rejoinc chan *remote
 	closed  chan struct{}
 
-	bytesSent atomic.Int64
-	bytesRecv atomic.Int64
+	bytesSent    atomic.Int64
+	bytesRecv    atomic.Int64
+	corruptRecvd atomic.Int64
+
+	// frozen[k][m] is worker k's pristine touched-row set for factor m,
+	// deep-copied at InitComms before any death merges widen the live
+	// copies; a rejoining worker is re-admitted with a fresh clone of it.
+	frozen [][]bitset
+	// curFactors[m] is the live factor matrix for mode m (set by the
+	// solver); a rejoining worker is brought current from it at install.
+	curFactors []*la.Dense
 
 	stageSeq uint64
 	nextTask uint64
 	inflight []*stage
 	fatal    error
 	stats    Stats
+
+	// snap is the last iteration-boundary state snapshot, the seed for
+	// graceful degradation to a coordinator-local solve.
+	snap *snapshot
+}
+
+// minWorkers resolves the configured live-worker floor: default 1, -1 when
+// degradation is disabled.
+func (s *Session) minWorkers() int {
+	if s.cfg.MinWorkers < 0 {
+		return -1
+	}
+	if s.cfg.MinWorkers == 0 {
+		return 1
+	}
+	return s.cfg.MinWorkers
+}
+
+// NoWorkersError reports a stage that found no live worker to run on, or
+// a live count below the configured floor at an iteration boundary. The
+// solver treats it as the trigger for graceful degradation (MinWorkers
+// permitting); every other session error remains fatal.
+type NoWorkersError struct {
+	Stage uint64
+	Live  int
+	Floor int
+}
+
+func (e *NoWorkersError) Error() string {
+	if e.Live == 0 {
+		return fmt.Sprintf("dist: no live workers (stage %d)", e.Stage)
+	}
+	return fmt.Sprintf("dist: %d live workers below floor %d (stage %d)", e.Live, e.Floor, e.Stage)
 }
 
 func (s *Session) logf(format string, args ...any) {
@@ -194,10 +272,14 @@ func (s *Session) logf(format string, args ...any) {
 	}
 }
 
-// countingConn counts real bytes on the wire into the session totals.
+// countingConn counts real bytes on the wire into the session totals and
+// carries the chaos frame-corruption trigger: when corrupt is armed, the
+// last byte of the next write batch is flipped before it reaches the
+// socket, so the receiver's CRC32-C must catch it.
 type countingConn struct {
 	net.Conn
 	sent, recv *atomic.Int64
+	corrupt    atomic.Bool
 }
 
 func (c *countingConn) Read(p []byte) (int, error) {
@@ -207,6 +289,11 @@ func (c *countingConn) Read(p []byte) (int, error) {
 }
 
 func (c *countingConn) Write(p []byte) (int, error) {
+	if len(p) > 0 && c.corrupt.CompareAndSwap(true, false) {
+		q := append([]byte(nil), p...)
+		q[len(q)-1] ^= 0x20
+		p = q
+	}
 	n, err := c.Conn.Write(p)
 	c.sent.Add(int64(n))
 	return n, err
@@ -230,6 +317,7 @@ func NewSession(t *tensor.COO, rank int, cfg Config) (*Session, error) {
 		rank:    rank,
 		resultc: make(chan resMsg, 8*len(cfg.Addrs)+32),
 		deathc:  make(chan int, len(cfg.Addrs)),
+		rejoinc: make(chan *remote, len(cfg.Addrs)),
 		closed:  make(chan struct{}),
 	}
 	s.stats.Workers = len(cfg.Addrs)
@@ -249,8 +337,12 @@ func NewSession(t *tensor.COO, rank int, cfg Config) (*Session, error) {
 	return s, nil
 }
 
+// connect dials and handshakes one worker under the shared retry policy
+// (a listener that comes up late, or a partitioned worker that is back,
+// still joins). Safe to call off the solver goroutine: it touches only
+// immutable session state and atomics.
 func (s *Session) connect(slot int, addr string) (*remote, error) {
-	conn, err := net.DialTimeout("tcp", addr, s.cfg.DialTimeout)
+	conn, err := DialRetry(addr, s.cfg.DialTimeout, s.cfg.Retry, s.closed)
 	if err != nil {
 		return nil, err
 	}
@@ -259,6 +351,7 @@ func (s *Session) connect(slot int, addr string) (*remote, error) {
 		slot:     slot,
 		addr:     addr,
 		conn:     cc,
+		cc:       cc,
 		br:       bufio.NewReaderSize(cc, 1<<16),
 		bw:       bufio.NewWriterSize(cc, 1<<16),
 		outbox:   make(chan outFrame, 64),
@@ -423,6 +516,13 @@ func (s *Session) readLoop(r *remote) {
 	for {
 		mt, payload, err := ReadFrame(r.br)
 		if err != nil {
+			var ce *CorruptFrameError
+			if errors.As(err, &ce) {
+				// Line corruption: frame boundaries can no longer be
+				// trusted, so the connection resets; the death/rejoin
+				// machinery retries the lost work.
+				s.corruptRecvd.Add(1)
+			}
 			if err != io.EOF {
 				s.markDead(r, err.Error())
 			} else {
@@ -519,11 +619,32 @@ func (s *Session) KillWorker(slot int) {
 	s.markDead(r, "killed")
 }
 
+// PartitionWorker severs a worker's connection WITHOUT the kill hook: the
+// process survives, so — unlike KillWorker — the rejoin loop can actually
+// get it back. Used by chaos NetPartition events and tests.
+func (s *Session) PartitionWorker(slot int) {
+	if slot < 0 || slot >= len(s.remotes) {
+		return
+	}
+	s.markDead(s.remotes[slot], "partitioned")
+}
+
+// CorruptNextFrame arms a one-shot bit flip on the next write batch to a
+// worker. The worker's CRC32-C check must reject the damaged frame and
+// reset the connection. Used by chaos FrameCorrupt events and tests.
+func (s *Session) CorruptNextFrame(slot int) {
+	if slot < 0 || slot >= len(s.remotes) {
+		return
+	}
+	s.remotes[slot].cc.corrupt.Store(true)
+}
+
 // Stats returns the real measurements so far.
 func (s *Session) Stats() Stats {
 	st := s.stats
 	st.BytesSent = s.bytesSent.Load()
 	st.BytesRecv = s.bytesRecv.Load()
+	st.CorruptFrames = int(s.corruptRecvd.Load())
 	st.WorkersAlive = s.Alive()
 	return st
 }
@@ -550,6 +671,15 @@ func (s *Session) Close() {
 			}
 		}
 		r.conn.Close()
+	}
+	// Rejoined connections that were handed off but never installed.
+	for {
+		select {
+		case r := <-s.rejoinc:
+			r.conn.Close()
+		default:
+			return
+		}
 	}
 }
 
@@ -603,6 +733,15 @@ func (s *Session) InitComms(ranges [][]tensor.NNZRange) {
 			for i := rlo; i < rhi; i++ {
 				s.remotes[k].touched[m].set(i)
 			}
+		}
+	}
+	// Freeze pristine copies before any death merges widen the live sets:
+	// a rejoining worker is re-admitted with exactly its original plan.
+	s.frozen = make([][]bitset, W)
+	for k, r := range s.remotes {
+		s.frozen[k] = make([]bitset, order)
+		for m := range r.touched {
+			s.frozen[k][m] = append(bitset(nil), r.touched[m]...)
 		}
 	}
 }
@@ -726,6 +865,10 @@ func (s *Session) ensureCurrent(r *remote, mode int, m *la.Dense) error {
 type stageTask struct {
 	task *Task
 	home int // preferred worker slot (the one holding the resident state)
+	// attempts counts dispatches (first send + every reassignment); the
+	// session aborts a task that exceeds the retry cap instead of letting
+	// a flapping worker bounce it forever.
+	attempts int
 	// prep readies a target worker for the task: re-sending a missing
 	// shard, resyncing a stale factor, attaching MTTKRP rows for a
 	// substitute, etc. Called before every (re)dispatch with the chosen
@@ -762,11 +905,23 @@ func (s *Session) pick(home int) *remote {
 	return nil
 }
 
+// maxTaskAttempts is the per-task dispatch cap: the policy's attempt
+// budget plus one slot-scan's worth of headroom, so a long-lived session
+// with many (recovered) deaths is not falsely aborted, but a task that
+// keeps landing on dying workers is.
+func (s *Session) maxTaskAttempts() int {
+	return s.cfg.Retry.withDefaults().MaxAttempts + len(s.remotes)
+}
+
 func (s *Session) dispatch(st *stageTask) error {
 	for {
 		r := s.pick(st.assigned)
 		if r == nil {
-			return fmt.Errorf("dist: no live workers (stage %d)", s.stageSeq)
+			return &NoWorkersError{Stage: s.stageSeq}
+		}
+		if st.attempts++; st.attempts > s.maxTaskAttempts() {
+			return fmt.Errorf("dist: task %d (%v) exceeded %d dispatch attempts",
+				st.task.ID, st.task.Kind, s.maxTaskAttempts())
 		}
 		st.assigned = r.slot
 		t := *st.task // shallow copy: prep may attach per-target payloads
@@ -797,12 +952,23 @@ func (s *Session) beginStage(tasks []*stageTask) *stage {
 	s.stageSeq++
 	s.stats.Stages++
 	if s.cfg.Plan != nil {
-		crashed, _ := s.cfg.Plan.TakeFaults(s.stageSeq)
-		for _, node := range crashed {
-			s.logf("dist: chaos kills worker %d at stage %d", node, s.stageSeq)
-			s.KillWorker(node)
+		events := s.cfg.Plan.TakeEvents(s.stageSeq,
+			chaos.NodeCrash, chaos.NetPartition, chaos.FrameCorrupt)
+		for _, ev := range events {
+			switch ev.Kind {
+			case chaos.NodeCrash:
+				s.logf("dist: chaos kills worker %d at stage %d", ev.Node, s.stageSeq)
+				s.KillWorker(ev.Node)
+			case chaos.NetPartition:
+				s.logf("dist: chaos partitions worker %d at stage %d", ev.Node, s.stageSeq)
+				s.PartitionWorker(ev.Node)
+			case chaos.FrameCorrupt:
+				s.logf("dist: chaos corrupts next frame to worker %d at stage %d", ev.Node, s.stageSeq)
+				s.CorruptNextFrame(ev.Node)
+			}
 		}
 	}
+	s.drainRejoins()
 	s.drainDeaths()
 
 	stg := &stage{
@@ -839,6 +1005,8 @@ func (s *Session) awaitStage(stg *stage) error {
 		select {
 		case slot := <-s.deathc:
 			s.handleDeath(slot)
+		case r := <-s.rejoinc:
+			s.handleRejoin(r)
 		case m := <-s.resultc:
 			s.handleResult(m)
 		case <-s.closed:
@@ -878,6 +1046,20 @@ func (s *Session) drainDeaths() {
 	}
 }
 
+// drainRejoins installs workers that reconnected while no stage was
+// waiting, so a rejoin between iterations takes effect before the next
+// dispatch round.
+func (s *Session) drainRejoins() {
+	for {
+		select {
+		case r := <-s.rejoinc:
+			s.handleRejoin(r)
+		default:
+			return
+		}
+	}
+}
+
 // handleDeath processes one worker death: its touched-row sets merge into
 // its deterministic substitute (so future deltas keep the substitute
 // current for the inherited work), and its unfinished tasks across every
@@ -885,6 +1067,7 @@ func (s *Session) drainDeaths() {
 func (s *Session) handleDeath(slot int) {
 	s.stats.WorkerDeaths++
 	dead := s.remotes[slot]
+	s.spawnRejoin(slot)
 	if dead.touched != nil {
 		if sub := s.pick((slot + 1) % len(s.remotes)); sub != nil && sub.touched != nil {
 			for m := range sub.touched {
@@ -907,6 +1090,100 @@ func (s *Session) handleDeath(slot int) {
 			}
 		}
 	}
+}
+
+// --- rejoin ---
+
+// TrackFactors registers the solver's live factor matrices so a rejoining
+// worker can be brought current at install time. The slice and matrices
+// are aliased, not copied — the solver mutates them in place and the
+// session reads them only from the solver goroutine.
+func (s *Session) TrackFactors(factors []*la.Dense) {
+	s.curFactors = factors
+}
+
+// spawnRejoin starts the background redial loop for a dead slot: connect
+// attempts under the shared policy, an ever-growing (capped, jittered)
+// delay between rounds, until the worker answers the handshake again or
+// the session closes. The fresh remote is handed to the solver goroutine
+// over rejoinc; it is installed at the next event-pump tick.
+func (s *Session) spawnRejoin(slot int) {
+	if s.cfg.DisableRejoin {
+		return
+	}
+	addr := s.cfg.Addrs[slot]
+	p := s.cfg.Retry.withDefaults()
+	seed := rng.Hash64(rng.HashAny(addr), uint64(slot), 0x7e01)
+	go func() {
+		for attempt := 1; ; attempt++ {
+			// Cap the exponent so Delay stays O(1) and pinned at p.Max.
+			da := attempt
+			if da > 20 {
+				da = 20
+			}
+			t := time.NewTimer(p.Delay(seed, da))
+			select {
+			case <-t.C:
+			case <-s.closed:
+				t.Stop()
+				return
+			}
+			r, err := s.connect(slot, addr)
+			if err == nil {
+				select {
+				case s.rejoinc <- r:
+				case <-s.closed:
+					r.conn.Close()
+				}
+				return
+			}
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// handleRejoin re-admits a reconnected worker (solver goroutine only): a
+// brand-new remote replaces the dead one in its slot, with a pristine
+// clone of the slot's frozen touched-row plan and no resident state — the
+// worker lost everything with its session, so shards re-ship lazily via
+// the prep hooks and the current factors are shipped in full right here.
+// From the next dispatch on, pick routes the slot's home tasks back to it.
+func (s *Session) handleRejoin(nr *remote) {
+	old := s.remotes[nr.slot]
+	if old.alive.Load() {
+		nr.conn.Close() // stale rejoin for a slot that is somehow live
+		return
+	}
+	if s.frozen != nil {
+		order := s.t.Order()
+		nr.touched = make([]bitset, order)
+		for m := range nr.touched {
+			nr.touched[m] = append(bitset(nil), s.frozen[nr.slot][m]...)
+		}
+		nr.prev = make([]*la.Dense, order)
+	}
+	s.remotes[nr.slot] = nr
+	go s.readLoop(nr)
+	go s.writeLoop(nr)
+	go s.heartbeat(nr)
+	for m, f := range s.curFactors {
+		if f == nil {
+			continue
+		}
+		payload := EncodeFactor(&Factor{Mode: m, M: f})
+		if s.enqueue(nr, MsgFactor, payload) == nil {
+			s.stats.FactorBytes += int64(len(payload))
+			if nr.prev != nil {
+				nr.prev[m] = f.Clone()
+			}
+		}
+	}
+	s.stats.Rejoins++
+	s.logf("dist: worker %d (%s) rejoined at stage %d", nr.slot, nr.addr, s.stageSeq)
 }
 
 // handleResult routes one worker result to its in-flight task.

@@ -1,10 +1,12 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
 
+	"cstf/internal/chaos"
 	"cstf/internal/cpals"
 	"cstf/internal/la"
 	"cstf/internal/par"
@@ -21,6 +23,13 @@ import (
 //
 // The returned Stats are real measurements (wall clock, bytes on sockets),
 // populated even when the solve fails partway.
+//
+// Fleet collapse — every remaining stage target dead, or the live count
+// under Config.MinWorkers at an iteration boundary — does not fail the
+// run unless MinWorkers is negative: the coordinator holds the complete
+// solver state, so it degrades to a local cpals.Solve from its last
+// iteration-boundary snapshot. ALS is deterministic, so the degraded
+// result is bitwise identical to the distributed one.
 func Solve(t *tensor.COO, opts cpals.Options, cfg Config) (*cpals.Result, Stats, error) {
 	start := time.Now()
 	if err := opts.Validate(t); err != nil {
@@ -32,9 +41,39 @@ func Solve(t *tensor.COO, opts cpals.Options, cfg Config) (*cpals.Result, Stats,
 	}
 	defer s.Close()
 	res, err := s.solve(opts)
+
+	var nw *NoWorkersError
+	if errors.As(err, &nw) && s.cfg.MinWorkers >= 0 && s.snap != nil {
+		s.logf("dist: %v; degrading to coordinator-local solve from iteration %d", err, s.snap.iter)
+		s.stats.Degraded = true
+		lo := opts
+		lo.StartIter = s.snap.iter
+		lo.InitFactors = s.snap.factors
+		lo.InitLambda = s.snap.lambda
+		if len(lo.InitLambda) == 0 {
+			// Collapse during iteration 0: no normalization has produced a
+			// lambda yet. The local solver overwrites it before any read but
+			// validates its length, so hand it a zero vector.
+			lo.InitLambda = make([]float64, opts.Rank)
+		}
+		lo.InitFits = s.snap.fits
+		lo.CSFKernel = s.cfg.UseCSF
+		res, err = cpals.Solve(t, lo)
+	}
+
 	st := s.Stats()
 	st.WallSeconds = time.Since(start).Seconds()
 	return res, st, err
+}
+
+// snapshot is the coordinator's complete solver state at an iteration
+// boundary — everything a local solve needs to finish the job bitwise
+// identically after fleet collapse.
+type snapshot struct {
+	iter    int
+	lambda  []float64
+	factors []*la.Dense
+	fits    []float64
 }
 
 // rowsView is a zero-copy view of rows [lo, hi) of m.
@@ -104,6 +143,8 @@ func (s *Session) solve(opts cpals.Options) (*cpals.Result, error) {
 		grams[n] = la.GramParallel(factors[n], w)
 		s.FactorUpdate(n, factors[n])
 	}
+	// Rejoining workers are brought current from these live matrices.
+	s.TrackFactors(factors)
 
 	normX := t.Norm()
 	res := &cpals.Result{Factors: factors, Iters: opts.StartIter}
@@ -130,6 +171,25 @@ func (s *Session) solve(opts cpals.Options) (*cpals.Result, error) {
 	for it := opts.StartIter; it < opts.MaxIters; it++ {
 		if err := opts.Interrupted(); err != nil {
 			return nil, err
+		}
+		// Iteration-boundary snapshot: factors at iteration start fully
+		// determine the rest of the solve, so fleet collapse anywhere in
+		// this iteration degrades to a local solve from here — bitwise
+		// identical, because ALS is deterministic. Also the point where
+		// the configured live-worker floor is enforced.
+		if floor := s.minWorkers(); floor >= 0 {
+			s.snap = &snapshot{
+				iter:    it,
+				lambda:  la.VecClone(lambda),
+				fits:    append([]float64(nil), res.Fits...),
+				factors: make([]*la.Dense, order),
+			}
+			for n := range factors {
+				s.snap.factors[n] = factors[n].Clone()
+			}
+			if live := s.Alive(); live < floor {
+				return nil, &NoWorkersError{Stage: s.stageSeq, Live: live, Floor: floor}
+			}
 		}
 		for n := 0; n < order; n++ {
 			mtt := s.beginMTTKRP(n, ranges[n], rank, factors)
@@ -173,6 +233,14 @@ func (s *Session) solve(opts cpals.Options) (*cpals.Result, error) {
 		if opts.CheckpointEvery > 0 && opts.OnCheckpoint != nil && (it+1)%opts.CheckpointEvery == 0 {
 			if err := opts.OnCheckpoint(it+1, lambda, factors, res.Fits); err != nil {
 				return nil, err
+			}
+			// A scheduled TornWrite fires right after the checkpoint
+			// callback: the hook damages the file just written, simulating
+			// a crash mid-write that a later resume must detect.
+			if s.cfg.OnTornWrite != nil && s.cfg.Plan != nil &&
+				len(s.cfg.Plan.TakeEvents(s.stageSeq, chaos.TornWrite)) > 0 {
+				s.logf("dist: chaos tears the checkpoint written at iteration %d", it+1)
+				s.cfg.OnTornWrite(it + 1)
 			}
 		}
 		if nf := len(res.Fits); opts.Tol > 0 && nf > 1 {
@@ -238,34 +306,37 @@ func (s *Session) beginMTTKRP(n int, rgs []tensor.NNZRange, rank int, factors []
 }
 
 // awaitMTTKRP completes an MTTKRP stage, returning the assembled matrix
-// and, per range, the slot that computed it (its rows are resident there
-// for the row solve).
-func (s *Session) awaitMTTKRP(run *mttkrpRun) (*la.Dense, []int, error) {
+// and, per range, the CONNECTION that computed it (its rows are resident
+// there for the row solve). Remotes, not slots: a worker that died and
+// rejoined occupies the same slot with a fresh session that holds nothing,
+// and only pointer identity tells the two apart.
+func (s *Session) awaitMTTKRP(run *mttkrpRun) (*la.Dense, []*remote, error) {
 	if err := s.awaitStage(run.stg); err != nil {
 		return nil, nil, err
 	}
-	computedBy := make([]int, len(run.tasks))
+	computedBy := make([]*remote, len(run.tasks))
 	for k, st := range run.tasks {
-		computedBy[k] = st.assigned
+		computedBy[k] = s.remotes[st.assigned]
 	}
 	return run.m, computedBy, nil
 }
 
 // rowSolveStage computes a_i = m_i * pinv for every factor row. Each task
-// prefers the slot already holding its MTTKRP rows; any other target gets
-// the rows shipped from the coordinator's assembled copy. Rows past the
-// last range (trailing all-empty rows the partitioner drops) have zero
-// MTTKRP rows, so their solution is the zero row — written locally, exactly
-// what the serial solver computes for them.
-func (s *Session) rowSolveStage(n int, rgs []tensor.NNZRange, pinv, m *la.Dense, computedBy []int, a *la.Dense) error {
+// prefers the connection already holding its MTTKRP rows; any other target
+// — including the same slot after a rejoin, whose fresh session holds
+// nothing — gets the rows shipped from the coordinator's assembled copy.
+// Rows past the last range (trailing all-empty rows the partitioner drops)
+// have zero MTTKRP rows, so their solution is the zero row — written
+// locally, exactly what the serial solver computes for them.
+func (s *Session) rowSolveStage(n int, rgs []tensor.NNZRange, pinv, m *la.Dense, computedBy []*remote, a *la.Dense) error {
 	tasks := make([]*stageTask, len(rgs))
 	for k, rg := range rgs {
 		rg, home := rg, computedBy[k]
 		st := &stageTask{
 			task: &Task{Kind: TaskRowSolve, Mode: n, RowLo: rg.RowLo, RowHi: rg.RowHi, Pinv: pinv},
-			home: home,
+			home: home.slot,
 			prep: func(r *remote, task *Task) error {
-				if r.slot != home {
+				if r != home {
 					task.MRows = rowsView(m, rg.RowLo, rg.RowHi)
 				}
 				return nil

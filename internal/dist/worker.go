@@ -2,14 +2,17 @@ package dist
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"cstf/internal/cpals"
 	"cstf/internal/la"
 	"cstf/internal/par"
+	"cstf/internal/rng"
 	"cstf/internal/tensor"
 )
 
@@ -51,6 +54,9 @@ func (w *Worker) Serve(ln net.Listener) error {
 	}
 	w.ln = ln
 	w.mu.Unlock()
+	pol := defaultRetry
+	seed := rng.Hash64(rng.HashAny(ln.Addr().String()), 0x5e12)
+	acceptFails := 0
 	for {
 		c, err := ln.Accept()
 		if err != nil {
@@ -60,8 +66,23 @@ func (w *Worker) Serve(ln net.Listener) error {
 			if closed {
 				return nil
 			}
+			// Transient failures (EMFILE, network stack hiccups) back off
+			// under the shared policy instead of tearing the worker down; a
+			// closed listener or persistent error still exits. Consecutive
+			// failures are bounded — a successful accept resets the count.
+			if errors.Is(err, net.ErrClosed) {
+				return err
+			}
+			if acceptFails < pol.MaxAttempts {
+				acceptFails++
+				w.logf("dist: worker accept (attempt %d): %v", acceptFails, err)
+				t := time.NewTimer(pol.Delay(seed, acceptFails))
+				<-t.C
+				continue
+			}
 			return err
 		}
+		acceptFails = 0
 		w.mu.Lock()
 		if w.closed {
 			w.mu.Unlock()

@@ -168,6 +168,9 @@ func handleHealth(s *Server, w http.ResponseWriter, _ *http.Request) {
 		"rank":          m.Rank,
 		"dims":          m.Dims,
 		"memory_bytes":  m.MemoryBytes(),
+		// Non-zero when the live checkpoint was corrupt and an older
+		// retained version is serving in its place.
+		"reload_fallbacks": s.reloadFallbacks.Load(),
 	})
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cstf/internal/ckpt"
 	"cstf/internal/par"
 )
 
@@ -45,6 +46,9 @@ type Config struct {
 	// execution); exceeding it returns context.DeadlineExceeded. Callers
 	// can always pass a tighter per-request context.
 	Timeout time.Duration
+	// Logf, when non-nil, receives operational log lines (reload
+	// failures, corruption fallbacks).
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +92,9 @@ type Stats struct {
 
 	Reloads      uint64 `json:"reloads"`
 	ReloadErrors uint64 `json:"reload_errors"`
+	// ReloadFallbacks counts reloads that served an older retained
+	// checkpoint version because the live file was corrupt on disk.
+	ReloadFallbacks uint64 `json:"reload_fallbacks"`
 }
 
 type reqKind uint8
@@ -135,9 +142,16 @@ type Server struct {
 	shed, timeouts, badReqs        atomic.Uint64
 	cacheHits, cacheMisses         atomic.Uint64
 	reloads, reloadErrs            atomic.Uint64
+	reloadFallbacks                atomic.Uint64
 	watchMu                        sync.Mutex
 	watchMTime                     time.Time
 	watchSize                      int64
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
 }
 
 // New starts a Server for m. Callers must Close it to stop the executor.
@@ -185,16 +199,47 @@ func (s *Server) Swap(m *Model) {
 	s.reloads.Add(1)
 }
 
-// Reload loads the checkpoint at path and swaps it in. On error the
-// current model keeps serving and the error is counted.
+// Reload loads the checkpoint at path and swaps it in. A live file that is
+// corrupt on disk (torn write, bit rot — surfaced by internal/ckpt as a
+// typed *ckpt.CorruptError) does not leave the server stuck: Reload falls
+// back to the newest intact retained version (stream.Publisher keeps the
+// last few next to the live path), logs the skip, and counts the fallback
+// — visible on /healthz and /statsz. On any other error, or when no
+// retained version is intact, the current model keeps serving and the
+// error is counted.
 func (s *Server) Reload(path string) error {
 	m, err := LoadCheckpoint(path)
+	var ce *ckpt.CorruptError
+	if errors.As(err, &ce) {
+		s.logf("serve: %v; falling back to retained versions", err)
+		if fm, fv, ferr := loadNewestRetained(path); ferr == nil {
+			s.logf("serve: serving retained version %d of %s instead", fv, path)
+			s.reloadFallbacks.Add(1)
+			s.Swap(fm)
+			return nil
+		}
+	}
 	if err != nil {
 		s.reloadErrs.Add(1)
 		return err
 	}
 	s.Swap(m)
 	return nil
+}
+
+// loadNewestRetained scans the retained versions next to path newest-first
+// and returns the first one that reads and validates.
+func loadNewestRetained(path string) (*Model, int, error) {
+	vs, err := ckpt.ListVersions(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := len(vs) - 1; i >= 0; i-- {
+		if m, err := LoadCheckpoint(ckpt.VersionPath(path, vs[i])); err == nil {
+			return m, vs[i], nil
+		}
+	}
+	return nil, 0, fmt.Errorf("serve: no intact retained version of %s", path)
 }
 
 // Watch polls path every interval and hot-reloads the model whenever the
@@ -270,6 +315,7 @@ func (s *Server) Stats() Stats {
 		CacheEntries:    s.cache.len(),
 		Reloads:         s.reloads.Load(),
 		ReloadErrors:    s.reloadErrs.Load(),
+		ReloadFallbacks: s.reloadFallbacks.Load(),
 	}
 }
 

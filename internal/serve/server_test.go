@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -373,5 +374,74 @@ func TestGatherRowsOnFactors(t *testing.T) {
 		if la.VecMaxAbsDiff(g.Row(o), m.Factor(0).Row(i)) != 0 {
 			t.Fatalf("gathered factor row %d differs", i)
 		}
+	}
+}
+
+// TestReloadFallsBackToRetainedVersion corrupts the live checkpoint while
+// intact retained versions (as stream.Publisher writes them) sit next to
+// it: Reload must detect the corruption via the checksum, serve the newest
+// intact version instead, and count the fallback for /healthz.
+func TestReloadFallsBackToRetainedVersion(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.ckpt")
+	writeTestCheckpoint(t, path, 1, 1)
+	m, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logged bool
+	s, err := New(m, Config{Logf: func(string, ...any) { logged = true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Retained versions 2 and 3; version 3 is also corrupt, so the
+	// fallback must land on 2.
+	writeTestCheckpoint(t, ckpt.VersionPath(path, 2), 2, 2)
+	writeTestCheckpoint(t, ckpt.VersionPath(path, 3), 3, 3)
+	corrupt := func(p string) {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-1] ^= 0x40
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeTestCheckpoint(t, path, 4, 4) // the damaged "latest"
+	corrupt(path)
+	corrupt(ckpt.VersionPath(path, 3))
+
+	if err := s.Reload(path); err != nil {
+		t.Fatalf("reload with intact retained version failed: %v", err)
+	}
+	if got := s.Model().Iter; got != 2 {
+		t.Fatalf("serving iter %d, want retained version 2", got)
+	}
+	st := s.Stats()
+	if st.ReloadFallbacks != 1 {
+		t.Fatalf("fallback not counted: %+v", st)
+	}
+	if st.ReloadErrors != 0 {
+		t.Fatalf("successful fallback counted as error: %+v", st)
+	}
+	if !logged {
+		t.Fatal("fallback was not logged")
+	}
+
+	// With every retained version also corrupt, the reload fails and the
+	// previous model keeps serving.
+	corrupt(ckpt.VersionPath(path, 2))
+	before := s.Model().Version
+	if err := s.Reload(path); err == nil {
+		t.Fatal("reload succeeded with everything corrupt")
+	}
+	if s.Model().Version != before {
+		t.Fatal("failed reload swapped the model")
+	}
+	if s.Stats().ReloadErrors != 1 {
+		t.Fatalf("exhausted fallback not counted as error: %+v", s.Stats())
 	}
 }

@@ -2,6 +2,8 @@ package stream
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"cstf/internal/ckpt"
 )
@@ -12,11 +14,26 @@ import (
 // torn file. The checkpoint's Iter field carries the publish sequence
 // number — it is what /healthz and /statsz report as model_iter, giving
 // operators an end-to-end freshness counter.
+//
+// Each publish additionally retains the version under ckpt.VersionPath
+// (hardlinked when the filesystem allows, copied otherwise), keeping the
+// newest Keep generations. Retention is what makes the serve-side
+// corruption fallback possible: if the live file is ever damaged on disk,
+// the server rolls back to the newest intact retained version instead of
+// serving nothing.
 type Publisher struct {
 	path    string
 	seed    uint64
 	version int
+
+	// Keep is how many retained versions to leave on disk; 0 means
+	// defaultKeep, negative disables retention entirely.
+	Keep int
 }
+
+// defaultKeep retains enough history to survive a corrupted live file plus
+// a corrupted newest retained copy.
+const defaultKeep = 3
 
 // NewPublisher publishes to path. seed is recorded in each checkpoint so a
 // resumed pipeline reproduces the same grown-row initialization.
@@ -50,6 +67,52 @@ func (p *Publisher) Publish(u *Updater, fit float64) (int, error) {
 	if err := ckpt.Write(p.path, cp); err != nil {
 		return p.version, fmt.Errorf("stream: publish v%d: %w", next, err)
 	}
+	p.retain(next)
 	p.version = next
 	return next, nil
+}
+
+// retain snapshots the just-published live file as version n and prunes
+// generations beyond Keep. Retention failures are deliberately non-fatal:
+// the live publish already succeeded, and a missing history entry only
+// narrows the corruption-fallback window.
+func (p *Publisher) retain(n int) {
+	keep := p.Keep
+	if keep == 0 {
+		keep = defaultKeep
+	}
+	if keep < 0 {
+		return
+	}
+	vp := ckpt.VersionPath(p.path, n)
+	if err := os.Link(p.path, vp); err != nil {
+		if err := copyFile(p.path, vp); err != nil {
+			return
+		}
+	}
+	if vs, err := ckpt.ListVersions(p.path); err == nil {
+		for _, v := range vs {
+			if v <= n-keep {
+				os.Remove(ckpt.VersionPath(p.path, v))
+			}
+		}
+	}
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		os.Remove(dst)
+		return err
+	}
+	return out.Close()
 }
