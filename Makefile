@@ -5,9 +5,9 @@ GO ?= go
 # Packages that carry concurrency (worker pools, shared caches, simulated
 # cluster, the serving executor, the streaming pipeline) or fault-recovery
 # paths: these also run under the race detector in `make ci`.
-RACE_PKGS := ./internal/cpals ./internal/la ./internal/par ./internal/tensor ./internal/rdd ./internal/cluster ./internal/chaos ./internal/mapreduce ./internal/core ./internal/serve ./internal/stream ./internal/dist
+RACE_PKGS := ./internal/cpals ./internal/la ./internal/par ./internal/tensor ./internal/rdd ./internal/cluster ./internal/chaos ./internal/mapreduce ./internal/core ./internal/serve ./internal/stream ./internal/dist ./internal/fleet
 
-.PHONY: ci fmt vet staticcheck check-deprecated build test race bench stream-smoke dist-smoke dist-chaos-smoke
+.PHONY: ci fmt vet staticcheck check-deprecated build test race bench stream-smoke dist-smoke dist-chaos-smoke fleet-smoke
 
 ci: fmt vet staticcheck check-deprecated build test race
 
@@ -76,6 +76,12 @@ dist-chaos-smoke:
 	CSTF_WORKER_BIN="$$tmp/cstf-worker" $(GO) run -race ./cmd/cstf \
 		-in "$$tmp/t.tns" -dist-local 3 -rank 3 -iters 4 -tol 0 \
 		-checkpoint "$$tmp/cp.ckpt" -resume
+
+# End-to-end fleet smoke under the race detector: a router over two
+# in-process replicas takes a closed-loop query burst while a rolling
+# reload crosses the fleet; zero dropped queries is the pass condition.
+fleet-smoke:
+	$(GO) run -race ./cmd/cstf-router -smoke
 
 # The flat DistAddrs/DistLocalWorkers/DistWorkerBin fields are deprecated
 # aliases for Options.Dist; they may appear only in decompose.go (the alias

@@ -205,6 +205,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(experiments.RenderServeBench(rep))
+		fleetRep, err := experiments.FleetBench(p)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Fleet = fleetRep
+		fmt.Println(experiments.RenderFleetBench(fleetRep))
 		if *out != "" {
 			path := filepath.Join(*out, "BENCH_serve.json")
 			f, err := os.Create(path)

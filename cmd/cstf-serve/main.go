@@ -11,9 +11,14 @@
 // The server watches the model file and hot-reloads it whenever a training
 // run overwrites it: in-flight queries finish against the snapshot they
 // started with, subsequent queries see the new factors, and a corrupt or
-// half-trained file is rejected while the old model keeps serving.
+// half-trained file is rejected while the old model keeps serving. A fleet
+// router can also trigger the reload on demand with POST /reloadz.
 //
-// Endpoints: /predict, /topk, /similar, /healthz, /statsz (see
+// On SIGTERM or SIGINT the server drains gracefully: it stops accepting
+// new connections and queries, finishes every in-flight query, and exits —
+// the replica half of a fleet's zero-downtime restarts.
+//
+// Endpoints: /predict, /topk, /similar, /healthz, /statsz, /reloadz (see
 // internal/serve for parameters and error mapping).
 package main
 
@@ -25,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"cstf/internal/serve"
@@ -40,6 +46,8 @@ func main() {
 	cache := flag.Int("cache", 0, "LRU result cache entries (0 = default 4096, negative disables)")
 	workers := flag.Int("workers", 0, "goroutines per batched scan (0 = all cores)")
 	timeout := flag.Duration("timeout", 0, "per-query timeout (0 disables)")
+	approx := flag.Bool("approx", false, "serve full-mode TopK from the norm-pruned approximate index")
+	approxCand := flag.Int("approx-candidates", 0, "candidate budget per approximate TopK (0 = default 2048, negative uncapped)")
 	flag.Parse()
 
 	if *model == "" {
@@ -50,25 +58,30 @@ func main() {
 		fatal(err)
 	}
 	s, err := serve.New(m, serve.Config{
-		MaxBatch:   *maxBatch,
-		MaxWait:    *maxWait,
-		QueueDepth: *queue,
-		CacheSize:  *cache,
-		Workers:    *workers,
-		Timeout:    *timeout,
+		MaxBatch:         *maxBatch,
+		MaxWait:          *maxWait,
+		QueueDepth:       *queue,
+		CacheSize:        *cache,
+		Workers:          *workers,
+		Timeout:          *timeout,
+		Approx:           *approx,
+		ApproxCandidates: *approxCand,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "cstf-serve: "+format+"\n", args...)
+		},
 	})
 	if err != nil {
 		fatal(err)
 	}
 	defer s.Close()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *watch > 0 {
 		s.Watch(ctx, *model, *watch)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(s)}
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandlerWith(s, serve.HandlerConfig{ReloadPath: *model})}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 
@@ -81,10 +94,16 @@ func main() {
 			fatal(err)
 		}
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "cstf-serve: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Graceful drain: close the listener and wait for in-flight HTTP
+		// requests (srv.Shutdown), refuse queries that race in on kept-
+		// alive connections and wait out already-accepted ones (s.Drain),
+		// then stop the executor.
+		fmt.Fprintln(os.Stderr, "cstf-serve: draining")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx) //nolint:errcheck // best-effort drain
+		s.Drain()
+		fmt.Fprintln(os.Stderr, "cstf-serve: drained, exiting")
 	}
 }
 

@@ -70,6 +70,10 @@ type ServeReport struct {
 	CacheHits  uint64          `json:"cache_hits"`
 	Batches    uint64          `json:"batches"`
 	MaxBatch   uint64          `json:"max_batch"`
+
+	// Fleet is the horizontal-scaling section (router + replica fleet);
+	// see FleetBench. Populated by `cstf-bench -exp serve`.
+	Fleet *FleetReport `json:"fleet,omitempty"`
 }
 
 // ServeBench runs the serving benchmark with the default sizing.

@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"errors"
+	"net/http"
+
+	"cstf/internal/serve"
+)
+
+// NewHandler is the router's HTTP surface — deliberately the same shape a
+// single replica serves (same endpoints, same parse, same error mapping),
+// so clients cannot tell one node from a fleet:
+//
+//	GET/POST /predict, /topk, /similar   as in internal/serve
+//	GET      /healthz                    fleet view: live count + per-replica
+//	                                     routing stats + reload progress
+//	GET      /statsz                     same payload as /healthz
+//	POST     /reloadz                    run a rolling reload across the fleet
+func NewHandler(rt *Router) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		q, err := serve.ParseQuery(r)
+		if err != nil {
+			serve.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		if len(q.Index) == 0 {
+			serve.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": "predict requires index=i,j,..."})
+			return
+		}
+		v, err := rt.Predict(r.Context(), q.Index...)
+		if err != nil {
+			writeRouteError(w, err)
+			return
+		}
+		serve.WriteJSON(w, http.StatusOK, map[string]any{"value": v, "index": q.Index})
+	})
+	ranked := func(topk bool) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			q, err := serve.ParseQuery(r)
+			if err != nil {
+				serve.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+				return
+			}
+			if q.Mode == nil || q.Row == nil {
+				serve.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": "mode and row are required"})
+				return
+			}
+			k := 10
+			if q.K != nil {
+				k = *q.K
+			}
+			var scored []serve.Scored
+			if topk {
+				given := -1
+				if q.Given != nil {
+					given = *q.Given
+				}
+				scored, err = rt.TopK(r.Context(), *q.Mode, given, *q.Row, k)
+			} else {
+				scored, err = rt.Similar(r.Context(), *q.Mode, *q.Row, k)
+			}
+			if err != nil {
+				writeRouteError(w, err)
+				return
+			}
+			serve.WriteJSON(w, http.StatusOK, map[string]any{
+				"mode": *q.Mode, "row": *q.Row, "k": k, "results": scored,
+			})
+		}
+	}
+	mux.HandleFunc("/topk", ranked(true))
+	mux.HandleFunc("/similar", ranked(false))
+	health := func(w http.ResponseWriter, r *http.Request) {
+		st := rt.Stats()
+		code := http.StatusOK
+		status := "ok"
+		if st.Live == 0 {
+			code, status = http.StatusServiceUnavailable, "no live replicas"
+		}
+		serve.WriteJSON(w, code, map[string]any{
+			"status": status,
+			"dims":   rt.Dims(),
+			"fleet":  st,
+		})
+	}
+	mux.HandleFunc("/healthz", health)
+	mux.HandleFunc("/statsz", health)
+	mux.HandleFunc("/reloadz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			serve.WriteJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "reloadz requires POST"})
+			return
+		}
+		if err := rt.RollingReload(r.Context()); err != nil {
+			serve.WriteJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		serve.WriteJSON(w, http.StatusOK, map[string]any{"status": "ok", "fleet": rt.Stats()})
+	})
+	return mux
+}
+
+// writeRouteError maps routing failures onto the shared error surface:
+// replica-reported statuses pass through verbatim, a fleet with no live
+// replicas is 503, and anything else falls back to serve's mapping.
+func writeRouteError(w http.ResponseWriter, err error) {
+	var re *replicaError
+	if asReplicaError(err, &re) && re.code != 0 {
+		serve.WriteJSON(w, re.code, map[string]string{"error": re.msg})
+		return
+	}
+	if errors.Is(err, ErrNoReplicas) {
+		serve.WriteJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	}
+	serve.WriteQueryError(w, err)
+}

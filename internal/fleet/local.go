@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"cstf/internal/serve"
+)
+
+// LocalReplica is one in-process serve replica listening on a loopback
+// port — real HTTP, real drain/reload semantics, no extra processes.
+type LocalReplica struct {
+	Name   string // host:port (also the ring member name)
+	URL    string
+	Server *serve.Server
+
+	hs  *http.Server
+	lis net.Listener
+}
+
+// LocalFleet is a set of in-process replicas. `cstf-router -local N` and
+// the fleet benchmark and smoke tests use it to exercise the full
+// router↔replica HTTP path on one machine.
+type LocalFleet struct {
+	Replicas []*LocalReplica
+}
+
+// StartLocal boots n replicas on loopback ports. newModel is called once
+// per replica and must return a fresh *serve.Model each time (replicas
+// own and mutate their models independently — version counters, approx
+// index); loading the same checkpoint path n times, or regenerating from
+// the same seed, both qualify.
+func StartLocal(n int, newModel func(i int) (*serve.Model, error), scfg serve.Config, hc serve.HandlerConfig) (*LocalFleet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fleet: local fleet needs n > 0 replicas")
+	}
+	f := &LocalFleet{}
+	for i := 0; i < n; i++ {
+		m, err := newModel(i)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: replica %d model: %w", i, err)
+		}
+		s, err := serve.New(m, scfg)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			s.Close()
+			f.Close()
+			return nil, err
+		}
+		r := &LocalReplica{
+			Name:   lis.Addr().String(),
+			URL:    "http://" + lis.Addr().String(),
+			Server: s,
+			hs:     &http.Server{Handler: serve.NewHandlerWith(s, hc)},
+			lis:    lis,
+		}
+		go r.hs.Serve(lis) //nolint:errcheck // returns ErrServerClosed on Close
+		f.Replicas = append(f.Replicas, r)
+	}
+	return f, nil
+}
+
+// Configs returns the Replica entries a Router config needs.
+func (f *LocalFleet) Configs() []Replica {
+	out := make([]Replica, len(f.Replicas))
+	for i, r := range f.Replicas {
+		out[i] = Replica{Name: r.Name, URL: r.URL}
+	}
+	return out
+}
+
+// Stop kills one replica's listener without closing its server — the
+// "crashed replica" a failover test needs.
+func (r *LocalReplica) Stop() { r.hs.Close() } //nolint:errcheck
+
+// Restart brings a stopped replica back on its original port, so the
+// prober's re-admission path can find it at the same ring name.
+func (r *LocalReplica) Restart() error {
+	lis, err := net.Listen("tcp", r.Name)
+	if err != nil {
+		return err
+	}
+	r.lis = lis
+	r.hs = &http.Server{Handler: r.hs.Handler}
+	go r.hs.Serve(lis) //nolint:errcheck
+	return nil
+}
+
+// Close shuts every replica down: HTTP first (stop accepting), then the
+// serving executor.
+func (f *LocalFleet) Close() {
+	for _, r := range f.Replicas {
+		if r == nil {
+			continue
+		}
+		r.hs.Close() //nolint:errcheck
+		r.Server.Close()
+	}
+}

@@ -1,0 +1,176 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// ReloadProgress is the observable state of a rolling reload (surfaced on
+// the router's /healthz while a roll is in flight).
+type ReloadProgress struct {
+	Active  bool   `json:"active"`
+	Total   int    `json:"total"`   // replicas in this roll
+	Done    int    `json:"done"`    // replicas already reloaded and re-admitted
+	Current string `json:"current"` // replica currently draining/reloading
+}
+
+// RollingReload rolls a model reload across the fleet one replica at a
+// time, dropping zero queries:
+//
+//  1. take the replica out of the ring (its keys remap to the survivors —
+//     new queries never see it),
+//  2. wait for its in-flight queries to finish (poll /statsz inflight),
+//  3. POST /reloadz so it swaps to the checkpoint on disk,
+//  4. health-check it, and
+//  5. put it back in the ring.
+//
+// If any step fails the roll aborts with the error; the failing replica is
+// re-admitted as-is (it still serves its previous model — the prober
+// evicts it if it is actually down). Only one roll runs at a time.
+func (rt *Router) RollingReload(ctx context.Context) error {
+	rt.reloadMu.Lock()
+	if rt.reload.Active {
+		rt.reloadMu.Unlock()
+		return fmt.Errorf("fleet: rolling reload already in progress")
+	}
+	targets := rt.routable()
+	rt.reload = ReloadProgress{Active: true, Total: len(targets)}
+	rt.reloadMu.Unlock()
+	defer func() {
+		rt.reloadMu.Lock()
+		rt.reload.Active = false
+		rt.reload.Current = ""
+		rt.reloadMu.Unlock()
+	}()
+	if len(targets) == 0 {
+		return ErrNoReplicas
+	}
+	if len(targets) == 1 {
+		rt.logf("fleet: rolling reload over a single replica: queries will fail over to no one while it drains")
+	}
+
+	for _, m := range targets {
+		rt.setReloadCurrent(m.name)
+		m.draining.Store(true)
+		rt.rebuildRing()
+		if err := rt.reloadOne(ctx, m); err != nil {
+			m.draining.Store(false)
+			rt.rebuildRing()
+			return fmt.Errorf("fleet: rolling reload stopped at %s: %w", m.name, err)
+		}
+		m.draining.Store(false)
+		rt.rebuildRing()
+		rt.bumpReloadDone()
+		rt.logf("fleet: replica %s reloaded to version %d", m.name, m.version.Load())
+	}
+	return nil
+}
+
+func (rt *Router) setReloadCurrent(name string) {
+	rt.reloadMu.Lock()
+	rt.reload.Current = name
+	rt.reloadMu.Unlock()
+}
+
+func (rt *Router) bumpReloadDone() {
+	rt.reloadMu.Lock()
+	rt.reload.Done++
+	rt.reloadMu.Unlock()
+}
+
+// reloadOne drains, reloads, and health-checks one replica that is
+// already out of the ring.
+func (rt *Router) reloadOne(ctx context.Context, m *member) error {
+	// Drain: the router stopped sending; wait for queries it already
+	// accepted (from this router or another) to finish.
+	for {
+		st, err := m.c.stats(ctx)
+		if err != nil {
+			return fmt.Errorf("drain poll: %w", err)
+		}
+		if st.Inflight == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-rt.closed:
+			return fmt.Errorf("router closed")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	v, err := m.c.reload(ctx)
+	if err != nil {
+		return fmt.Errorf("reloadz: %w", err)
+	}
+	h, err := m.c.health(ctx)
+	if err != nil {
+		return fmt.Errorf("post-reload health: %w", err)
+	}
+	m.version.Store(h.Version)
+	if h.Version != v {
+		return fmt.Errorf("post-reload version %d, reload reported %d", h.Version, v)
+	}
+	return nil
+}
+
+// ReplicaStats is one replica's routing view (router /healthz).
+type ReplicaStats struct {
+	Name     string `json:"name"`
+	URL      string `json:"url"`
+	Alive    bool   `json:"alive"`
+	Draining bool   `json:"draining"`
+	Version  uint64 `json:"version"`
+
+	Routed     uint64 `json:"routed"`  // queries or shards sent here
+	Retries    uint64 `json:"retries"` // failover re-sends landing here
+	Errors     uint64 `json:"errors"`  // calls here that failed
+	Evictions  uint64 `json:"evictions"`
+	Readmitted uint64 `json:"readmitted"`
+}
+
+// Stats is the router's point-in-time view of itself and the fleet.
+type Stats struct {
+	Live     int            `json:"live"`
+	Replicas []ReplicaStats `json:"replicas"`
+
+	Queries   uint64 `json:"queries"`
+	Failovers uint64 `json:"failovers"`
+	Sharded   uint64 `json:"sharded_queries"`
+	NoReplica uint64 `json:"no_replica_errors"`
+
+	Reload ReloadProgress `json:"reload"`
+}
+
+// Stats snapshots the router counters and per-replica routing stats.
+func (rt *Router) Stats() Stats {
+	st := Stats{
+		Queries:   rt.queries.Load(),
+		Failovers: rt.failovers.Load(),
+		Sharded:   rt.shardOps.Load(),
+		NoReplica: rt.noReplica.Load(),
+	}
+	rt.reloadMu.Lock()
+	st.Reload = rt.reload
+	rt.reloadMu.Unlock()
+	for _, m := range rt.members {
+		alive := m.alive.Load()
+		if alive && !m.draining.Load() {
+			st.Live++
+		}
+		st.Replicas = append(st.Replicas, ReplicaStats{
+			Name:       m.name,
+			URL:        m.url,
+			Alive:      alive,
+			Draining:   m.draining.Load(),
+			Version:    m.version.Load(),
+			Routed:     m.routed.Load(),
+			Retries:    m.retries.Load(),
+			Errors:     m.errs.Load(),
+			Evictions:  m.evictions.Load(),
+			Readmitted: m.readmitted.Load(),
+		})
+	}
+	return st
+}

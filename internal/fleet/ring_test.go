@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"cstf/internal/rng"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("replica-%d.example:9%03d", i, i)
+	}
+	return out
+}
+
+// The defining consistent-hashing property: removing one of N members
+// remaps only the keys that member owned — close to 1/N of the space — and
+// no key whose owner survives moves anywhere.
+func TestRingRemovalRemapsAboutOneNth(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{2, 3, 4, 8} {
+		members := names(n)
+		full, err := NewRing(members)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for drop := 0; drop < n; drop++ {
+			var reduced []string
+			for i, m := range members {
+				if i != drop {
+					reduced = append(reduced, m)
+				}
+			}
+			sub, err := NewRing(reduced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved := 0
+			for k := 0; k < keys; k++ {
+				h := rng.Hash64(uint64(k), 0xfee1)
+				before, after := full.Owner(h), sub.Owner(h)
+				if before == after {
+					continue
+				}
+				if before != members[drop] {
+					t.Fatalf("n=%d drop=%d: key %d moved %s -> %s though its owner survived",
+						n, drop, k, before, after)
+				}
+				moved++
+			}
+			frac := float64(moved) / keys
+			// Expected 1/n of keys; vnode variance keeps the real share
+			// within a few points of that. 1/n + 5% is a loose ceiling.
+			if eps := 0.05; frac > 1/float64(n)+eps {
+				t.Fatalf("n=%d drop=%d: removal remapped %.1f%% of keys, want <= %.1f%%",
+					n, drop, 100*frac, 100*(1/float64(n)+eps))
+			}
+		}
+	}
+}
+
+// The ring must be a pure function of the member SET: same members in any
+// order build bitwise-identical rings (what lets router restarts — or a
+// second router — agree on placement with no coordination).
+func TestRingDeterministicAcrossBuilds(t *testing.T) {
+	a, err := NewRing([]string{"c:1", "a:1", "b:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"b:1", "c:1", "a:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.points) != len(b.points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.points), len(b.points))
+	}
+	for i := range a.points {
+		if a.points[i].hash != b.points[i].hash ||
+			a.members[a.points[i].member] != b.members[b.points[i].member] {
+			t.Fatalf("rings diverge at point %d", i)
+		}
+	}
+	for k := 0; k < 5000; k++ {
+		h := rng.Hash64(uint64(k))
+		if a.Owner(h) != b.Owner(h) {
+			t.Fatalf("owner differs for key %d: %s vs %s", k, a.Owner(h), b.Owner(h))
+		}
+	}
+}
+
+// Load must split roughly evenly across members (vnodes flatten the arcs).
+func TestRingBalance(t *testing.T) {
+	const keys = 30000
+	r, err := NewRing(names(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for k := 0; k < keys; k++ {
+		counts[r.Owner(rng.Hash64(uint64(k), 7))]++
+	}
+	for m, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.15 || frac > 0.35 {
+			t.Fatalf("member %s owns %.1f%% of keys, want ~25%%", m, 100*frac)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}

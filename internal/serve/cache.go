@@ -16,6 +16,7 @@ type cacheKey struct {
 	given   int
 	row     int
 	k       int
+	lo, hi  int // candidate row range; (0, -1) = full mode
 }
 
 type cacheEntry struct {

@@ -1,0 +1,28 @@
+package serve
+
+import (
+	"cstf/internal/ckpt"
+	"cstf/internal/rng"
+)
+
+// WriteDemoCheckpoint synthesizes a deterministic rank-`rank` model over
+// the given mode sizes and writes it to path in the shared checkpoint
+// format — a stand-in for a trained model wherever a real serving stack
+// needs booting without a training run (router smoke checks, demos).
+// The factors are a pure function of (rank, iter, dims), so writing with
+// iter+1 publishes a genuinely different "new version" for reload drills.
+func WriteDemoCheckpoint(path string, rank, iter int, dims ...int) error {
+	g := rng.New(rng.Hash64(uint64(rank), uint64(iter)))
+	f := &ckpt.File{Algorithm: "demo", Rank: rank, Iter: iter, Dims: dims}
+	for r := 0; r < rank; r++ {
+		f.Lambda = append(f.Lambda, 0.5+g.Float64())
+	}
+	for _, d := range dims {
+		data := make([]float64, d*rank)
+		for i := range data {
+			data[i] = g.Float64()
+		}
+		f.Factors = append(f.Factors, data)
+	}
+	return ckpt.Write(path, f)
+}

@@ -14,37 +14,64 @@ import (
 // POST with a JSON body (the body wins when both are present):
 //
 //	GET  /predict?index=3,1,4            {"value": ..., "model_version": ...}
-//	GET  /topk?mode=1&row=7&k=10[&given=0]
-//	GET  /similar?mode=0&row=7&k=10
+//	GET  /topk?mode=1&row=7&k=10[&given=0][&lo=0&hi=5000]
+//	GET  /similar?mode=0&row=7&k=10[&lo=0&hi=5000]
 //	GET  /healthz                        liveness + model identity + staleness
 //	                                     (version, age_seconds since last reload)
 //	GET  /statsz                         serving counters (Stats)
+//	POST /reloadz                        reload the configured model path now
+//	                                     (404 unless HandlerConfig.ReloadPath)
+//
+// lo/hi restrict a ranked query to candidate rows [lo, hi) of the queried
+// mode — the shard form a fleet router scatter-gathers. The same parse and
+// error mapping back both the single-node API and the router (the router
+// re-serves this surface one layer up), so the two cannot drift.
 //
 // Error mapping: bad requests → 400, shed load → 429 with Retry-After,
-// deadline exceeded → 504, closed server → 503.
+// deadline exceeded → 504, closed or draining server → 503.
 
-// NewHandler returns the HTTP API for s.
-func NewHandler(s *Server) http.Handler {
+// HandlerConfig tunes the optional admin endpoints of the HTTP surface.
+type HandlerConfig struct {
+	// ReloadPath, when set, enables POST /reloadz: the server reloads
+	// this checkpoint path on demand — how a fleet router triggers each
+	// replica's step of a rolling reload without waiting for the watcher.
+	ReloadPath string
+}
+
+// NewHandler returns the HTTP API for s with no admin endpoints.
+func NewHandler(s *Server) http.Handler { return NewHandlerWith(s, HandlerConfig{}) }
+
+// NewHandlerWith returns the HTTP API for s with the configured admin
+// endpoints enabled.
+func NewHandlerWith(s *Server, hc HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) { handlePredict(s, w, r) })
 	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) { handleRanked(s, w, r, kindTopK) })
 	mux.HandleFunc("/similar", func(w http.ResponseWriter, r *http.Request) { handleRanked(s, w, r, kindSimilar) })
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { handleHealth(s, w, r) })
-	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) { writeJSON(w, http.StatusOK, s.Stats()) })
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) { WriteJSON(w, http.StatusOK, s.Stats()) })
+	if hc.ReloadPath != "" {
+		mux.HandleFunc("/reloadz", func(w http.ResponseWriter, r *http.Request) { handleReload(s, hc.ReloadPath, w, r) })
+	}
 	return mux
 }
 
-// queryBody is the merged request shape of every endpoint.
-type queryBody struct {
+// Query is the merged request shape of every query endpoint, shared with
+// the fleet router's HTTP surface.
+type Query struct {
 	Index []int `json:"index"`
 	Mode  *int  `json:"mode"`
 	Given *int  `json:"given"`
 	Row   *int  `json:"row"`
 	K     *int  `json:"k"`
+	Lo    *int  `json:"lo"`
+	Hi    *int  `json:"hi"`
 }
 
-func parseBody(r *http.Request) (*queryBody, error) {
-	b := &queryBody{}
+// ParseQuery decodes a query endpoint request: JSON body if present,
+// otherwise URL query parameters.
+func ParseQuery(r *http.Request) (*Query, error) {
+	b := &Query{}
 	if r.Body != nil && r.ContentLength != 0 {
 		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<16))
 		if err := dec.Decode(b); err != nil {
@@ -62,7 +89,7 @@ func parseBody(r *http.Request) (*queryBody, error) {
 			b.Index = append(b.Index, i)
 		}
 	}
-	for name, dst := range map[string]**int{"mode": &b.Mode, "given": &b.Given, "row": &b.Row, "k": &b.K} {
+	for name, dst := range map[string]**int{"mode": &b.Mode, "given": &b.Given, "row": &b.Row, "k": &b.K, "lo": &b.Lo, "hi": &b.Hi} {
 		if v := q.Get(name); v != "" {
 			i, err := strconv.Atoi(v)
 			if err != nil {
@@ -74,8 +101,17 @@ func parseBody(r *http.Request) (*queryBody, error) {
 	return b, nil
 }
 
+// Range returns the candidate row range of a ranked query: [lo, hi) when
+// both bounds are present, (0, -1) — the full mode — otherwise.
+func (b *Query) Range() (lo, hi int) {
+	if b.Lo != nil && b.Hi != nil {
+		return *b.Lo, *b.Hi
+	}
+	return 0, -1
+}
+
 func handlePredict(s *Server, w http.ResponseWriter, r *http.Request) {
-	b, err := parseBody(r)
+	b, err := ParseQuery(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -86,10 +122,10 @@ func handlePredict(s *Server, w http.ResponseWriter, r *http.Request) {
 	}
 	v, err := s.Predict(r.Context(), b.Index...)
 	if err != nil {
-		writeServeError(w, err)
+		WriteQueryError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	WriteJSON(w, http.StatusOK, map[string]any{
 		"value":         v,
 		"index":         b.Index,
 		"model_version": s.Model().Version,
@@ -97,7 +133,7 @@ func handlePredict(s *Server, w http.ResponseWriter, r *http.Request) {
 }
 
 func handleRanked(s *Server, w http.ResponseWriter, r *http.Request, kind reqKind) {
-	b, err := parseBody(r)
+	b, err := ParseQuery(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -110,6 +146,7 @@ func handleRanked(s *Server, w http.ResponseWriter, r *http.Request, kind reqKin
 	if b.K != nil {
 		k = *b.K
 	}
+	lo, hi := b.Range()
 	var scored []Scored
 	switch kind {
 	case kindTopK:
@@ -117,12 +154,12 @@ func handleRanked(s *Server, w http.ResponseWriter, r *http.Request, kind reqKin
 		if b.Given != nil {
 			given = *b.Given
 		}
-		scored, err = s.TopK(r.Context(), *b.Mode, given, *b.Row, k)
+		scored, err = s.TopKRange(r.Context(), *b.Mode, given, *b.Row, k, lo, hi)
 	case kindSimilar:
-		scored, err = s.Similar(r.Context(), *b.Mode, *b.Row, k)
+		scored, err = s.SimilarRange(r.Context(), *b.Mode, *b.Row, k, lo, hi)
 	}
 	if err != nil {
-		writeServeError(w, err)
+		WriteQueryError(w, err)
 		return
 	}
 	resp := map[string]any{
@@ -135,14 +172,14 @@ func handleRanked(s *Server, w http.ResponseWriter, r *http.Request, kind reqKin
 	if kind == kindTopK {
 		// The predicted-slice mass of the conditioning row, from the
 		// precomputed cross-mode gram: lets clients judge score scale.
-		if sn, err := sliceNormForResponse(s, b, kind); err == nil {
+		if sn, err := sliceNormForResponse(s, b); err == nil {
 			resp["slice_norm"] = sn
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
-func sliceNormForResponse(s *Server, b *queryBody, kind reqKind) (float64, error) {
+func sliceNormForResponse(s *Server, b *Query) (float64, error) {
 	m := s.Model()
 	given := -1
 	if b.Given != nil {
@@ -159,7 +196,7 @@ func sliceNormForResponse(s *Server, b *queryBody, kind reqKind) (float64, error
 
 func handleHealth(s *Server, w http.ResponseWriter, _ *http.Request) {
 	m := s.Model()
-	writeJSON(w, http.StatusOK, map[string]any{
+	WriteJSON(w, http.StatusOK, map[string]any{
 		"status":        "ok",
 		"version":       m.Version,
 		"model_version": m.Version, // kept for pre-streaming clients
@@ -168,20 +205,43 @@ func handleHealth(s *Server, w http.ResponseWriter, _ *http.Request) {
 		"rank":          m.Rank,
 		"dims":          m.Dims,
 		"memory_bytes":  m.MemoryBytes(),
+		"draining":      s.Draining(),
+		"inflight":      s.inflight.Load(),
+		"approx":        m.HasApprox() && s.cfg.Approx,
 		// Non-zero when the live checkpoint was corrupt and an older
 		// retained version is serving in its place.
 		"reload_fallbacks": s.reloadFallbacks.Load(),
 	})
 }
 
-func writeServeError(w http.ResponseWriter, err error) {
+// handleReload answers POST /reloadz: reload the configured checkpoint
+// path immediately and report the serving version. A failed reload keeps
+// the old model serving and returns 500 with the error.
+func handleReload(s *Server, path string, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("reloadz requires POST"))
+		return
+	}
+	if err := s.Reload(path); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"version": s.Model().Version,
+	})
+}
+
+// WriteQueryError maps a query error to its HTTP status (shared by the
+// single-node API and the fleet router so clients see one error surface).
+func WriteQueryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, err)
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, context.Canceled):
 		writeError(w, 499, err) // client went away (nginx convention)
@@ -191,10 +251,11 @@ func writeServeError(w http.ResponseWriter, err error) {
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	WriteJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// WriteJSON writes v as indented JSON with the given status code.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)

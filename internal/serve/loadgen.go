@@ -11,11 +11,20 @@ import (
 )
 
 // Closed-loop load generator: N concurrent clients issue a deterministic
-// (per seed) mix of queries against an in-process Server, each client
-// sending its next request only after the previous one completes — the
-// standard closed-loop model whose measured latency includes queueing,
-// batching, and cache effects. Used by `cstf-bench -exp serve` and the
-// serving tests.
+// (per seed) mix of queries against a Querier, each client sending its
+// next request only after the previous one completes — the standard
+// closed-loop model whose measured latency includes queueing, batching,
+// and cache effects. Used by `cstf-bench -exp serve` and the serving
+// tests; the fleet benchmark points it at a Router instead of a Server.
+
+// Querier is the query surface RunLoad drives: a single in-process Server
+// or a fleet Router fanning the same calls out over HTTP.
+type Querier interface {
+	Dims() []int
+	Predict(ctx context.Context, idx ...int) (float64, error)
+	TopK(ctx context.Context, mode, given, row, k int) ([]Scored, error)
+	Similar(ctx context.Context, mode, row, k int) ([]Scored, error)
+}
 
 // LoadOptions configures one load-generation run.
 type LoadOptions struct {
@@ -29,6 +38,11 @@ type LoadOptions struct {
 	// single hot row per mode — the skew that makes the result cache earn
 	// its keep. Default 0 (uniform rows).
 	HotRows float64
+	// WorkingSet, when positive, bounds every drawn row to [0,
+	// WorkingSet) per mode (clamped to the mode's size): the bounded
+	// universe of distinct queries that makes cache capacity — one
+	// node's versus a fleet's aggregate — the measured variable.
+	WorkingSet int
 }
 
 func (o LoadOptions) withDefaults() LoadOptions {
@@ -63,13 +77,13 @@ type LoadStats struct {
 	P99      time.Duration `json:"-"`
 }
 
-// RunLoad drives the server with o.Clients closed-loop clients until
+// RunLoad drives the querier with o.Clients closed-loop clients until
 // o.Requests requests have been issued, and reports throughput and latency
 // percentiles over the successful requests.
-func RunLoad(ctx context.Context, s *Server, o LoadOptions) LoadStats {
+func RunLoad(ctx context.Context, s Querier, o LoadOptions) LoadStats {
 	o = o.withDefaults()
-	m := s.Model()
-	order := m.Order()
+	dims := s.Dims()
+	order := len(dims)
 
 	perClient := o.Requests / o.Clients
 	if perClient == 0 {
@@ -98,7 +112,11 @@ func RunLoad(ctx context.Context, s *Server, o LoadOptions) LoadStats {
 					if o.HotRows > 0 && g.Float64() < o.HotRows {
 						return 0
 					}
-					return g.Intn(m.Dims[n])
+					d := dims[n]
+					if o.WorkingSet > 0 && o.WorkingSet < d {
+						d = o.WorkingSet
+					}
+					return g.Intn(d)
 				}
 				t0 := time.Now()
 				var err error
@@ -112,12 +130,15 @@ func RunLoad(ctx context.Context, s *Server, o LoadOptions) LoadStats {
 				case kindDraw < o.Predict+o.Similar:
 					_, err = s.Similar(ctx, mode, row(mode), o.K)
 				default:
-					given := m.defaultGiven(mode)
+					given := DefaultGiven(mode)
 					_, err = s.TopK(ctx, mode, given, row(given), o.K)
 				}
 				switch {
 				case err == nil:
 					myLats = append(myLats, time.Since(t0))
+				case ctx.Err() != nil:
+					// The run was cancelled mid-request: not a failure of
+					// the system under test.
 				case errors.Is(err, ErrOverloaded):
 					myShed++
 				default:

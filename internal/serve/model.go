@@ -41,6 +41,19 @@ type Model struct {
 	rowNorms [][]float64 // per mode: Euclidean norm of each factor row
 	colSums  [][]float64 // per mode: per-component column sums
 	gramEx   []*la.Dense // per mode: Hadamard product of the other modes' grams
+
+	// approx, when built (BuildApprox), holds the per-mode norm-ordered
+	// candidate lists behind TopKApprox. Built before publishing — the
+	// Model stays immutable while serving.
+	approx []*approxIndex
+}
+
+func errConditioningEqualsQueried(given int) error {
+	return fmt.Errorf("serve: conditioning mode %d equals queried mode", given)
+}
+
+func errNonPositiveK(k int) error {
+	return fmt.Errorf("serve: k must be positive, got %d", k)
 }
 
 // NewModel builds a Model from lambda and one factor matrix per mode,
@@ -134,6 +147,15 @@ func (m *Model) checkRow(mode, row int) error {
 	return nil
 }
 
+// checkRange validates a candidate row range [lo, hi) of a mode. An empty
+// range (lo == hi) is legal and yields no results.
+func (m *Model) checkRange(mode, lo, hi int) error {
+	if lo < 0 || hi > m.Dims[mode] || lo > hi {
+		return fmt.Errorf("serve: range [%d,%d) invalid for mode %d with %d rows", lo, hi, mode, m.Dims[mode])
+	}
+	return nil
+}
+
 // Predict reconstructs one tensor entry: sum_r lambda_r prod_n A_n(i_n, r).
 func (m *Model) Predict(idx ...int) (float64, error) {
 	if len(idx) != len(m.Dims) {
@@ -171,9 +193,13 @@ func (m *Model) queryVec(mode, given, row int) []float64 {
 	return q
 }
 
-// defaultGiven picks the conditioning mode of the short-form TopK call: the
-// lowest-numbered mode other than the queried one.
-func (m *Model) defaultGiven(mode int) int {
+// defaultGiven picks the conditioning mode of the short-form TopK call.
+func (m *Model) defaultGiven(mode int) int { return DefaultGiven(mode) }
+
+// DefaultGiven is the conditioning mode a TopK query without an explicit
+// one uses: the lowest-numbered mode other than the queried one. Exported
+// so routers and load generators pick the same default as the model.
+func DefaultGiven(mode int) int {
 	if mode == 0 {
 		return 1
 	}
@@ -182,8 +208,14 @@ func (m *Model) defaultGiven(mode int) int {
 
 // TopK returns the k rows of `mode` with the highest predicted interaction
 // with the given row of the default conditioning mode (the lowest mode
-// other than `mode`); remaining modes are marginalized. Results are sorted
-// by descending score, ties by ascending index.
+// other than `mode`); remaining modes are marginalized.
+//
+// Ordering is part of the API contract: results are sorted by descending
+// score, and rows with bitwise-equal scores are ordered by ascending row
+// index. The tie-break is what makes a sharded ranking reassemble exactly —
+// merging per-row-range partial TopKs with MergeTopK is bitwise-identical
+// to the single full scan, because every scan, block merge, and
+// scatter-gather merge agrees on the same total order.
 func (m *Model) TopK(mode, row, k int) ([]Scored, error) {
 	if err := m.checkMode(mode); err != nil {
 		return nil, err
@@ -196,30 +228,58 @@ func (m *Model) TopKGiven(mode, given, row, k int) ([]Scored, error) {
 	if err := m.checkMode(mode); err != nil {
 		return nil, err
 	}
+	return m.TopKGivenRange(mode, given, row, k, 0, m.Dims[mode])
+}
+
+// TopKGivenRange is TopKGiven restricted to candidate rows in [lo, hi) of
+// the queried mode — the shard primitive of the serving fleet: a router
+// splits a mode's rows into ranges, asks one replica per range, and merges
+// the partial rankings with MergeTopK. Because scores are pure per-row dot
+// products, the union of range scans is bitwise-identical to one full scan.
+func (m *Model) TopKGivenRange(mode, given, row, k, lo, hi int) ([]Scored, error) {
+	if err := m.checkMode(mode); err != nil {
+		return nil, err
+	}
 	if given == mode {
-		return nil, fmt.Errorf("serve: conditioning mode %d equals queried mode", given)
+		return nil, errConditioningEqualsQueried(given)
 	}
 	if err := m.checkRow(given, row); err != nil {
 		return nil, err
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("serve: k must be positive, got %d", k)
+		return nil, errNonPositiveK(k)
 	}
-	return topKOne(m.factors[mode], m.queryVec(mode, given, row), k, nil, -1), nil
+	if err := m.checkRange(mode, lo, hi); err != nil {
+		return nil, err
+	}
+	return topKOne(m.factors[mode], m.queryVec(mode, given, row), k, nil, -1, lo, hi), nil
 }
 
 // Similar returns the k rows of `mode` most similar to `row` under cosine
 // similarity of factor rows, excluding the row itself. Zero-norm rows score
-// zero against everything.
+// zero against everything. Ordering follows the TopK contract (descending
+// score, ascending index on ties).
 func (m *Model) Similar(mode, row, k int) ([]Scored, error) {
 	if err := m.checkRow(mode, row); err != nil {
 		return nil, err
 	}
+	return m.SimilarRange(mode, row, k, 0, m.Dims[mode])
+}
+
+// SimilarRange is Similar restricted to candidate rows in [lo, hi) — the
+// sharded form used by the fleet router's scatter-gather.
+func (m *Model) SimilarRange(mode, row, k, lo, hi int) ([]Scored, error) {
+	if err := m.checkRow(mode, row); err != nil {
+		return nil, err
+	}
 	if k <= 0 {
-		return nil, fmt.Errorf("serve: k must be positive, got %d", k)
+		return nil, errNonPositiveK(k)
+	}
+	if err := m.checkRange(mode, lo, hi); err != nil {
+		return nil, err
 	}
 	q := m.similarQueryVec(mode, row)
-	return topKOne(m.factors[mode], q, k, m.rowNorms[mode], row), nil
+	return topKOne(m.factors[mode], q, k, m.rowNorms[mode], row, lo, hi), nil
 }
 
 // similarQueryVec returns the query row pre-scaled by 1/||row|| so the scan
@@ -276,13 +336,20 @@ func (m *Model) MemoryBytes() int64 {
 // products are fused with the heap pushes — no per-block score buffers —
 // which keeps the scan allocation-free in steady state. divisors, when
 // non-nil per query, divides each row's score (cosine normalization);
-// excl >= 0 drops that row from the query's result.
-func topKBatch(f *la.Dense, qs [][]float64, ks []int, divisors [][]float64, excl []int, workers int) [][]Scored {
-	nb := par.NumBlocks(f.Rows)
+// excl >= 0 drops that row from the query's result. The scan covers
+// candidate rows [rlo, rhi) only — the full mode for local queries, a
+// shard's row range when a fleet router scatter-gathers.
+func topKBatch(f *la.Dense, qs [][]float64, ks []int, divisors [][]float64, excl []int, workers, rlo, rhi int) [][]Scored {
+	n := rhi - rlo
+	if n <= 0 {
+		return make([][]Scored, len(qs))
+	}
+	nb := par.NumBlocks(n)
 	partials := make([][]topKHeap, nb)
 	c := f.Cols
 	par.Run(workers, nb, func(b int) {
-		lo, hi := par.Block(b, f.Rows)
+		blo, bhi := par.Block(b, n)
+		lo, hi := rlo+blo, rlo+bhi
 		heaps := make([]topKHeap, len(qs))
 		for i := lo; i < hi; i++ {
 			row := f.Data[i*c : (i+1)*c]
@@ -317,12 +384,12 @@ func topKBatch(f *la.Dense, qs [][]float64, ks []int, divisors [][]float64, excl
 }
 
 // topKOne is the naive per-request path: a single sequential scan of the
-// factor rows feeding one bounded heap. The batching executor exists
-// because topKBatch amortizes this scan across concurrent requests.
-func topKOne(f *la.Dense, q []float64, k int, divisors []float64, excl int) []Scored {
+// factor rows [lo, hi) feeding one bounded heap. The batching executor
+// exists because topKBatch amortizes this scan across concurrent requests.
+func topKOne(f *la.Dense, q []float64, k int, divisors []float64, excl, lo, hi int) []Scored {
 	var h topKHeap
 	c := f.Cols
-	for i := 0; i < f.Rows; i++ {
+	for i := lo; i < hi; i++ {
 		if i == excl {
 			continue
 		}

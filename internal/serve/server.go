@@ -22,6 +22,10 @@ var (
 	ErrOverloaded = errors.New("serve: overloaded, request shed")
 	// ErrClosed is returned for requests after Close.
 	ErrClosed = errors.New("serve: server closed")
+	// ErrDraining is returned for new requests after Drain has started:
+	// the server finishes what it already accepted and takes nothing else.
+	// A fleet router treats it like a dead replica and routes around.
+	ErrDraining = errors.New("serve: draining, not accepting new queries")
 )
 
 // Config tunes a Server. Zero values select the documented defaults.
@@ -46,6 +50,15 @@ type Config struct {
 	// execution); exceeding it returns context.DeadlineExceeded. Callers
 	// can always pass a tighter per-request context.
 	Timeout time.Duration
+	// Approx serves full-mode TopK queries from the norm-pruned candidate
+	// list (Model.BuildApprox runs on load, swap, and reload) instead of
+	// scanning the whole mode. Range-restricted shard queries and Similar
+	// stay exact. See approx.go for the recall/latency trade.
+	Approx bool
+	// ApproxCandidates caps how many candidates one approximate TopK scan
+	// scores; 0 selects DefaultApproxCandidates, negative disables the cap
+	// (pure Cauchy–Schwarz pruning, exact but unbounded on flat norms).
+	ApproxCandidates int
 	// Logf, when non-nil, receives operational log lines (reload
 	// failures, corruption fallbacks).
 	Logf func(format string, args ...any)
@@ -86,6 +99,19 @@ type Stats struct {
 	Timeouts   uint64 `json:"timeouts"`
 	BadRequest uint64 `json:"bad_requests"`
 
+	// Inflight is the number of queries accepted but not yet answered;
+	// Draining reports whether the server has stopped taking new ones. A
+	// rolling reload waits for Inflight == 0 before swapping the model.
+	Inflight int64 `json:"inflight"`
+	Draining bool  `json:"draining"`
+
+	// ApproxQueries counts TopK queries answered from the norm-pruned
+	// candidate list; the Scanned/Exact row counters show how much of the
+	// full scan the pruning avoided (Scanned <= Exact always).
+	ApproxQueries     uint64 `json:"approx_queries"`
+	ApproxRowsScanned uint64 `json:"approx_rows_scanned"`
+	ApproxRowsExact   uint64 `json:"approx_rows_exact"`
+
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
 	CacheEntries int    `json:"cache_entries"`
@@ -115,8 +141,12 @@ type request struct {
 	given int // TopK conditioning mode
 	row   int
 	k     int
-	ctx   context.Context
-	out   chan result // buffered; executor never blocks sending
+	// Candidate row range [lo, hi) of the queried mode; hi == -1 means
+	// the full mode. Routers send real ranges when scatter-gathering a
+	// sharded ranked query.
+	lo, hi int
+	ctx    context.Context
+	out    chan result // buffered; executor never blocks sending
 }
 
 // Server serves queries against an atomically swappable Model. Ranked
@@ -137,12 +167,17 @@ type Server struct {
 
 	loadedAt atomic.Int64 // unix nanos of the last model store (staleness clock)
 
+	draining atomic.Bool
+	inflight atomic.Int64
+
 	predicts, topks, similars      atomic.Uint64
 	batches, batchedReqs, maxBatch atomic.Uint64
 	shed, timeouts, badReqs        atomic.Uint64
 	cacheHits, cacheMisses         atomic.Uint64
 	reloads, reloadErrs            atomic.Uint64
 	reloadFallbacks                atomic.Uint64
+	approxQueries, approxScanned   atomic.Uint64
+	approxExact                    atomic.Uint64
 	watchMu                        sync.Mutex
 	watchMTime                     time.Time
 	watchSize                      int64
@@ -181,6 +216,9 @@ func newServer(m *Model, cfg Config) (*Server, error) {
 		closed: make(chan struct{}),
 	}
 	m.Version = s.version.Add(1)
+	if cfg.Approx && !m.HasApprox() {
+		m.BuildApprox(cfg.Workers)
+	}
 	s.model.Store(m)
 	s.loadedAt.Store(time.Now().UnixNano())
 	return s, nil
@@ -189,11 +227,18 @@ func newServer(m *Model, cfg Config) (*Server, error) {
 // Model returns the current model snapshot.
 func (s *Server) Model() *Model { return s.model.Load() }
 
+// Dims returns the current model's mode sizes (part of the Querier
+// surface the load generator drives).
+func (s *Server) Dims() []int { return s.model.Load().Dims }
+
 // Swap atomically publishes a new model. In-flight queries finish against
 // the snapshot they started with; subsequent queries — and cache keys — use
 // the new version.
 func (s *Server) Swap(m *Model) {
 	m.Version = s.version.Add(1)
+	if s.cfg.Approx && !m.HasApprox() {
+		m.BuildApprox(s.cfg.Workers)
+	}
 	s.model.Store(m)
 	s.loadedAt.Store(time.Now().UnixNano())
 	s.reloads.Add(1)
@@ -293,29 +338,52 @@ func (s *Server) Close() {
 	s.done.Wait()
 }
 
+// Drain flips the server into draining mode — new queries are rejected
+// with ErrDraining — and returns once every already-accepted query has
+// been answered. Callers then Close (graceful shutdown) or Reload and
+// Resume (rolling reload): the drain/reload/resume sequence never fails a
+// query that was accepted.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	for s.inflight.Load() != 0 {
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Resume takes a drained server back into service.
+func (s *Server) Resume() { s.draining.Store(false) }
+
+// Draining reports whether the server is refusing new queries.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Stats snapshots the serving counters.
 func (s *Server) Stats() Stats {
 	m := s.model.Load()
 	return Stats{
-		ModelVersion:    m.Version,
-		ModelIter:       m.Iter,
-		ModelAgeSecs:    s.ModelAge().Seconds(),
-		UptimeSecs:      time.Since(s.start).Seconds(),
-		Predicts:        s.predicts.Load(),
-		TopKs:           s.topks.Load(),
-		Similars:        s.similars.Load(),
-		Batches:         s.batches.Load(),
-		BatchedRequests: s.batchedReqs.Load(),
-		MaxBatch:        s.maxBatch.Load(),
-		Shed:            s.shed.Load(),
-		Timeouts:        s.timeouts.Load(),
-		BadRequest:      s.badReqs.Load(),
-		CacheHits:       s.cacheHits.Load(),
-		CacheMisses:     s.cacheMisses.Load(),
-		CacheEntries:    s.cache.len(),
-		Reloads:         s.reloads.Load(),
-		ReloadErrors:    s.reloadErrs.Load(),
-		ReloadFallbacks: s.reloadFallbacks.Load(),
+		ModelVersion:      m.Version,
+		ModelIter:         m.Iter,
+		ModelAgeSecs:      s.ModelAge().Seconds(),
+		UptimeSecs:        time.Since(s.start).Seconds(),
+		Predicts:          s.predicts.Load(),
+		TopKs:             s.topks.Load(),
+		Similars:          s.similars.Load(),
+		Batches:           s.batches.Load(),
+		BatchedRequests:   s.batchedReqs.Load(),
+		MaxBatch:          s.maxBatch.Load(),
+		Shed:              s.shed.Load(),
+		Timeouts:          s.timeouts.Load(),
+		BadRequest:        s.badReqs.Load(),
+		Inflight:          s.inflight.Load(),
+		Draining:          s.draining.Load(),
+		ApproxQueries:     s.approxQueries.Load(),
+		ApproxRowsScanned: s.approxScanned.Load(),
+		ApproxRowsExact:   s.approxExact.Load(),
+		CacheHits:         s.cacheHits.Load(),
+		CacheMisses:       s.cacheMisses.Load(),
+		CacheEntries:      s.cache.len(),
+		Reloads:           s.reloads.Load(),
+		ReloadErrors:      s.reloadErrs.Load(),
+		ReloadFallbacks:   s.reloadFallbacks.Load(),
 	}
 }
 
@@ -334,6 +402,11 @@ func (s *Server) Predict(ctx context.Context, idx ...int) (float64, error) {
 		return 0, ErrClosed
 	default:
 	}
+	if s.draining.Load() {
+		return 0, ErrDraining
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
@@ -350,6 +423,15 @@ func (s *Server) Predict(ctx context.Context, idx ...int) (float64, error) {
 // `given` (pass given == -1 for the default conditioning mode). Concurrent
 // calls are coalesced into batched scans.
 func (s *Server) TopK(ctx context.Context, mode, given, row, k int) ([]Scored, error) {
+	return s.TopKRange(ctx, mode, given, row, k, 0, -1)
+}
+
+// TopKRange is TopK restricted to candidate rows [lo, hi) of the queried
+// mode (hi == -1 selects the full mode) — the query one fleet shard
+// answers. Range queries always run the exact blocked scan: the range is
+// already 1/N of the mode, and exactness is what makes the router's merge
+// bitwise-identical to a single node.
+func (s *Server) TopKRange(ctx context.Context, mode, given, row, k, lo, hi int) ([]Scored, error) {
 	m := s.model.Load()
 	if given == -1 {
 		if err := m.checkMode(mode); err != nil {
@@ -358,7 +440,7 @@ func (s *Server) TopK(ctx context.Context, mode, given, row, k int) ([]Scored, e
 		}
 		given = m.defaultGiven(mode)
 	}
-	res, err := s.submit(ctx, &request{kind: kindTopK, mode: mode, given: given, row: row, k: k})
+	res, err := s.submit(ctx, &request{kind: kindTopK, mode: mode, given: given, row: row, k: k, lo: lo, hi: hi})
 	if err == nil {
 		s.topks.Add(1)
 	}
@@ -368,7 +450,13 @@ func (s *Server) TopK(ctx context.Context, mode, given, row, k int) ([]Scored, e
 // Similar returns the k nearest rows of mode to row under cosine
 // similarity. Concurrent calls are coalesced into batched scans.
 func (s *Server) Similar(ctx context.Context, mode, row, k int) ([]Scored, error) {
-	res, err := s.submit(ctx, &request{kind: kindSimilar, mode: mode, row: row, k: k})
+	return s.SimilarRange(ctx, mode, row, k, 0, -1)
+}
+
+// SimilarRange is Similar restricted to candidate rows [lo, hi) of the
+// mode (hi == -1 selects the full mode).
+func (s *Server) SimilarRange(ctx context.Context, mode, row, k, lo, hi int) ([]Scored, error) {
+	res, err := s.submit(ctx, &request{kind: kindSimilar, mode: mode, row: row, k: k, lo: lo, hi: hi})
 	if err == nil {
 		s.similars.Add(1)
 	}
@@ -376,7 +464,7 @@ func (s *Server) Similar(ctx context.Context, mode, row, k int) ([]Scored, error
 }
 
 func (r *request) cacheKey(version uint64) cacheKey {
-	return cacheKey{version: version, kind: r.kind, mode: r.mode, given: r.given, row: r.row, k: r.k}
+	return cacheKey{version: version, kind: r.kind, mode: r.mode, given: r.given, row: r.row, k: r.k, lo: r.lo, hi: r.hi}
 }
 
 // submit runs the cache fast path, then enqueues with load shedding and
@@ -387,6 +475,11 @@ func (s *Server) submit(ctx context.Context, r *request) ([]Scored, error) {
 		return nil, ErrClosed
 	default:
 	}
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	if v, ok := s.cache.get(r.cacheKey(s.model.Load().Version)); ok {
 		s.cacheHits.Add(1)
 		return v, nil
@@ -486,8 +579,9 @@ func (s *Server) exec(batch []*request) {
 	}
 
 	type groupKey struct {
-		kind reqKind
-		mode int
+		kind   reqKind
+		mode   int
+		lo, hi int
 	}
 	groups := make(map[groupKey][]*request)
 	for _, r := range batch {
@@ -498,10 +592,28 @@ func (s *Server) exec(batch []*request) {
 			r.out <- result{err: err}
 			continue
 		}
-		gk := groupKey{kind: r.kind, mode: r.mode}
+		gk := groupKey{kind: r.kind, mode: r.mode, lo: r.lo, hi: r.hi}
 		groups[gk] = append(groups[gk], r)
 	}
 	for gk, rs := range groups {
+		// Full-mode TopK takes the norm-pruned index when enabled; the
+		// scans are a small prefix of the mode, so they run per request
+		// rather than as one blocked batch scan.
+		if gk.kind == kindTopK && gk.hi == -1 && s.cfg.Approx && m.HasApprox() {
+			for _, r := range rs {
+				res, scanned := approxTopK(m.factors[r.mode], m.queryVec(r.mode, r.given, r.row), r.k, m.approx[r.mode], s.approxBudget())
+				s.approxQueries.Add(1)
+				s.approxScanned.Add(uint64(scanned))
+				s.approxExact.Add(uint64(m.Dims[r.mode]))
+				s.cache.put(r.cacheKey(m.Version), res)
+				r.out <- result{scored: res}
+			}
+			continue
+		}
+		lo, hi := gk.lo, gk.hi
+		if hi == -1 {
+			hi = m.Dims[gk.mode]
+		}
 		qs := make([][]float64, len(rs))
 		ks := make([]int, len(rs))
 		var divisors [][]float64
@@ -521,7 +633,7 @@ func (s *Server) exec(batch []*request) {
 				excl[i] = r.row
 			}
 		}
-		res := topKBatch(m.factors[gk.mode], qs, ks, divisors, excl, s.cfg.Workers)
+		res := topKBatch(m.factors[gk.mode], qs, ks, divisors, excl, s.cfg.Workers, lo, hi)
 		for i, r := range rs {
 			s.cache.put(r.cacheKey(m.Version), res[i])
 			r.out <- result{scored: res[i]}
@@ -529,17 +641,37 @@ func (s *Server) exec(batch []*request) {
 	}
 }
 
+// approxBudget resolves Config.ApproxCandidates: 0 is the default budget,
+// negative disables the cap (Cauchy–Schwarz pruning only).
+func (s *Server) approxBudget() int {
+	switch {
+	case s.cfg.ApproxCandidates < 0:
+		return int(^uint(0) >> 1)
+	case s.cfg.ApproxCandidates == 0:
+		return DefaultApproxCandidates
+	default:
+		return s.cfg.ApproxCandidates
+	}
+}
+
 func (s *Server) validate(m *Model, r *request) error {
 	if r.k <= 0 {
-		return fmt.Errorf("serve: k must be positive, got %d", r.k)
+		return errNonPositiveK(r.k)
+	}
+	if err := m.checkMode(r.mode); err != nil {
+		return err
+	}
+	if r.hi != -1 {
+		if err := m.checkRange(r.mode, r.lo, r.hi); err != nil {
+			return err
+		}
+	} else if r.lo != 0 {
+		return fmt.Errorf("serve: range lo %d with full-mode hi", r.lo)
 	}
 	switch r.kind {
 	case kindTopK:
-		if err := m.checkMode(r.mode); err != nil {
-			return err
-		}
 		if r.given == r.mode {
-			return fmt.Errorf("serve: conditioning mode %d equals queried mode", r.given)
+			return errConditioningEqualsQueried(r.given)
 		}
 		return m.checkRow(r.given, r.row)
 	case kindSimilar:

@@ -78,3 +78,19 @@ func (h topKHeap) sorted() []Scored {
 	sort.Slice(out, func(a, b int) bool { return worse(out[b], out[a]) })
 	return out
 }
+
+// MergeTopK merges partial rankings — each sorted or unsorted, typically
+// one per row-range shard — into the best k overall, under the same total
+// order every scan uses (descending score, ascending index on ties). A
+// fleet router that splits a mode into disjoint row ranges, asks one
+// replica per range for its partial top k, and merges here gets a result
+// bitwise-identical to a single-node full scan.
+func MergeTopK(k int, partials ...[]Scored) []Scored {
+	var h topKHeap
+	for _, p := range partials {
+		for _, it := range p {
+			h.pushK(k, it)
+		}
+	}
+	return h.sorted()
+}
