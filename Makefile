@@ -5,9 +5,9 @@ GO ?= go
 # Packages that carry concurrency (worker pools, shared caches, simulated
 # cluster, the serving executor, the streaming pipeline) or fault-recovery
 # paths: these also run under the race detector in `make ci`.
-RACE_PKGS := ./internal/cpals ./internal/la ./internal/par ./internal/tensor ./internal/rdd ./internal/cluster ./internal/chaos ./internal/mapreduce ./internal/core ./internal/serve ./internal/stream ./internal/dist ./internal/fleet
+RACE_PKGS := ./internal/cpals ./internal/la ./internal/par ./internal/tensor ./internal/rdd ./internal/cluster ./internal/chaos ./internal/mapreduce ./internal/core ./internal/serve ./internal/stream ./internal/dist ./internal/fleet ./internal/rals
 
-.PHONY: ci fmt vet staticcheck check-deprecated build test race bench stream-smoke dist-smoke dist-chaos-smoke fleet-smoke
+.PHONY: ci fmt vet staticcheck check-deprecated build test race bench stream-smoke dist-smoke dist-chaos-smoke fleet-smoke rals-smoke
 
 ci: fmt vet staticcheck check-deprecated build test race
 
@@ -82,6 +82,21 @@ dist-chaos-smoke:
 # reload crosses the fleet; zero dropped queries is the pass condition.
 fleet-smoke:
 	$(GO) run -race ./cmd/cstf-router -smoke
+
+# End-to-end randomized-ALS smoke under the race detector: a sampled solve
+# with an exact polish on a generated tensor, serially and over two forked
+# workers, then the degenerate full-budget case (bitwise-exact CP-ALS).
+rals-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -race -o "$$tmp/cstf-worker" ./cmd/cstf-worker && \
+	$(GO) run ./cmd/tensorgen -out "$$tmp/t.tns" -dims 80,60,40 -nnz 5000 -rank 3 && \
+	$(GO) run -race ./cmd/cstf -in "$$tmp/t.tns" -algo rals \
+		-rank 3 -iters 6 -tol 0 -rals-frac 0.3 -rals-resample 2 -rals-polish 2 && \
+	CSTF_WORKER_BIN="$$tmp/cstf-worker" $(GO) run -race ./cmd/cstf \
+		-in "$$tmp/t.tns" -algo rals -dist-local 2 \
+		-rank 3 -iters 6 -tol 0 -rals-frac 0.3 -rals-resample 2 -rals-polish 2 && \
+	$(GO) run -race ./cmd/cstf -in "$$tmp/t.tns" -algo rals \
+		-rank 3 -iters 4 -tol 0 -rals-count 5000
 
 # The flat DistAddrs/DistLocalWorkers/DistWorkerBin fields are deprecated
 # aliases for Options.Dist; they may appear only in decompose.go (the alias

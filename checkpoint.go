@@ -116,5 +116,20 @@ func DecomposeResumeContext(ctx context.Context, t *Tensor, path string, o Optio
 	for n, data := range cp.Factors {
 		rs.factors = append(rs.factors, la.NewDenseFrom(dims[n], cp.Rank, data))
 	}
+	if o.Algorithm == RALS {
+		// A bitwise rals resume needs the sampler state: the unnormalized
+		// factors (kept rows live at solved-row scale) and the exact
+		// sampling schedule, so the resumed run redraws what the original
+		// would have. Checkpoints without it (older writers, other
+		// algorithms renamed on disk) cannot resume as rals.
+		if cp.RALS == nil {
+			return nil, fmt.Errorf("cstf: checkpoint %s has no rals sampler state", path)
+		}
+		rs.ralsResample = cp.RALS.ResampleEvery
+		rs.ralsCounts = append([]int(nil), cp.RALS.SampleCounts...)
+		for n, data := range cp.RALS.Unnorm {
+			rs.unnorm = append(rs.unnorm, la.NewDenseFrom(dims[n], cp.Rank, data))
+		}
+	}
 	return decompose(ctx, t, o, rs)
 }

@@ -3,11 +3,13 @@
 //
 // Usage:
 //
+//	cstf-bench -list               # list experiments with descriptions
 //	cstf-bench -exp all            # everything (default)
-//	cstf-bench -exp fig2           # one experiment: fig2|fig3|fig4|fig5|table4|table5|ablations|faults|serve|stream
+//	cstf-bench -exp fig2           # one experiment (see -list for names)
 //	cstf-bench -exp serve          # train, checkpoint, serve, load-test (writes BENCH_serve.json)
 //	cstf-bench -exp stream         # streaming ingest + incremental updates (writes BENCH_stream.json)
 //	cstf-bench -exp dist           # real TCP workers vs single-process (writes BENCH_dist.json)
+//	cstf-bench -exp rals           # sampled vs exact ALS budget sweep (writes BENCH_rals.json)
 //	cstf-bench -scale 1e-3         # dataset scale (fraction of Table 5 sizes)
 //	cstf-bench -rank 2             # decomposition rank (paper: 2)
 //	cstf-bench -out results        # directory for CSV output ("" disables)
@@ -18,18 +20,50 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"cstf/internal/experiments"
 	"cstf/internal/workload"
 )
 
+// experimentList drives -list and the -exp usage text; the order is the
+// order -exp all runs them in.
+var experimentList = []struct{ name, desc string }{
+	{"table5", "modeled Table 5 dataset statistics"},
+	{"table4", "modeled memory footprint per algorithm (Table 4)"},
+	{"fig2", "modeled time per iteration across datasets (Figure 2)"},
+	{"fig3", "modeled network traffic across datasets (Figure 3)"},
+	{"fig4", "modeled shuffle reduction of QCOO (Figure 4)"},
+	{"fig5", "modeled per-mode behavior (Figure 5)"},
+	{"ablations", "caching, gram reuse, rank/order sweeps, resilience, partitions"},
+	{"faults", "crash/straggler/checkpoint sweeps on the simulated cluster (writes BENCH_faults.json)"},
+	{"serve", "train, checkpoint, serve, load-test the query tier (writes BENCH_serve.json)"},
+	{"stream", "streaming ingest + incremental factor updates (writes BENCH_stream.json)"},
+	{"dist", "real TCP workers vs single-process, bitwise-checked (writes BENCH_dist.json)"},
+	{"rals", "randomized sampled ALS vs exact across budgets, bitwise-checked (writes BENCH_rals.json)"},
+	{"json", "machine-readable report of the modeled experiments (writes report.json)"},
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all|fig2|fig3|fig4|fig5|table4|table5|ablations|faults|serve|stream|dist|json")
+	names := make([]string, 0, len(experimentList)+1)
+	names = append(names, "all")
+	for _, e := range experimentList {
+		names = append(names, e.name)
+	}
+	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(names, "|"))
 	scale := flag.Float64("scale", 1e-3, "dataset scale in (0, 1]")
 	rank := flag.Int("rank", 2, "decomposition rank")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	out := flag.String("out", "results", "directory for CSV output (empty to skip)")
+	list := flag.Bool("list", false, "list experiments with one-line descriptions and exit")
 	flag.Parse()
+
+	if *list {
+		for _, e := range experimentList {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
 
 	p := experiments.DefaultParams()
 	p.Scale = *scale
@@ -270,8 +304,30 @@ func main() {
 			fmt.Printf("wrote %s\n", path)
 		}
 	}
+	if run("rals") {
+		ran = true
+		rep, err := experiments.RALSBench(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderRALSBench(rep))
+		if *out != "" {
+			path := filepath.Join(*out, "BENCH_rals.json")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
 	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (see -list)", *exp))
 	}
 }
 

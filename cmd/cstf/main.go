@@ -7,13 +7,15 @@
 //	cstf -dataset nell1 -scale 1e-4 -algo coo
 //	cstf -in tensor.tns -dist-local 4
 //	cstf -in tensor.tns -dist host1:9021,host2:9021
+//	cstf -in tensor.tns -algo rals -rals-frac 0.05 -rals-resample 5 -rals-polish 6
 //
 // Exactly one of -in (a FROSTT .tns file) or -dataset (a Table 5 dataset
 // name; see -list) selects the input. Simulated distributed algorithms
 // (coo, qcoo, bigtensor) print the modeled cluster cost summary; -dist and
 // -dist-local run the REAL distributed runtime against cstf-worker
-// processes and print measured wall clock and bytes on the wire; -factors
-// writes the factor matrices as .tns-style text files.
+// processes and print measured wall clock and bytes on the wire; -algo rals
+// runs randomized leverage-score-sampled ALS (see the -rals-* flags);
+// -factors writes the factor matrices as .tns-style text files.
 package main
 
 import (
@@ -33,7 +35,7 @@ func main() {
 	dataset := flag.String("dataset", "", "generate a Table 5 dataset instead of reading a file")
 	scale := flag.Float64("scale", 1e-4, "dataset scale when using -dataset")
 	list := flag.Bool("list", false, "list available -dataset names and exit")
-	algo := flag.String("algo", "qcoo", "algorithm: serial|coo|qcoo|bigtensor|dist")
+	algo := flag.String("algo", "qcoo", "algorithm: "+strings.Join(cstf.AlgorithmNames(), "|"))
 	distAddrs := flag.String("dist", "", "comma-separated cstf-worker addresses; implies -algo dist")
 	distLocal := flag.Int("dist-local", 0, "launch N local workers and run distributed; implies -algo dist")
 	distBin := flag.String("dist-worker-bin", "", "cstf-worker binary for -dist-local (default: $CSTF_WORKER_BIN, next to cstf, or $PATH; in-process fallback)")
@@ -41,6 +43,11 @@ func main() {
 	distNoPipeline := flag.Bool("dist-no-pipeline", false, "make every distributed stage a strict barrier (no gram/MTTKRP overlap)")
 	distCSF := flag.Bool("dist-csf", false, "run worker MTTKRPs with the SPLATT CSF kernel (bitwise-matches the serial CSF solver, not the COO one)")
 	distMinWorkers := flag.Int("dist-min-workers", 0, "live-worker floor before degrading to a coordinator-local solve (0 = 1; negative makes fleet collapse a hard error)")
+	ralsFrac := flag.Float64("rals-frac", 0, "rals: sample this fraction of the nonzeros per mode update (0 with -rals-count unset = 0.1)")
+	ralsCount := flag.Int("rals-count", 0, "rals: sample a fixed number of nonzeros per mode update (overrides -rals-frac)")
+	ralsResample := flag.Int("rals-resample", 0, "rals: redraw the sampled tensors every N iterations (0 = every iteration)")
+	ralsPolish := flag.Int("rals-polish", 0, "rals: run the last N iterations with the exact kernel")
+	ralsFinalFit := flag.Bool("rals-final-fit", false, "rals: compute the exact fit only once, after the final iteration")
 	rank := flag.Int("rank", 8, "decomposition rank R")
 	iters := flag.Int("iters", 25, "maximum ALS iterations")
 	tol := flag.Float64("tol", 1e-5, "fit-improvement stopping tolerance (0 disables)")
@@ -95,7 +102,11 @@ func main() {
 		o.NoConvergenceCheck = true
 	}
 	if *distAddrs != "" || *distLocal > 0 {
-		o.Algorithm = cstf.Dist
+		// With -algo rals the workers run the sampled MTTKRPs; any other
+		// algorithm choice is overridden by the exact distributed solver.
+		if o.Algorithm != cstf.RALS {
+			o.Algorithm = cstf.Dist
+		}
 		if *distAddrs != "" {
 			o.Dist.Addrs = strings.Split(*distAddrs, ",")
 		}
@@ -105,6 +116,13 @@ func main() {
 		o.Dist.DisablePipeline = *distNoPipeline
 		o.Dist.CSFKernel = *distCSF
 		o.Dist.MinWorkers = *distMinWorkers
+	}
+	o.RALS = cstf.RALSOptions{
+		SampleFraction:   *ralsFrac,
+		SampleCount:      *ralsCount,
+		ResampleEvery:    *ralsResample,
+		ExactFinishIters: *ralsPolish,
+		FinalFitOnly:     *ralsFinalFit,
 	}
 	if *dataset != "" {
 		o.WorkScale = 1 / *scale // report full-scale-equivalent modeled time

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"cstf/internal/bigtensor"
 	"cstf/internal/chaos"
+	"cstf/internal/ckpt"
 	"cstf/internal/cluster"
 	"cstf/internal/core"
 	"cstf/internal/cpals"
@@ -15,6 +17,7 @@ import (
 	"cstf/internal/la"
 	"cstf/internal/mapreduce"
 	"cstf/internal/par"
+	"cstf/internal/rals"
 	"cstf/internal/rdd"
 	"cstf/internal/rng"
 )
@@ -22,7 +25,7 @@ import (
 // Algorithm selects the CP-ALS implementation.
 type Algorithm string
 
-// The four CP-ALS implementations in this repository.
+// The CP-ALS implementations in this repository.
 const (
 	// Serial is the single-machine reference implementation.
 	Serial Algorithm = "serial"
@@ -40,7 +43,39 @@ const (
 	// Configure it with Options.Dist (addresses or local worker count).
 	// Results are bitwise identical to Serial for every worker count.
 	Dist Algorithm = "dist"
+	// RALS is randomized ALS (internal/rals): leverage-score-sampled MTTKRP
+	// in the style of CP-ARLS-LEV, configured with Options.RALS. Reported
+	// fits are always exact; a fixed seed is bitwise-reproducible across
+	// runs, Parallelism values, and dist worker counts. Runs serially by
+	// default, or under the distributed runtime when Options.Dist names a
+	// fleet.
+	RALS Algorithm = "rals"
 )
+
+// Algorithms is the single source of truth for the algorithm registry: one
+// entry per Algorithm constant, in documentation order. The "unknown
+// algorithm" error and the cstf CLI's -algo help both derive from it, so a
+// new tier cannot appear in one and drift from the other.
+var Algorithms = []struct {
+	Name Algorithm
+	Desc string // one-line description
+}{
+	{Serial, "single-machine reference CP-ALS"},
+	{COO, "CSTF-COO on the simulated Spark-like engine"},
+	{QCOO, "CSTF-QCOO queue strategy (default)"},
+	{BigTensor, "GigaTensor baseline on the MapReduce engine (3rd-order only)"},
+	{Dist, "real TCP distributed runtime (Options.Dist)"},
+	{RALS, "randomized leverage-score-sampled ALS (Options.RALS)"},
+}
+
+// AlgorithmNames returns the registered algorithm names in order.
+func AlgorithmNames() []string {
+	names := make([]string, len(Algorithms))
+	for i, a := range Algorithms {
+		names[i] = string(a.Name)
+	}
+	return names
+}
 
 // DistOptions groups the knobs of the real distributed runtime (the Dist
 // algorithm). The zero value launches nothing — set Addrs or LocalWorkers.
@@ -85,6 +120,40 @@ type DistOptions struct {
 	// negative value disables degradation, making fleet collapse a hard
 	// error as in earlier releases.
 	MinWorkers int
+}
+
+// RALSOptions groups the knobs of the randomized-ALS tier (the RALS
+// algorithm). The zero value samples 10% of the nonzeros per mode update
+// (SampleFraction 0.1), redraws every iteration, and reports an exact fit
+// per iteration.
+type RALSOptions struct {
+	// SampleCount is the per-mode sample budget: how many weighted draws
+	// each mode update's sketched MTTKRP uses. SampleFraction expresses
+	// the same budget as a fraction of the nonzero count; set one or the
+	// other, not both (both zero selects the 0.1-fraction default). A
+	// budget >= nnz degenerates to the exact kernel — and the whole solve
+	// to bitwise-exact ALS.
+	SampleCount    int
+	SampleFraction float64
+
+	// ModeSampleCounts overrides the budget for individual modes; zero
+	// entries defer to the global budget.
+	ModeSampleCounts []int
+
+	// ResampleEvery is the epoch length: iterations between leverage-score
+	// refreshes and sample redraws. Exact fits are evaluated at epoch
+	// boundaries. Default 1.
+	ResampleEvery int
+
+	// FinalFitOnly skips per-epoch exact fit evaluations, computing only
+	// the final one; Tol-based convergence is then inactive.
+	FinalFitOnly bool
+
+	// ExactFinishIters makes the last k iterations run the exact kernel
+	// for every mode — sampled iterations race to the neighborhood of the
+	// solution, a short exact polish closes the gap to the exact fixed
+	// point. 0 disables.
+	ExactFinishIters int
 }
 
 // FaultOptions groups fault injection and checkpointing.
@@ -163,8 +232,12 @@ type Options struct {
 	// execution timeline to this file.
 	TracePath string
 
-	// Dist configures the real distributed runtime (Algorithm Dist).
+	// Dist configures the real distributed runtime (Algorithm Dist, and
+	// the sampled-MTTKRP distribution of Algorithm RALS).
 	Dist DistOptions
+
+	// RALS configures the randomized-ALS tier (Algorithm RALS).
+	RALS RALSOptions
 
 	// Faults configures fault injection and checkpointing.
 	Faults FaultOptions
@@ -294,6 +367,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.WorkScale == 0 {
 		o.WorkScale = 1
+	}
+	if o.Algorithm == RALS && o.RALS.SampleCount == 0 && o.RALS.SampleFraction == 0 && len(o.RALS.ModeSampleCounts) == 0 {
+		o.RALS.SampleFraction = 0.1
 	}
 	return o
 }
@@ -461,6 +537,12 @@ type resumeState struct {
 	factors   []*la.Dense
 	lambda    []float64
 	fits      []float64
+
+	// rals-only: the unnormalized factors and the sampling schedule the
+	// checkpointed run used, restored so the resume redraws bitwise.
+	unnorm       []*la.Dense
+	ralsResample int
+	ralsCounts   []int
 }
 
 func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Decomposition, error) {
@@ -470,7 +552,7 @@ func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Deco
 		StartIter: rs.startIter, InitFactors: rs.factors,
 		InitLambda: rs.lambda, InitFits: rs.fits,
 	}
-	if o.Faults.CheckpointEvery > 0 && o.Faults.CheckpointPath != "" {
+	if o.Faults.CheckpointEvery > 0 && o.Faults.CheckpointPath != "" && o.Algorithm != RALS {
 		opts.CheckpointEvery = o.Faults.CheckpointEvery
 		alg, rank, seed, dims := o.Algorithm, o.Rank, o.Seed, t.Dims()
 		ckWorkers := 0
@@ -484,7 +566,7 @@ func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Deco
 			return writeCheckpoint(path, checkpointFrom(alg, rank, ckWorkers, seed, iter, dims, lambda, factors, fits))
 		}
 	}
-	if o.Faults.Chaos != nil && o.Algorithm == Serial {
+	if o.Faults.Chaos != nil && (o.Algorithm == Serial || o.Algorithm == RALS) {
 		return nil, fmt.Errorf("cstf: chaos injection requires a distributed algorithm")
 	}
 
@@ -516,6 +598,8 @@ func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Deco
 		res, err = cpals.Solve(t.coo, opts)
 	case Dist:
 		res, distStats, err = distSolve(t, o, opts)
+	case RALS:
+		res, distStats, err = ralsSolve(ctx, t, o, rs)
 	case COO:
 		c = newCluster()
 		rctx := rdd.NewContext(c, o.Nodes*profile.CoresPerNode)
@@ -532,7 +616,7 @@ func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Deco
 		env.EnableRecovery()
 		res, err = bigtensor.Solve(env, t.coo, opts)
 	default:
-		return nil, fmt.Errorf("cstf: unknown algorithm %q", o.Algorithm)
+		return nil, fmt.Errorf("cstf: unknown algorithm %q (known: %s)", o.Algorithm, strings.Join(AlgorithmNames(), ", "))
 	}
 	if err != nil {
 		return nil, err
@@ -648,6 +732,72 @@ func distSolve(t *Tensor, o Options, opts cpals.Options) (*cpals.Result, *dist.S
 		return nil, nil, err
 	}
 	return res, &stats, nil
+}
+
+// ralsSolve runs the randomized-ALS tier: serially by default, or with the
+// sampled MTTKRPs distributed over the real runtime when Options.Dist names
+// a fleet. The distributed composition changes WHERE the sketched MTTKRPs
+// run, not what they compute, so results are bitwise identical to the
+// serial rals solve for every worker count.
+func ralsSolve(ctx context.Context, t *Tensor, o Options, rs resumeState) (*cpals.Result, *dist.Stats, error) {
+	ro := rals.Options{
+		Rank: o.Rank, MaxIters: o.MaxIters, Tol: o.Tol, Seed: o.Seed,
+		Parallelism: o.Parallelism, Ctx: ctx, OnIteration: o.OnIteration,
+		SampleCount:      o.RALS.SampleCount,
+		SampleFraction:   o.RALS.SampleFraction,
+		ModeSampleCounts: o.RALS.ModeSampleCounts,
+		ResampleEvery:    o.RALS.ResampleEvery,
+		FinalFitOnly:     o.RALS.FinalFitOnly,
+		ExactFinishIters: o.RALS.ExactFinishIters,
+		StartIter:        rs.startIter, InitFactors: rs.factors,
+		InitLambda: rs.lambda, InitFits: rs.fits, InitUnnorm: rs.unnorm,
+	}
+	if rs.ralsResample > 0 {
+		// Resume: the checkpointed schedule wins over the options so the
+		// redraws stay bitwise, whatever budget spelling the caller passed.
+		ro.ResampleEvery = rs.ralsResample
+		ro.SampleCount, ro.SampleFraction = 0, 0
+		ro.ModeSampleCounts = rs.ralsCounts
+	}
+	workers := len(o.Dist.Addrs)
+	if workers == 0 {
+		workers = o.Dist.LocalWorkers
+	}
+	if o.Faults.CheckpointEvery > 0 && o.Faults.CheckpointPath != "" {
+		ro.CheckpointEvery = o.Faults.CheckpointEvery
+		rank, seed, dims, path := o.Rank, o.Seed, t.Dims(), o.Faults.CheckpointPath
+		ckWorkers := workers
+		ro.OnCheckpoint = func(iter int, lambda []float64, factors []*la.Dense, fits []float64, st *rals.State) error {
+			cp := checkpointFrom(RALS, rank, ckWorkers, seed, iter, dims, lambda, factors, fits)
+			cp.RALS = &ckpt.RALSState{
+				ResampleEvery: st.ResampleEvery,
+				SampleCounts:  append([]int(nil), st.SampleCounts...),
+			}
+			for _, u := range st.Unnorm {
+				cp.RALS.Unnorm = append(cp.RALS.Unnorm, la.VecClone(u.Data))
+			}
+			return writeCheckpoint(path, cp)
+		}
+	}
+	if workers > 0 {
+		cfg := dist.Config{Addrs: o.Dist.Addrs}
+		if len(o.Dist.Addrs) == 0 {
+			lc, err := dist.LaunchLocal(o.Dist.LocalWorkers, o.Dist.WorkerBin)
+			if err != nil {
+				return nil, nil, err
+			}
+			defer lc.Close()
+			cfg = lc.Config()
+		}
+		cfg.MinWorkers = o.Dist.MinWorkers
+		res, stats, err := dist.SolveSampled(t.coo, ro, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, &stats, nil
+	}
+	res, err := rals.Solve(t.coo, ro)
+	return res, nil, err
 }
 
 // tearFile truncates a file to half its size — the torn tail a crash

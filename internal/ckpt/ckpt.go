@@ -62,6 +62,22 @@ type File struct {
 	// deterministic, so a checkpoint from W workers resumes bitwise
 	// identically on any fleet size — or locally.
 	Workers int
+
+	// RALS carries the randomized-ALS sampler state for algorithm "rals"
+	// checkpoints; nil for every other algorithm (and for rals files
+	// written by versions before the field existed, which cannot resume
+	// bitwise and are rejected by the resume path).
+	RALS *RALSState
+}
+
+// RALSState is the extra solver state a rals checkpoint needs for a bitwise
+// resume: the UNNORMALIZED factor matrices (normalized factors alone lose
+// the per-row scale kept rows live at) plus the resolved sampling schedule,
+// so the resumed run redraws exactly what the uninterrupted run drew.
+type RALSState struct {
+	ResampleEvery int
+	SampleCounts  []int       // resolved per-mode sample budgets
+	Unnorm        [][]float64 // one row-major matrix per mode, Dims[n] x Rank
 }
 
 // InvalidError reports a checkpoint whose fields are structurally
@@ -119,6 +135,27 @@ func (f *File) Validate(path string) error {
 	for n, data := range f.Factors {
 		if len(data) != f.Dims[n]*f.Rank {
 			return fail("factor %d has %d values, want %d*%d", n, len(data), f.Dims[n], f.Rank)
+		}
+	}
+	if st := f.RALS; st != nil {
+		if st.ResampleEvery <= 0 {
+			return fail("rals resample cadence %d", st.ResampleEvery)
+		}
+		if len(st.SampleCounts) != len(f.Dims) {
+			return fail("%d rals sample counts for %d modes", len(st.SampleCounts), len(f.Dims))
+		}
+		for m, s := range st.SampleCounts {
+			if s <= 0 {
+				return fail("rals mode %d sample count %d", m, s)
+			}
+		}
+		if len(st.Unnorm) != len(f.Dims) {
+			return fail("%d rals unnormalized factors for %d modes", len(st.Unnorm), len(f.Dims))
+		}
+		for n, data := range st.Unnorm {
+			if len(data) != f.Dims[n]*f.Rank {
+				return fail("rals unnormalized factor %d has %d values, want %d*%d", n, len(data), f.Dims[n], f.Rank)
+			}
 		}
 	}
 	return nil

@@ -1245,3 +1245,18 @@ func (s *Session) sendShard(r *remote, sh *Shard) error {
 	r.hasShard[key] = true
 	return nil
 }
+
+// sendShardReplace ships a shard unconditionally, replacing whatever the
+// worker holds under the same (mode, row range) key. The rals kernel uses
+// it for per-epoch sampled shards, whose contents change under a stable
+// key; callers that need epoch awareness track which generation each
+// connection holds themselves.
+func (s *Session) sendShardReplace(r *remote, sh *Shard) error {
+	payload := EncodeShard(sh)
+	if err := s.enqueue(r, MsgShard, payload); err != nil {
+		return err
+	}
+	s.stats.ShardBytes += int64(len(payload))
+	r.hasShard[shardKey{sh.Mode, sh.RowLo, sh.RowHi}] = true
+	return nil
+}

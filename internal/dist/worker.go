@@ -149,8 +149,8 @@ type wsession struct {
 	gramCache map[gramKey]*la.Dense
 
 	// csfs caches the per-shard CSF trees for the optional SPLATT kernel
-	// (Hello flag HelloUseCSF). Shards are immutable within a session, so
-	// entries are never invalidated.
+	// (Hello flag HelloUseCSF). An entry is invalidated when its shard is
+	// replaced (per-epoch sampled shards reuse their key).
 	csfs map[shardKey]*tensor.CSF
 }
 
@@ -233,8 +233,12 @@ func (w *Worker) handle(c net.Conn) {
 				w.logf("dist: worker bad shard: %v", err)
 				return
 			}
+			// Replacing a resident shard (per-epoch sampled shards reuse
+			// their key) invalidates any CSF tree built from the old one.
+			key := shardKey{sh.Mode, sh.RowLo, sh.RowHi}
 			s.mu.Lock()
-			s.shards[shardKey{sh.Mode, sh.RowLo, sh.RowHi}] = sh
+			s.shards[key] = sh
+			delete(s.csfs, key)
 			s.mu.Unlock()
 		case MsgFactor:
 			f, err := DecodeFactor(payload)

@@ -1,0 +1,630 @@
+// Package rals implements randomized CP-ALS with leverage-score-sampled
+// MTTKRP (in the style of CP-ARLS-LEV): instead of sweeping every nonzero
+// each iteration, each mode update draws a deterministic weighted sample of
+// the nonzeros — weights derived from the current factors' leverage scores
+// — and feeds the importance-weighted sampled MTTKRP to the exact row-solve
+// path. Reported fits are always EXACT (a full pass over the tensor at
+// epoch boundaries), never a sketch.
+//
+// Determinism contract: for a fixed seed, the factors are bitwise identical
+// across runs, across Parallelism values, and across distributed worker
+// counts (internal/dist runs this same solver, distributing only the
+// sampled MTTKRP over row-aligned shards). Sample draws are pure functions
+// of (seed, epoch, mode, draw index) via rng.UniformAt against a weight
+// table computed from the epoch-start factors, so a resumed run redraws
+// exactly what the uninterrupted run drew.
+//
+// With a sample budget >= nnz a mode update degenerates to the exact
+// kernel over the full tensor, making the solve bitwise identical to
+// cpals.Solve — the property tests pin this.
+package rals
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"cstf/internal/cpals"
+	"cstf/internal/la"
+	"cstf/internal/par"
+	"cstf/internal/rng"
+	"cstf/internal/tensor"
+)
+
+// samplingTag namespaces the sampler's rng.UniformAt draws away from every
+// other consumer of the shared hash (factor init uses 0xFAC70).
+const samplingTag = 0x5A37157
+
+// defensiveMix is the uniform fraction blended into the leverage-score
+// sampling weights (defensive importance sampling): it floors every entry's
+// weight at defensiveMix*mean, bounding the worst-case importance scale at
+// nnz/(defensiveMix*budget) without biasing the estimator.
+const defensiveMix = 0.1
+
+// State is the solver state beyond (lambda, factors) that a checkpoint must
+// carry for a bitwise resume: the UNNORMALIZED factor matrices (rows kept
+// across epochs live at solved-row scale; rebuilding them as A*diag(lambda)
+// would reintroduce rounding) plus the resolved sampling schedule, so the
+// resumed run redraws exactly the samples the uninterrupted run would have.
+type State struct {
+	ResampleEvery int         // epoch length in iterations
+	SampleCounts  []int       // resolved per-mode sample budgets
+	Unnorm        []*la.Dense // unnormalized factors, one per mode
+}
+
+// Kernel abstracts where sampled MTTKRPs run. A nil Kernel computes them
+// locally; internal/dist plugs in a fleet-backed implementation that ships
+// each epoch's drawn nonzeros to workers as row-aligned shards. Everything
+// else — sampling, row solves, normalization, grams, exact fits — runs on
+// the caller, so a Kernel only has to reproduce the MTTKRP bits (which are
+// partition-independent: per output row, entries accumulate in the sampled
+// tensor's stable mode-index order).
+type Kernel interface {
+	// Epoch announces a new epoch's sampled tensors, indexed by mode (nil
+	// for modes whose budget covers the full tensor).
+	Epoch(epoch int, sampled []*tensor.COO) error
+	// MTTKRP computes the sampled mode-n MTTKRP into out (dims[n] x rank,
+	// zeroed by the caller) using the current factors.
+	MTTKRP(mode int, factors []*la.Dense, out *la.Dense) error
+	// FactorUpdated announces factor `mode` changed (after the initial
+	// materialization and after every mode update).
+	FactorUpdated(mode int, m *la.Dense)
+}
+
+// Options configures a randomized ALS run. The Rank/MaxIters/Tol/Seed/
+// Parallelism/Ctx/OnIteration/StartIter/Init*/Checkpoint* fields mean
+// exactly what they mean in cpals.Options.
+type Options struct {
+	Rank     int
+	MaxIters int
+	// Tol stops the run when consecutive EXACT fit evaluations (one per
+	// epoch) improve by less than Tol. 0 disables.
+	Tol         float64
+	Seed        uint64
+	Parallelism int
+
+	// SampleCount is the per-mode sample budget: how many weighted draws
+	// (with replacement) each mode update's MTTKRP uses. SampleFraction
+	// expresses the same budget as a fraction of nnz; ModeSampleCounts
+	// overrides the budget for individual modes (0 entries defer to the
+	// global budget). Exactly one of SampleCount/SampleFraction must be
+	// set unless every mode is covered by ModeSampleCounts. A budget
+	// >= nnz switches that mode to the exact kernel over the full tensor.
+	SampleCount      int
+	SampleFraction   float64
+	ModeSampleCounts []int
+
+	// ResampleEvery is the epoch length: how many iterations reuse one
+	// drawn sample before leverage scores are recomputed and the sample
+	// redrawn. Exact fits are evaluated at epoch boundaries. Default 1.
+	ResampleEvery int
+
+	// FinalFitOnly skips the per-epoch exact fit evaluations, computing
+	// only the final one — the cheapest configuration when only the end
+	// state matters. Tol-based convergence is then inactive.
+	FinalFitOnly bool
+
+	// ExactFinishIters makes the last k iterations run the exact kernel
+	// for every mode — a polish phase. Sampled iterations race to the
+	// neighborhood of the solution; a few exact sweeps from that warm
+	// start close the remaining gap to the exact fixed point at full
+	// per-iteration cost. 0 disables (pure sampled run).
+	ExactFinishIters int
+
+	Ctx         context.Context
+	OnIteration func(iter int, fit float64) (stop bool)
+
+	// StartIter/InitFactors/InitLambda/InitFits resume or warm-start the
+	// solve, as in cpals. StartIter must be a multiple of ResampleEvery
+	// (checkpoints only fire at epoch boundaries). InitUnnorm, when set,
+	// bitwise-restores the unnormalized factors from a checkpoint's
+	// State; when nil with InitFactors set (a warm start, e.g. the
+	// streaming updater), the unnormalized factors are seeded as
+	// A*diag(lambda) — the ALS fixed-point identity.
+	StartIter   int
+	InitFactors []*la.Dense
+	InitLambda  []float64
+	InitFits    []float64
+	InitUnnorm  []*la.Dense
+
+	// CheckpointEvery/OnCheckpoint checkpoint the run as in cpals, with
+	// the sampler State alongside. Checkpoints fire only at iterations
+	// that are multiples of both CheckpointEvery and ResampleEvery, so
+	// every checkpoint is an epoch boundary a resume can redraw from.
+	CheckpointEvery int
+	OnCheckpoint    func(iter int, lambda []float64, factors []*la.Dense, fits []float64, st *State) error
+
+	// Kernel, when non-nil, computes the sampled MTTKRPs (see Kernel).
+	Kernel Kernel
+}
+
+// Workers resolves the effective worker count.
+func (o *Options) Workers() int { return par.Workers(o.Parallelism) }
+
+// Interrupted reports the context's error if Ctx is set and cancelled.
+func (o *Options) Interrupted() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Ctx.Done():
+		return o.Ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// Budgets resolves the per-mode sample counts against a tensor.
+func (o *Options) Budgets(t *tensor.COO) ([]int, error) {
+	order := t.Order()
+	nnz := t.NNZ()
+	if len(o.ModeSampleCounts) != 0 && len(o.ModeSampleCounts) != order {
+		return nil, fmt.Errorf("rals: %d ModeSampleCounts for an order-%d tensor", len(o.ModeSampleCounts), order)
+	}
+	if o.SampleCount < 0 {
+		return nil, fmt.Errorf("rals: SampleCount must be non-negative, got %d", o.SampleCount)
+	}
+	if o.SampleFraction < 0 {
+		return nil, fmt.Errorf("rals: SampleFraction must be non-negative, got %g", o.SampleFraction)
+	}
+	if o.SampleCount > 0 && o.SampleFraction > 0 {
+		return nil, fmt.Errorf("rals: set SampleCount or SampleFraction, not both")
+	}
+	global := o.SampleCount
+	if o.SampleFraction > 0 {
+		global = int(math.Ceil(o.SampleFraction * float64(nnz)))
+	}
+	budgets := make([]int, order)
+	for m := range budgets {
+		s := global
+		if len(o.ModeSampleCounts) > 0 && o.ModeSampleCounts[m] > 0 {
+			s = o.ModeSampleCounts[m]
+		}
+		if s <= 0 {
+			return nil, fmt.Errorf("rals: mode %d has no sample budget (set SampleCount, SampleFraction, or ModeSampleCounts)", m)
+		}
+		budgets[m] = s
+	}
+	return budgets, nil
+}
+
+// Validate checks the options against a tensor.
+func (o *Options) Validate(t *tensor.COO) error {
+	if o.Rank <= 0 {
+		return fmt.Errorf("rals: rank must be positive, got %d", o.Rank)
+	}
+	if o.MaxIters <= 0 {
+		return fmt.Errorf("rals: MaxIters must be positive, got %d", o.MaxIters)
+	}
+	if t.NNZ() == 0 {
+		return fmt.Errorf("rals: tensor has no nonzeros")
+	}
+	if _, err := o.Budgets(t); err != nil {
+		return err
+	}
+	e := o.ResampleEvery
+	if e <= 0 {
+		e = 1
+	}
+	if o.ExactFinishIters < 0 {
+		return fmt.Errorf("rals: ExactFinishIters must be non-negative, got %d", o.ExactFinishIters)
+	}
+	if o.StartIter < 0 {
+		return fmt.Errorf("rals: StartIter must be non-negative, got %d", o.StartIter)
+	}
+	if o.StartIter%e != 0 {
+		return fmt.Errorf("rals: StartIter %d is not an epoch boundary (ResampleEvery %d)", o.StartIter, e)
+	}
+	if o.StartIter > 0 && o.InitFactors == nil {
+		return fmt.Errorf("rals: StartIter %d requires InitFactors", o.StartIter)
+	}
+	checkFactors := func(name string, fs []*la.Dense) error {
+		if len(fs) != t.Order() {
+			return fmt.Errorf("rals: %d %s for an order-%d tensor", len(fs), name, t.Order())
+		}
+		for n, f := range fs {
+			if f == nil || f.Rows != t.Dims[n] || f.Cols != o.Rank {
+				return fmt.Errorf("rals: %s[%d] must be %dx%d", name, n, t.Dims[n], o.Rank)
+			}
+		}
+		return nil
+	}
+	if o.InitFactors != nil {
+		if err := checkFactors("InitFactors", o.InitFactors); err != nil {
+			return err
+		}
+		if len(o.InitLambda) != o.Rank {
+			return fmt.Errorf("rals: InitLambda length %d != rank %d", len(o.InitLambda), o.Rank)
+		}
+	}
+	if o.InitUnnorm != nil {
+		if o.InitFactors == nil {
+			return fmt.Errorf("rals: InitUnnorm requires InitFactors")
+		}
+		if err := checkFactors("InitUnnorm", o.InitUnnorm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Solve runs randomized CP-ALS. The returned result has the same shape and
+// semantics as cpals.Solve's: normalized factors, lambda, and per-epoch
+// EXACT fits (per-iteration when ResampleEvery is 1).
+func Solve(t *tensor.COO, o Options) (*cpals.Result, error) {
+	if err := o.Validate(t); err != nil {
+		return nil, err
+	}
+	order := t.Order()
+	rank := o.Rank
+	w := o.Workers()
+	nnz := t.NNZ()
+	epochLen := o.ResampleEvery
+	if epochLen <= 0 {
+		epochLen = 1
+	}
+	budgets, err := o.Budgets(t)
+	if err != nil {
+		return nil, err
+	}
+	allFull := true
+	for m, s := range budgets {
+		if s < nnz {
+			allFull = false
+		} else {
+			budgets[m] = nnz // cap: the exact kernel ignores the excess
+		}
+	}
+
+	// Factors: A[n] is the normalized factor (what MTTKRP, grams, and the
+	// fit read), U[n] the unnormalized one (what row solves write). Rows a
+	// sampled update skips keep their previous unnormalized value — mixing
+	// normalized kept rows with freshly solved rows would collapse them
+	// after renormalization. With a full budget every row is solved every
+	// update and the split is invisible: the solve is bitwise cpals.Solve.
+	factors := make([]*la.Dense, order)
+	unnorm := make([]*la.Dense, order)
+	grams := make([]*la.Dense, order)
+	for n := 0; n < order; n++ {
+		switch {
+		case o.InitUnnorm != nil:
+			factors[n] = o.InitFactors[n].Clone()
+			unnorm[n] = o.InitUnnorm[n].Clone()
+		case o.InitFactors != nil:
+			factors[n] = o.InitFactors[n].Clone()
+			u := o.InitFactors[n].Clone()
+			scaleColumns(u, o.InitLambda, w)
+			unnorm[n] = u
+		default:
+			factors[n] = cpals.InitFactor(o.Seed, n, t.Dims[n], rank)
+			unnorm[n] = factors[n].Clone()
+		}
+		grams[n] = la.GramParallel(factors[n], w)
+		if o.Kernel != nil {
+			o.Kernel.FactorUpdated(n, factors[n])
+		}
+	}
+
+	normX := t.Norm()
+	res := &cpals.Result{Factors: factors, Iters: o.StartIter}
+	res.Fits = append(res.Fits, o.InitFits...)
+	lambda := la.VecClone(o.InitLambda)
+	var lastM *la.Dense
+	ws := &cpals.Workspace{}
+	smp := newSampler(t, o.Seed, budgets, w)
+	sampled := make([]*tensor.COO, order)
+
+	checkpoint := func(it int) error {
+		if o.CheckpointEvery <= 0 || o.OnCheckpoint == nil {
+			return nil
+		}
+		if (it+1)%o.CheckpointEvery != 0 || (it+1)%epochLen != 0 {
+			return nil
+		}
+		st := &State{
+			ResampleEvery: epochLen,
+			SampleCounts:  append([]int(nil), budgets...),
+			Unnorm:        make([]*la.Dense, order),
+		}
+		for n := range unnorm {
+			st.Unnorm[n] = unnorm[n].Clone()
+		}
+		return o.OnCheckpoint(it+1, lambda, factors, res.Fits, st)
+	}
+
+	// Iterations >= finishStart are the exact polish phase: every mode runs
+	// the exact kernel over the full tensor, no sampling.
+	finishStart := o.MaxIters - o.ExactFinishIters
+	if finishStart < o.StartIter {
+		finishStart = o.StartIter
+	}
+
+	for it := o.StartIter; it < o.MaxIters; it++ {
+		if err := o.Interrupted(); err != nil {
+			return nil, err
+		}
+		exactPhase := it >= finishStart
+		if it%epochLen == 0 && !allFull && !exactPhase {
+			// Epoch boundary: recompute leverage scores from the current
+			// factors and redraw every sampled mode's nonzeros.
+			epoch := it / epochLen
+			smp.refreshScores(factors, grams)
+			for m := 0; m < order; m++ {
+				if budgets[m] < nnz {
+					sampled[m] = smp.draw(epoch, m)
+				}
+			}
+			if o.Kernel != nil {
+				if err := o.Kernel.Epoch(epoch, sampled); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for n := 0; n < order; n++ {
+			full := budgets[n] >= nnz || exactPhase
+			var m *la.Dense
+			if full {
+				m = cpals.MTTKRPWorkers(t, n, factors, w, ws.Out(n, t.Dims[n], rank, w), ws)
+			} else {
+				m = ws.Out(n, t.Dims[n], rank, w)
+				if o.Kernel != nil {
+					if err := o.Kernel.MTTKRP(n, factors, m); err != nil {
+						return nil, err
+					}
+				} else {
+					cpals.MTTKRPWorkers(sampled[n], n, factors, w, m, ws)
+				}
+			}
+			pinv := la.Pinv(cpals.HadamardOfGramsExcept(grams, n))
+			u := unnorm[n]
+			if full {
+				la.RowBlocksApply(w, u.Rows, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						la.VecMatInto(u.Row(i), m.Row(i), pinv)
+					}
+				})
+			} else {
+				// Solve only the rows the sample touched; keep the rest at
+				// their previous unnormalized value; pin structurally empty
+				// rows to zero (what the exact solver computes for them).
+				smi := sampled[n].ModeIndex(n)
+				fmi := t.ModeIndex(n)
+				la.RowBlocksApply(w, u.Rows, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						switch {
+						case smi.RowPtr[i+1] > smi.RowPtr[i]:
+							la.VecMatInto(u.Row(i), m.Row(i), pinv)
+						case fmi.RowPtr[i+1] == fmi.RowPtr[i]:
+							row := u.Row(i)
+							for r := range row {
+								row[r] = 0
+							}
+						}
+					}
+				})
+			}
+			a := u.Clone()
+			lambda = la.NormalizeColumnsParallel(a, w)
+			factors[n] = a
+			grams[n] = la.GramParallel(a, w)
+			if o.Kernel != nil {
+				o.Kernel.FactorUpdated(n, a)
+			}
+			lastM = m
+		}
+		res.Iters = it + 1
+
+		epochEnd := (it+1)%epochLen == 0
+		last := it == o.MaxIters-1
+		if (epochEnd && !o.FinalFitOnly) || last {
+			var fit float64
+			if allFull || exactPhase {
+				// Bitwise-cpals path: the SPLATT fit identity over the last
+				// mode's exact MTTKRP, no extra tensor pass.
+				fit = cpals.FitFromWorkers(normX, lastM, factors[order-1], lambda, grams, w)
+			} else {
+				inner := innerProductWorkers(t, lambda, factors, w)
+				fit = cpals.FitFromInner(normX, inner, lambda, grams)
+			}
+			res.Fits = append(res.Fits, fit)
+			if o.OnIteration != nil && o.OnIteration(it, fit) {
+				break
+			}
+			if err := checkpoint(it); err != nil {
+				return nil, err
+			}
+			if nf := len(res.Fits); o.Tol > 0 && nf > 1 {
+				if math.Abs(res.Fits[nf-1]-res.Fits[nf-2]) < o.Tol {
+					break
+				}
+			}
+			continue
+		}
+		if err := checkpoint(it); err != nil {
+			return nil, err
+		}
+	}
+	res.Lambda = lambda
+	return res, nil
+}
+
+// scaleColumns multiplies column r of m by s[r].
+func scaleColumns(m *la.Dense, s []float64, workers int) {
+	la.RowBlocksApply(workers, m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for r := range row {
+				row[r] *= s[r]
+			}
+		}
+	})
+}
+
+// innerProductWorkers computes <X, X_hat> by a pass over the nonzeros,
+// reduced in fixed par.SumBlocks block order (bitwise independent of the
+// worker count).
+func innerProductWorkers(t *tensor.COO, lambda []float64, factors []*la.Dense, workers int) float64 {
+	rank := len(lambda)
+	order := t.Order()
+	return par.SumBlocks(workers, len(t.Entries), func(lo, hi int) float64 {
+		tmp := make([]float64, rank)
+		var sum float64
+		for p := lo; p < hi; p++ {
+			e := &t.Entries[p]
+			copy(tmp, lambda)
+			for n := 0; n < order; n++ {
+				la.VecMulInto(tmp, factors[n].Row(int(e.Idx[n])))
+			}
+			var v float64
+			for r := range tmp {
+				v += tmp[r]
+			}
+			sum += v * e.Val
+		}
+		return sum
+	})
+}
+
+// sampler draws the per-epoch, per-mode weighted nonzero samples. All
+// randomness flows through rng.UniformAt keyed by (seed, samplingTag,
+// epoch, mode, draw), so draws are pure functions of the solver state —
+// nothing here depends on worker count or timing.
+type sampler struct {
+	t       *tensor.COO
+	seed    uint64
+	budgets []int
+	workers int
+
+	scores [][]float64 // per mode: leverage score of each row
+	weight []float64   // scratch: per-entry sampling weight
+	counts []int32     // scratch: per-entry draw multiplicity
+}
+
+func newSampler(t *tensor.COO, seed uint64, budgets []int, workers int) *sampler {
+	s := &sampler{t: t, seed: seed, budgets: budgets, workers: workers}
+	s.scores = make([][]float64, t.Order())
+	for m := range s.scores {
+		s.scores[m] = make([]float64, t.Dims[m])
+	}
+	s.weight = make([]float64, len(t.Entries))
+	s.counts = make([]int32, len(t.Entries))
+	return s
+}
+
+// refreshScores recomputes every mode's per-row leverage score estimates
+// from the current factors: lev_m(i) = a_i^T pinv(G_m) a_i, clamped at 0
+// (the exact leverage scores of A_m's row space, up to pinv conditioning).
+func (s *sampler) refreshScores(factors, grams []*la.Dense) {
+	for m := range s.scores {
+		p := la.Pinv(grams[m])
+		a := factors[m]
+		sc := s.scores[m]
+		la.RowBlocksApply(s.workers, a.Rows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := a.Row(i)
+				var q float64
+				for r := range row {
+					var pr float64
+					prow := p.Row(r)
+					for c := range row {
+						pr += prow[c] * row[c]
+					}
+					q += row[r] * pr
+				}
+				if q < 0 || math.IsNaN(q) {
+					q = 0
+				}
+				sc[i] = q
+			}
+		})
+	}
+}
+
+// draw samples budgets[mode] nonzeros with replacement, weighted by the
+// product of the OTHER modes' leverage scores at each entry's coordinates,
+// and returns them as an importance-weighted COO: each distinct drawn entry
+// appears once, in storage order, with value val*count*total/(budget*w) —
+// an unbiased estimator of the exact MTTKRP. Degenerate weight tables (all
+// zero, infinite, NaN) fall back to uniform weights deterministically.
+func (s *sampler) draw(epoch, mode int) *tensor.COO {
+	t := s.t
+	order := t.Order()
+	n := len(t.Entries)
+	la.RowBlocksApply(s.workers, n, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			e := &t.Entries[p]
+			w := 1.0
+			for m := 0; m < order; m++ {
+				if m == mode {
+					continue
+				}
+				w *= s.scores[m][e.Idx[m]]
+			}
+			s.weight[p] = w
+		}
+	})
+	var total float64
+	for p := 0; p < n; p++ {
+		total += s.weight[p]
+	}
+	if total <= 0 || math.IsInf(total, 0) || math.IsNaN(total) {
+		for p := 0; p < n; p++ {
+			s.weight[p] = 1
+		}
+		total = float64(n)
+	} else {
+		// Defensive mixing: blend the leverage weights with uniform so no
+		// entry's importance scale (total/(budget*w)) can explode — a
+		// tiny-weight entry that does get drawn would otherwise inject an
+		// enormous scaled value and destabilize the sketched update. The
+		// estimator divides by the weight actually used, so it stays
+		// unbiased.
+		mix := defensiveMix * total / float64(n)
+		total = 0
+		for p := 0; p < n; p++ {
+			w := (1-defensiveMix)*s.weight[p] + mix
+			s.weight[p] = w
+			total += w
+		}
+	}
+
+	// Systematic (low-discrepancy) resampling: one uniform offset u, then
+	// budget equally spaced probes u, u+1, ... over the cdf scaled to
+	// [0, budget). count_p = #probes inside entry p's cdf segment, so
+	// E[count_p] = budget*w_p/total with variance at most 1 — entries
+	// whose expected count exceeds 1 are included deterministically. Far
+	// lower estimator variance than independent multinomial draws, still
+	// unbiased, and still a pure function of (seed, epoch, mode).
+	budget := s.budgets[mode]
+	u := rng.UniformAt(s.seed, samplingTag, uint64(epoch), uint64(mode))
+	step := total / float64(budget)
+	distinct := 0
+	pos := u * step
+	cum := 0.0
+	for p := 0; p < n; p++ {
+		cum += s.weight[p]
+		c := int32(0)
+		for pos < cum {
+			c++
+			pos += step
+		}
+		s.counts[p] = c
+		if c > 0 {
+			distinct++
+		}
+	}
+
+	out := tensor.New(t.Dims...)
+	out.Entries = make([]tensor.Entry, 0, distinct)
+	scale := total / float64(budget)
+	for p := 0; p < n; p++ {
+		c := s.counts[p]
+		if c == 0 {
+			continue
+		}
+		e := t.Entries[p]
+		e.Val *= float64(c) * scale / s.weight[p]
+		out.Entries = append(out.Entries, e)
+	}
+	return out
+}

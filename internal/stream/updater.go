@@ -9,6 +9,7 @@ import (
 	"cstf/internal/cpals"
 	"cstf/internal/la"
 	"cstf/internal/par"
+	"cstf/internal/rals"
 	"cstf/internal/tensor"
 )
 
@@ -32,7 +33,42 @@ type Updater struct {
 	lambda  []float64
 	factors []*la.Dense
 
-	windows int // delta windows applied
+	windows  int // delta windows applied
+	sweeps   int // full sweeps run (exact or sampled)
+	sampling *SweepSampling
+}
+
+// SweepSampling switches FullSweep from exact warm-started CP-ALS to the
+// randomized leverage-score-sampled solver (internal/rals). On a streaming
+// pipeline the full sweep is the drift bound, not the model of record —
+// warm-started from near-converged factors, a sampled sweep recovers almost
+// all of the drift at a fraction of the exact sweep's per-iteration cost,
+// which matters when FullSweepEvery is small and the resident tensor large.
+// The zero value of every field selects the rals default (10% of the
+// nonzeros, resample every epoch, no exact polish).
+type SweepSampling struct {
+	// SampleFraction draws ceil(frac*nnz) entries per mode update.
+	SampleFraction float64
+	// SampleCount draws a fixed number of entries per mode update
+	// (overrides SampleFraction when > 0).
+	SampleCount int
+	// ResampleEvery redraws the sampled tensors every N iterations.
+	ResampleEvery int
+	// ExactFinishIters runs the last N iterations of each sweep exact.
+	ExactFinishIters int
+}
+
+// SetSweepSampling installs (or, with nil, removes) sampled full sweeps.
+// Sweeps stay deterministic: the sampler is seeded from the updater seed and
+// the running sweep count, so a fixed event sequence yields bitwise-identical
+// factors on every run and every worker count.
+func (u *Updater) SetSweepSampling(s *SweepSampling) {
+	if s == nil {
+		u.sampling = nil
+		return
+	}
+	cp := *s
+	u.sampling = &cp
 }
 
 // NewUpdater wraps a resident tensor and its trained, normalized factors
@@ -271,12 +307,42 @@ func growFactor(f *la.Dense, newRows, mode int, seed uint64) *la.Dense {
 	return g
 }
 
-// FullSweep runs `iters` warm-started exact CP-ALS iterations over the
-// resident tensor (the drift bound) and adopts the result. Returns the
-// final fit.
+// FullSweep runs `iters` warm-started iterations over the resident tensor
+// (the drift bound) and adopts the result. The sweep is exact CP-ALS unless
+// SetSweepSampling switched it to the sampled solver; either way the
+// returned fit is the exact fit over the resident tensor.
 func (u *Updater) FullSweep(iters int) (float64, error) {
 	if iters <= 0 {
 		iters = 1
+	}
+	u.sweeps++
+	if s := u.sampling; s != nil {
+		frac, count := s.SampleFraction, s.SampleCount
+		if frac == 0 && count == 0 {
+			frac = 0.1
+		}
+		// Each sweep gets its own sampler stream: rals keys draws by
+		// (seed, epoch, mode), and every sweep restarts at epoch 0, so an
+		// unmixed seed would replay one sweep's sample pattern forever.
+		res, err := rals.Solve(u.t, rals.Options{
+			Rank:             u.rank,
+			MaxIters:         iters,
+			Seed:             u.seed ^ (uint64(u.sweeps) * 0x9E3779B97F4A7C15),
+			Parallelism:      u.workers,
+			SampleFraction:   frac,
+			SampleCount:      count,
+			ResampleEvery:    s.ResampleEvery,
+			ExactFinishIters: s.ExactFinishIters,
+			FinalFitOnly:     true,
+			InitFactors:      u.factors,
+			InitLambda:       u.lambda,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("stream: sampled sweep: %w", err)
+		}
+		u.factors = res.Factors
+		u.lambda = res.Lambda
+		return res.Fit(), nil
 	}
 	res, err := cpals.Solve(u.t, cpals.Options{
 		Rank:        u.rank,

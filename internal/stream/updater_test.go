@@ -241,3 +241,99 @@ func TestApplyDeltaDeterministicAcrossWorkers(t *testing.T) {
 		}
 	}
 }
+
+// Sampled sweeps, degenerate case: a full sample budget makes the rals
+// sweep bitwise identical to the exact sweep — factors, lambda, and the
+// returned exact fit.
+func TestSampledSweepFullBudgetBitwiseExact(t *testing.T) {
+	const seed, rank = 17, 3
+	x := tensor.GenLowRank(seed, 4000, rank, 0.05, 50, 40, 30)
+	delta := tensor.GenUniform(seed+1, 400, 50, 40, 30).Entries
+
+	run := func(s *SweepSampling) (*Updater, float64) {
+		u := trainedUpdater(t, x, rank, 2, seed)
+		u.SetSweepSampling(s)
+		if _, err := u.ApplyDelta(delta); err != nil {
+			t.Fatal(err)
+		}
+		fit, err := u.FullSweep(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u, fit
+	}
+	exactU, exactFit := run(nil)
+	sampU, sampFit := run(&SweepSampling{SampleCount: x.NNZ() + len(delta)})
+
+	if sampFit != exactFit {
+		t.Fatalf("full-budget sampled sweep fit %v != exact sweep fit %v", sampFit, exactFit)
+	}
+	for n, f := range sampU.Factors() {
+		for i, v := range f.Data {
+			if v != exactU.Factors()[n].Data[i] {
+				t.Fatalf("factor %d datum %d differs bitwise from exact sweep", n, i)
+			}
+		}
+	}
+	for c, v := range sampU.Lambda() {
+		if v != exactU.Lambda()[c] {
+			t.Fatalf("lambda[%d] differs bitwise from exact sweep", c)
+		}
+	}
+}
+
+// Sampled sweeps are deterministic — the same event sequence yields bitwise
+// identical factors on repeat runs and across worker counts — and the sweep
+// still does its job: warm-started on drifted factors, the sampled sweep's
+// exact fit lands close to what the exact sweep reaches.
+func TestSampledSweepDeterministicAndTracksExact(t *testing.T) {
+	const seed, rank = 29, 3
+	x := tensor.GenLowRank(seed, 5000, rank, 0.02, 50, 40, 30)
+	deltas := [][]tensor.Entry{
+		tensor.GenUniform(seed+1, 300, 50, 40, 30).Entries,
+		tensor.GenUniform(seed+2, 300, 50, 40, 30).Entries,
+	}
+	s := &SweepSampling{SampleFraction: 0.5, ResampleEvery: 2, ExactFinishIters: 1}
+
+	run := func(workers int, s *SweepSampling) (*Updater, float64) {
+		res, err := cpals.Solve(x, cpals.Options{Rank: rank, MaxIters: 4, Seed: seed, Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := NewUpdaterFromResult(x, res, seed, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.SetSweepSampling(s)
+		var fit float64
+		for _, d := range deltas {
+			if _, err := u.ApplyDelta(d); err != nil {
+				t.Fatal(err)
+			}
+			if fit, err = u.FullSweep(4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return u, fit
+	}
+
+	ref, sampFit := run(1, s)
+	for _, workers := range []int{1, 4} {
+		u, fit := run(workers, s)
+		if fit != sampFit {
+			t.Fatalf("workers=%d: sampled sweep fit %v != reference %v", workers, fit, sampFit)
+		}
+		for n, f := range u.Factors() {
+			for i, v := range f.Data {
+				if v != ref.Factors()[n].Data[i] {
+					t.Fatalf("workers=%d: factor %d datum %d differs bitwise", workers, n, i)
+				}
+			}
+		}
+	}
+
+	_, exactFit := run(1, nil)
+	if sampFit < exactFit-0.05 {
+		t.Fatalf("sampled sweep fit %v trails exact sweep fit %v by > 0.05", sampFit, exactFit)
+	}
+}
