@@ -5,9 +5,9 @@ GO ?= go
 # Packages that carry concurrency (worker pools, shared caches, simulated
 # cluster, the serving executor, the streaming pipeline) or fault-recovery
 # paths: these also run under the race detector in `make ci`.
-RACE_PKGS := ./internal/cpals ./internal/la ./internal/par ./internal/tensor ./internal/rdd ./internal/cluster ./internal/chaos ./internal/mapreduce ./internal/core ./internal/serve ./internal/stream ./internal/dist ./internal/fleet ./internal/rals
+RACE_PKGS := ./internal/cpals ./internal/la ./internal/par ./internal/tensor ./internal/rdd ./internal/cluster ./internal/chaos ./internal/mapreduce ./internal/core ./internal/serve ./internal/stream ./internal/dist ./internal/fleet ./internal/rals ./internal/ntf ./internal/rank
 
-.PHONY: ci fmt vet staticcheck check-deprecated build test race bench stream-smoke dist-smoke dist-chaos-smoke fleet-smoke rals-smoke
+.PHONY: ci fmt vet staticcheck check-deprecated build test race bench stream-smoke dist-smoke dist-chaos-smoke fleet-smoke rals-smoke recsys-smoke
 
 ci: fmt vet staticcheck check-deprecated build test race
 
@@ -97,6 +97,26 @@ rals-smoke:
 		-rank 3 -iters 6 -tol 0 -rals-frac 0.3 -rals-resample 2 -rals-polish 2 && \
 	$(GO) run -race ./cmd/cstf -in "$$tmp/t.tns" -algo rals \
 		-rank 3 -iters 4 -tol 0 -rals-count 5000
+
+# End-to-end recommender smoke under the race detector: generate a planted
+# recsys tensor with its held-out split, train nonnegative CP on it with
+# checkpointing, resume from the mid-run checkpoint (bitwise vs
+# uninterrupted — the CLI half of the scenario), then run the shrunken
+# recsys benchmark, which streams delta windows through the updater,
+# publishes each version, hot-reloads every replica of a sharded serving
+# fleet over real HTTP, and checks fleet TopK-with-exclude bitwise against
+# a single-node scan.
+recsys-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/tensorgen -recsys -out "$$tmp/t.tns" \
+		-users 120 -items 80 -contexts 4 -groups 3 -nnz 6000 -seed 13 && \
+	$(GO) run -race ./cmd/cstf -in "$$tmp/t.tns" -algo ncp \
+		-rank 3 -iters 3 -tol 0 -ntf-inner 2 \
+		-checkpoint "$$tmp/m.ckpt" -checkpoint-every 1 && \
+	$(GO) run -race ./cmd/cstf -in "$$tmp/t.tns" -algo ncp \
+		-rank 3 -iters 6 -tol 0 -ntf-inner 2 \
+		-checkpoint "$$tmp/m.ckpt" -resume && \
+	$(GO) test -race -run TestRecsysBenchSmall ./internal/experiments
 
 # The flat DistAddrs/DistLocalWorkers/DistWorkerBin fields are deprecated
 # aliases for Options.Dist; they may appear only in decompose.go (the alias

@@ -131,5 +131,18 @@ func DecomposeResumeContext(ctx context.Context, t *Tensor, path string, o Optio
 			rs.unnorm = append(rs.unnorm, la.NewDenseFrom(dims[n], cp.Rank, data))
 		}
 	}
+	if o.Algorithm == NCP {
+		// A resumed ncp run restores the saturation bitmaps and the inner
+		// pass count, so it skips exactly the elements the original run was
+		// skipping. Checkpoints without the state (older writers, other
+		// algorithms renamed on disk) cannot resume as ncp.
+		if cp.NTF == nil {
+			return nil, fmt.Errorf("cstf: checkpoint %s has no ntf saturation state", path)
+		}
+		rs.ntfInner = cp.NTF.InnerIters
+		for _, s := range cp.NTF.Saturated {
+			rs.ntfSaturated = append(rs.ntfSaturated, append([]byte(nil), s...))
+		}
+	}
 	return decompose(ctx, t, o, rs)
 }

@@ -10,6 +10,7 @@
 //	cstf-bench -exp stream         # streaming ingest + incremental updates (writes BENCH_stream.json)
 //	cstf-bench -exp dist           # real TCP workers vs single-process (writes BENCH_dist.json)
 //	cstf-bench -exp rals           # sampled vs exact ALS budget sweep (writes BENCH_rals.json)
+//	cstf-bench -exp recsys         # recommender: ncp vs cpals vs popularity (writes BENCH_recsys.json)
 //	cstf-bench -scale 1e-3         # dataset scale (fraction of Table 5 sizes)
 //	cstf-bench -rank 2             # decomposition rank (paper: 2)
 //	cstf-bench -out results        # directory for CSV output ("" disables)
@@ -26,29 +27,15 @@ import (
 	"cstf/internal/workload"
 )
 
-// experimentList drives -list and the -exp usage text; the order is the
-// order -exp all runs them in.
-var experimentList = []struct{ name, desc string }{
-	{"table5", "modeled Table 5 dataset statistics"},
-	{"table4", "modeled memory footprint per algorithm (Table 4)"},
-	{"fig2", "modeled time per iteration across datasets (Figure 2)"},
-	{"fig3", "modeled network traffic across datasets (Figure 3)"},
-	{"fig4", "modeled shuffle reduction of QCOO (Figure 4)"},
-	{"fig5", "modeled per-mode behavior (Figure 5)"},
-	{"ablations", "caching, gram reuse, rank/order sweeps, resilience, partitions"},
-	{"faults", "crash/straggler/checkpoint sweeps on the simulated cluster (writes BENCH_faults.json)"},
-	{"serve", "train, checkpoint, serve, load-test the query tier (writes BENCH_serve.json)"},
-	{"stream", "streaming ingest + incremental factor updates (writes BENCH_stream.json)"},
-	{"dist", "real TCP workers vs single-process, bitwise-checked (writes BENCH_dist.json)"},
-	{"rals", "randomized sampled ALS vs exact across budgets, bitwise-checked (writes BENCH_rals.json)"},
-	{"json", "machine-readable report of the modeled experiments (writes report.json)"},
-}
-
 func main() {
-	names := make([]string, 0, len(experimentList)+1)
+	// The experiment registry (names, descriptions, run order) lives in
+	// internal/experiments so -list, the -exp usage text, and the run
+	// order cannot drift from the benchmarks themselves.
+	registry := experiments.Experiments()
+	names := make([]string, 0, len(registry)+1)
 	names = append(names, "all")
-	for _, e := range experimentList {
-		names = append(names, e.name)
+	for _, e := range registry {
+		names = append(names, e.Name)
 	}
 	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(names, "|"))
 	scale := flag.Float64("scale", 1e-3, "dataset scale in (0, 1]")
@@ -59,8 +46,8 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, e := range experimentList {
-			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		for _, e := range registry {
+			fmt.Printf("%-10s %s\n", e.Name, e.Desc)
 		}
 		return
 	}
@@ -313,6 +300,28 @@ func main() {
 		fmt.Println(experiments.RenderRALSBench(rep))
 		if *out != "" {
 			path := filepath.Join(*out, "BENCH_rals.json")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	if run("recsys") {
+		ran = true
+		rep, err := experiments.RecsysBench(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderRecsysBench(rep))
+		if *out != "" {
+			path := filepath.Join(*out, "BENCH_recsys.json")
 			f, err := os.Create(path)
 			if err != nil {
 				fatal(err)

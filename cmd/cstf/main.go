@@ -8,6 +8,7 @@
 //	cstf -in tensor.tns -dist-local 4
 //	cstf -in tensor.tns -dist host1:9021,host2:9021
 //	cstf -in tensor.tns -algo rals -rals-frac 0.05 -rals-resample 5 -rals-polish 6
+//	cstf -in train.tns -algo ncp -rank 4 -ntf-inner 2 -checkpoint m.ckpt -checkpoint-every 5
 //
 // Exactly one of -in (a FROSTT .tns file) or -dataset (a Table 5 dataset
 // name; see -list) selects the input. Simulated distributed algorithms
@@ -48,6 +49,7 @@ func main() {
 	ralsResample := flag.Int("rals-resample", 0, "rals: redraw the sampled tensors every N iterations (0 = every iteration)")
 	ralsPolish := flag.Int("rals-polish", 0, "rals: run the last N iterations with the exact kernel")
 	ralsFinalFit := flag.Bool("rals-final-fit", false, "rals: compute the exact fit only once, after the final iteration")
+	ntfInner := flag.Int("ntf-inner", 0, "ncp: coordinate-descent passes per row problem each mode update (0 = default)")
 	rank := flag.Int("rank", 8, "decomposition rank R")
 	iters := flag.Int("iters", 25, "maximum ALS iterations")
 	tol := flag.Float64("tol", 1e-5, "fit-improvement stopping tolerance (0 disables)")
@@ -124,6 +126,7 @@ func main() {
 		ExactFinishIters: *ralsPolish,
 		FinalFitOnly:     *ralsFinalFit,
 	}
+	o.NTF = cstf.NTFOptions{InnerIters: *ntfInner}
 	if *dataset != "" {
 		o.WorkScale = 1 / *scale // report full-scale-equivalent modeled time
 	}

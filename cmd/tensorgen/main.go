@@ -6,12 +6,24 @@
 //	tensorgen -out x.tns -dims 1000,800,600 -nnz 50000 -zipf 0.8  # skewed
 //	tensorgen -out x.tns -dataset delicious3d -scale 1e-4         # Table 5
 //	tensorgen -out x.tns -dims 100,100,100 -nnz 20000 -rank 4 -noise 0.05
+//	tensorgen -out train.tns -recsys -users 500 -items 300 -contexts 4 \
+//	    -groups 4 -nnz 40000                                      # recommender
+//
+// -recsys generates a (users x items x contexts) implicit-feedback tensor
+// with planted per-user preference structure, carves a deterministic
+// per-user leave-out split, writes the TRAINING tensor to -out and the
+// held-out interactions to -holdout (default: -out with a ".holdout"
+// suffix before the extension). Training a nonnegative factorization on
+// the training file and scoring HR@K/NDCG@K against the held-out file is
+// exactly what `cstf-bench -exp recsys` and the internal/rank tests do —
+// they share the split by sharing the seed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -29,10 +41,20 @@ func main() {
 	scale := flag.Float64("scale", 1e-4, "dataset scale for -dataset")
 	format := flag.String("format", "tns", "output format: tns (FROSTT text) or bin (CSTFBIN1)")
 	seed := flag.Uint64("seed", 1, "generation seed")
+	recsys := flag.Bool("recsys", false, "generate a recommender tensor with a held-out split (see -users/-items/-contexts/-groups/-holdout)")
+	users := flag.Int("users", 500, "recsys: user mode size")
+	items := flag.Int("items", 300, "recsys: item mode size")
+	contexts := flag.Int("contexts", 4, "recsys: context mode size")
+	groups := flag.Int("groups", 4, "recsys: planted interest groups (also the natural factorization rank)")
+	holdout := flag.String("holdout", "", "recsys: held-out output path (default: -out with a .holdout suffix)")
 	flag.Parse()
 
 	if *out == "" {
 		fatal(fmt.Errorf("-out is required"))
+	}
+	if *recsys {
+		genRecsys(*out, *holdout, *format, *seed, *nnz, *users, *items, *contexts, *groups, *noise)
+		return
 	}
 
 	var x *cstf.Tensor
@@ -60,18 +82,50 @@ func main() {
 		fatal(err)
 	}
 
-	switch *format {
-	case "tns":
-		err = x.Save(*out)
-	case "bin":
-		err = x.SaveBinary(*out)
-	default:
-		err = fmt.Errorf("unknown format %q (tns or bin)", *format)
-	}
-	if err != nil {
+	if err := save(x, *out, *format); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s: %s\n", *out, x)
+}
+
+// genRecsys generates the recommender workload and writes the training
+// tensor and its held-out split as two files sharing one seed.
+func genRecsys(out, holdout, format string, seed uint64, nnz, users, items, contexts, groups int, noise float64) {
+	x := cstf.RecsysTensor(seed, nnz, users, items, contexts, groups, noise)
+	train, held, err := cstf.SplitHoldout(x, seed, 0)
+	if err != nil {
+		fatal(err)
+	}
+	if holdout == "" {
+		holdout = holdoutPath(out)
+	}
+	if err := save(train, out, format); err != nil {
+		fatal(err)
+	}
+	if err := save(held, holdout, format); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %s\n", out, train)
+	fmt.Printf("wrote %s: %s (held-out)\n", holdout, held)
+}
+
+// holdoutPath derives the default held-out path: train.tns -> train.holdout.tns.
+func holdoutPath(out string) string {
+	if ext := filepath.Ext(out); ext != "" {
+		return strings.TrimSuffix(out, ext) + ".holdout" + ext
+	}
+	return out + ".holdout"
+}
+
+func save(x *cstf.Tensor, path, format string) error {
+	switch format {
+	case "tns":
+		return x.Save(path)
+	case "bin":
+		return x.SaveBinary(path)
+	default:
+		return fmt.Errorf("unknown format %q (tns or bin)", format)
+	}
 }
 
 func parseDims(s string) ([]int, error) {

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 
+	"cstf/internal/rank"
 	"cstf/internal/tensor"
 	"cstf/internal/workload"
 )
@@ -125,6 +126,32 @@ func LowRankTensor(seed uint64, nnz, r int, noise float64, dims ...int) *Tensor 
 // small.
 func DenseLowRankTensor(seed uint64, r int, noise float64, dims ...int) *Tensor {
 	return &Tensor{coo: tensor.GenLowRankDense(seed, r, noise, dims...)}
+}
+
+// RecsysTensor generates a (users x items x contexts) implicit-feedback
+// tensor with planted per-user preference structure: users and items are
+// hashed into `groups` interest groups, interactions concentrate on
+// in-group items, and values come from a planted nonnegative rank-`groups`
+// model. It is the recommendation workload behind `cstf-bench -exp recsys`
+// — a rank-`groups` nonnegative factorization (Algorithm NCP) recovers the
+// structure and out-recommends the popularity baseline on it.
+func RecsysTensor(seed uint64, nnz, users, items, contexts, groups int, noise float64) *Tensor {
+	return &Tensor{coo: tensor.GenRecsys(seed, nnz, users, items, contexts, groups, noise)}
+}
+
+// SplitHoldout carves a deterministic per-user leave-out split for
+// recommender evaluation: for every row of userMode with at least two
+// nonzeros, the interaction with the smallest coordinate hash moves to the
+// held-out tensor; everything else stays in training. The split is a pure
+// function of (seed, tensor) — disjoint, reproducible, independent of
+// entry order — so a benchmark and a test sharing the seed evaluate
+// against identical truths.
+func SplitHoldout(t *Tensor, seed uint64, userMode int) (train, held *Tensor, err error) {
+	tr, he, err := rank.Split(t.coo, seed, userMode)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Tensor{coo: tr}, &Tensor{coo: he}, nil
 }
 
 // Dataset generates a scaled synthetic stand-in for one of the paper's

@@ -16,6 +16,7 @@ import (
 	"cstf/internal/dist"
 	"cstf/internal/la"
 	"cstf/internal/mapreduce"
+	"cstf/internal/ntf"
 	"cstf/internal/par"
 	"cstf/internal/rals"
 	"cstf/internal/rdd"
@@ -50,6 +51,13 @@ const (
 	// default, or under the distributed runtime when Options.Dist names a
 	// fleet.
 	RALS Algorithm = "rals"
+	// NCP is nonnegative CP (internal/ntf): column-wise coordinate descent
+	// with saturation skipping over the shared MTTKRP/gram kernels,
+	// configured with Options.NTF. Factors come out elementwise >= 0 (the
+	// natural parameterization for implicit-feedback/recommendation
+	// tensors), the fit is monotone non-decreasing per sweep, and a fixed
+	// seed is bitwise-reproducible across runs and Parallelism values.
+	NCP Algorithm = "ncp"
 )
 
 // Algorithms is the single source of truth for the algorithm registry: one
@@ -66,6 +74,7 @@ var Algorithms = []struct {
 	{BigTensor, "GigaTensor baseline on the MapReduce engine (3rd-order only)"},
 	{Dist, "real TCP distributed runtime (Options.Dist)"},
 	{RALS, "randomized leverage-score-sampled ALS (Options.RALS)"},
+	{NCP, "nonnegative CP via saturating coordinate descent (Options.NTF)"},
 }
 
 // AlgorithmNames returns the registered algorithm names in order.
@@ -156,6 +165,18 @@ type RALSOptions struct {
 	ExactFinishIters int
 }
 
+// NTFOptions groups the knobs of the nonnegative-CP tier (the NCP
+// algorithm). The zero value runs ntf.DefaultInnerIters coordinate-descent
+// passes per row problem.
+type NTFOptions struct {
+	// InnerIters is the number of coordinate-descent passes each mode
+	// update runs over every row problem. The first pass re-checks
+	// saturated (pinned-at-zero) elements and unlocks the ones whose
+	// partial gradient sign flipped; later passes skip them entirely.
+	// <= 0 selects the default.
+	InnerIters int
+}
+
 // FaultOptions groups fault injection and checkpointing.
 type FaultOptions struct {
 	// Chaos, when non-nil, injects a deterministic fault schedule: for the
@@ -238,6 +259,9 @@ type Options struct {
 
 	// RALS configures the randomized-ALS tier (Algorithm RALS).
 	RALS RALSOptions
+
+	// NTF configures the nonnegative-CP tier (Algorithm NCP).
+	NTF NTFOptions
 
 	// Faults configures fault injection and checkpointing.
 	Faults FaultOptions
@@ -543,6 +567,11 @@ type resumeState struct {
 	unnorm       []*la.Dense
 	ralsResample int
 	ralsCounts   []int
+
+	// ncp-only: the saturation bitmaps and inner pass count of the
+	// checkpointed run, restored so the resume skips the same elements.
+	ntfSaturated [][]byte
+	ntfInner     int
 }
 
 func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Decomposition, error) {
@@ -552,7 +581,7 @@ func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Deco
 		StartIter: rs.startIter, InitFactors: rs.factors,
 		InitLambda: rs.lambda, InitFits: rs.fits,
 	}
-	if o.Faults.CheckpointEvery > 0 && o.Faults.CheckpointPath != "" && o.Algorithm != RALS {
+	if o.Faults.CheckpointEvery > 0 && o.Faults.CheckpointPath != "" && o.Algorithm != RALS && o.Algorithm != NCP {
 		opts.CheckpointEvery = o.Faults.CheckpointEvery
 		alg, rank, seed, dims := o.Algorithm, o.Rank, o.Seed, t.Dims()
 		ckWorkers := 0
@@ -566,7 +595,7 @@ func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Deco
 			return writeCheckpoint(path, checkpointFrom(alg, rank, ckWorkers, seed, iter, dims, lambda, factors, fits))
 		}
 	}
-	if o.Faults.Chaos != nil && (o.Algorithm == Serial || o.Algorithm == RALS) {
+	if o.Faults.Chaos != nil && (o.Algorithm == Serial || o.Algorithm == RALS || o.Algorithm == NCP) {
 		return nil, fmt.Errorf("cstf: chaos injection requires a distributed algorithm")
 	}
 
@@ -600,6 +629,8 @@ func decompose(ctx context.Context, t *Tensor, o Options, rs resumeState) (*Deco
 		res, distStats, err = distSolve(t, o, opts)
 	case RALS:
 		res, distStats, err = ralsSolve(ctx, t, o, rs)
+	case NCP:
+		res, err = ncpSolve(ctx, t, o, rs)
 	case COO:
 		c = newCluster()
 		rctx := rdd.NewContext(c, o.Nodes*profile.CoresPerNode)
@@ -798,6 +829,37 @@ func ralsSolve(ctx context.Context, t *Tensor, o Options, rs resumeState) (*cpal
 	}
 	res, err := rals.Solve(t.coo, ro)
 	return res, nil, err
+}
+
+// ncpSolve runs the nonnegative-CP tier: a shared-memory solve (the CD row
+// problems fan out over Options.Parallelism with bitwise-invariant results)
+// with the saturation bitmaps checkpointed alongside the factors.
+func ncpSolve(ctx context.Context, t *Tensor, o Options, rs resumeState) (*cpals.Result, error) {
+	no := ntf.Options{
+		Rank: o.Rank, MaxIters: o.MaxIters, Tol: o.Tol, Seed: o.Seed,
+		Parallelism: o.Parallelism, Ctx: ctx, OnIteration: o.OnIteration,
+		InnerIters: o.NTF.InnerIters,
+		StartIter:  rs.startIter, InitFactors: rs.factors,
+		InitLambda: rs.lambda, InitFits: rs.fits, InitSaturated: rs.ntfSaturated,
+	}
+	if rs.ntfInner > 0 {
+		// Resume: the checkpointed inner pass count wins over the options so
+		// the resumed trajectory matches the uninterrupted run.
+		no.InnerIters = rs.ntfInner
+	}
+	if o.Faults.CheckpointEvery > 0 && o.Faults.CheckpointPath != "" {
+		no.CheckpointEvery = o.Faults.CheckpointEvery
+		rank, seed, dims, path := o.Rank, o.Seed, t.Dims(), o.Faults.CheckpointPath
+		no.OnCheckpoint = func(iter int, lambda []float64, factors []*la.Dense, fits []float64, st *ntf.State) error {
+			cp := checkpointFrom(NCP, rank, 0, seed, iter, dims, lambda, factors, fits)
+			cp.NTF = &ckpt.NTFState{InnerIters: st.InnerIters}
+			for _, s := range st.Saturated {
+				cp.NTF.Saturated = append(cp.NTF.Saturated, append([]byte(nil), s...))
+			}
+			return writeCheckpoint(path, cp)
+		}
+	}
+	return ntf.Solve(t.coo, no)
 }
 
 // tearFile truncates a file to half its size — the torn tail a crash

@@ -68,6 +68,10 @@ type File struct {
 	// written by versions before the field existed, which cannot resume
 	// bitwise and are rejected by the resume path).
 	RALS *RALSState
+
+	// NTF carries the nonnegative-CP solver state for algorithm "ncp"
+	// checkpoints; nil for every other algorithm.
+	NTF *NTFState
 }
 
 // RALSState is the extra solver state a rals checkpoint needs for a bitwise
@@ -78,6 +82,15 @@ type RALSState struct {
 	ResampleEvery int
 	SampleCounts  []int       // resolved per-mode sample budgets
 	Unnorm        [][]float64 // one row-major matrix per mode, Dims[n] x Rank
+}
+
+// NTFState is the extra solver state an ncp checkpoint carries: the inner
+// coordinate-descent pass count the run was configured with and the per-mode
+// saturation bitmaps (row-major Dims[n] x Rank, 1 = element pinned at the
+// zero bound), so a resumed run restores the exact skip set.
+type NTFState struct {
+	InnerIters int
+	Saturated  [][]byte // one row-major bitmap per mode, Dims[n] x Rank
 }
 
 // InvalidError reports a checkpoint whose fields are structurally
@@ -155,6 +168,19 @@ func (f *File) Validate(path string) error {
 		for n, data := range st.Unnorm {
 			if len(data) != f.Dims[n]*f.Rank {
 				return fail("rals unnormalized factor %d has %d values, want %d*%d", n, len(data), f.Dims[n], f.Rank)
+			}
+		}
+	}
+	if st := f.NTF; st != nil {
+		if st.InnerIters <= 0 {
+			return fail("ntf inner pass count %d", st.InnerIters)
+		}
+		if len(st.Saturated) != len(f.Dims) {
+			return fail("%d ntf saturation bitmaps for %d modes", len(st.Saturated), len(f.Dims))
+		}
+		for n, s := range st.Saturated {
+			if len(s) != f.Dims[n]*f.Rank {
+				return fail("ntf saturation bitmap %d has %d flags, want %d*%d", n, len(s), f.Dims[n], f.Rank)
 			}
 		}
 	}

@@ -1,0 +1,31 @@
+package experiments
+
+// ExperimentInfo names one cstf-bench experiment. The registry below is
+// the single source of truth for `cstf-bench -list`, the -exp usage text,
+// and the order `-exp all` runs experiments in — the binary has no
+// experiment list of its own, so a new benchmark added here shows up
+// everywhere at once.
+type ExperimentInfo struct {
+	Name string
+	Desc string
+}
+
+// Experiments returns the registry in run order.
+func Experiments() []ExperimentInfo {
+	return []ExperimentInfo{
+		{"table5", "modeled Table 5 dataset statistics"},
+		{"table4", "modeled memory footprint per algorithm (Table 4)"},
+		{"fig2", "modeled time per iteration across datasets (Figure 2)"},
+		{"fig3", "modeled network traffic across datasets (Figure 3)"},
+		{"fig4", "modeled shuffle reduction of QCOO (Figure 4)"},
+		{"fig5", "modeled per-mode behavior (Figure 5)"},
+		{"ablations", "caching, gram reuse, rank/order sweeps, resilience, partitions"},
+		{"faults", "crash/straggler/checkpoint sweeps on the simulated cluster (writes BENCH_faults.json)"},
+		{"serve", "train, checkpoint, serve, load-test the query tier (writes BENCH_serve.json)"},
+		{"stream", "streaming ingest + incremental factor updates (writes BENCH_stream.json)"},
+		{"dist", "real TCP workers vs single-process, bitwise-checked (writes BENCH_dist.json)"},
+		{"rals", "randomized sampled ALS vs exact across budgets, bitwise-checked (writes BENCH_rals.json)"},
+		{"recsys", "recommender: ncp vs cpals vs popularity, streamed updates + fleet TopK (writes BENCH_recsys.json)"},
+		{"json", "machine-readable report of the modeled experiments (writes report.json)"},
+	}
+}

@@ -136,9 +136,12 @@ func (c *client) predict(ctx context.Context, idx []int) (float64, error) {
 }
 
 // ranked issues a TopK (given >= -1) or Similar (given == -2) query over
-// candidate rows [lo, hi); hi == -1 selects the full mode.
-func (c *client) ranked(ctx context.Context, path string, mode, given, row, k, lo, hi int) ([]serve.Scored, error) {
-	q := serve.Query{Mode: &mode, Row: &row, K: &k}
+// candidate rows [lo, hi); hi == -1 selects the full mode. exclude, when
+// non-empty, rides along as the TopK exclude set — the replica drops those
+// candidate rows inside its scan, which is what keeps a sharded
+// scatter-gather with exclusions bitwise-identical to one full scan.
+func (c *client) ranked(ctx context.Context, path string, mode, given, row, k, lo, hi int, exclude []int) ([]serve.Scored, error) {
+	q := serve.Query{Mode: &mode, Row: &row, K: &k, Exclude: exclude}
 	if path == "/topk" && given != -1 {
 		q.Given = &given
 	}

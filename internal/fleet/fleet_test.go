@@ -322,3 +322,47 @@ func TestRollingReloadExclusive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// An exclude set must be honored identically through the fleet on both
+// routing modes: affinity routes the whole excluded query to one replica,
+// shard mode sends the same exclude set to every range scan — either way
+// the answer is bitwise what a single node returns for the same set.
+func TestRouterTopKExcludeMatchesSingleNode(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCheckpoint(t, dir, 7, 3, 1, 500, 200, 60)
+	single, err := serve.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, shard := range []bool{false, true} {
+		_, rt := startFleet(t, path, 3, shard)
+		g := rng.New(29)
+		for trial := 0; trial < 30; trial++ {
+			mode := g.Intn(3)
+			given := serve.DefaultGiven(mode)
+			row := g.Intn(single.Dims[given])
+			k := 1 + g.Intn(15)
+			var ex []int
+			for len(ex) < 8 {
+				ex = append(ex, g.Intn(single.Dims[mode]))
+			}
+			want, err := single.TopKGivenRangeExclude(mode, given, row, k, 0, single.Dims[mode], ex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rt.TopKExclude(ctx, mode, given, row, k, ex)
+			if err != nil {
+				t.Fatalf("shard=%v TopKExclude: %v", shard, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("shard=%v: %d results want %d", shard, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("shard=%v trial %d: result %d = %+v want %+v", shard, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

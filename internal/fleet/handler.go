@@ -56,7 +56,7 @@ func NewHandler(rt *Router) http.Handler {
 				if q.Given != nil {
 					given = *q.Given
 				}
-				scored, err = rt.TopK(r.Context(), *q.Mode, given, *q.Row, k)
+				scored, err = rt.TopKExclude(r.Context(), *q.Mode, given, *q.Row, k, q.Exclude)
 			} else {
 				scored, err = rt.Similar(r.Context(), *q.Mode, *q.Row, k)
 			}

@@ -293,6 +293,14 @@ func (rt *Router) Predict(ctx context.Context, idx ...int) (float64, error) {
 // queried mode across the fleet and merges, bitwise-identical to one
 // full scan.
 func (rt *Router) TopK(ctx context.Context, mode, given, row, k int) ([]serve.Scored, error) {
+	return rt.TopKExclude(ctx, mode, given, row, k, nil)
+}
+
+// TopKExclude is TopK with an exclude set — candidate rows the replicas
+// drop inside their scans. In shard mode every range scan receives the
+// same set, so the merged ranking is bitwise-identical to a single node
+// answering the same excluded query.
+func (rt *Router) TopKExclude(ctx context.Context, mode, given, row, k int, exclude []int) ([]serve.Scored, error) {
 	if given == -1 {
 		if mode < 0 || mode >= len(rt.dims) {
 			return nil, &replicaError{code: 400, msg: fmt.Sprintf("mode %d out of range", mode)}
@@ -300,12 +308,12 @@ func (rt *Router) TopK(ctx context.Context, mode, given, row, k int) ([]serve.Sc
 		given = serve.DefaultGiven(mode)
 	}
 	if rt.cfg.Shard {
-		return rt.sharded(ctx, "/topk", mode, given, row, k)
+		return rt.sharded(ctx, "/topk", mode, given, row, k, exclude)
 	}
 	var res []serve.Scored
 	err := rt.call(rng.Hash64(0x70, uint64(given), uint64(row)), func(m *member) error {
 		var err error
-		res, err = m.c.ranked(ctx, "/topk", mode, given, row, k, 0, -1)
+		res, err = m.c.ranked(ctx, "/topk", mode, given, row, k, 0, -1, exclude)
 		return err
 	})
 	return res, err
@@ -314,12 +322,12 @@ func (rt *Router) TopK(ctx context.Context, mode, given, row, k int) ([]serve.Sc
 // Similar answers a nearest-rows query, anchored on (mode, row).
 func (rt *Router) Similar(ctx context.Context, mode, row, k int) ([]serve.Scored, error) {
 	if rt.cfg.Shard {
-		return rt.sharded(ctx, "/similar", mode, -2, row, k)
+		return rt.sharded(ctx, "/similar", mode, -2, row, k, nil)
 	}
 	var res []serve.Scored
 	err := rt.call(rng.Hash64(0x51, uint64(mode), uint64(row)), func(m *member) error {
 		var err error
-		res, err = m.c.ranked(ctx, "/similar", mode, -2, row, k, 0, -1)
+		res, err = m.c.ranked(ctx, "/similar", mode, -2, row, k, 0, -1, nil)
 		return err
 	})
 	return res, err
@@ -331,7 +339,7 @@ func (rt *Router) Similar(ctx context.Context, mode, row, k int) ([]serve.Scored
 // sets merge under the shared tie-break order. Because every replica
 // holds the full model, a failed range is re-served by any surviving
 // replica rather than lost.
-func (rt *Router) sharded(ctx context.Context, path string, mode, given, row, k int) ([]serve.Scored, error) {
+func (rt *Router) sharded(ctx context.Context, path string, mode, given, row, k int, exclude []int) ([]serve.Scored, error) {
 	rt.queries.Add(1)
 	if mode < 0 || mode >= len(rt.dims) {
 		return nil, &replicaError{code: 400, msg: fmt.Sprintf("mode %d out of range", mode)}
@@ -354,7 +362,7 @@ func (rt *Router) sharded(ctx context.Context, path string, mode, given, row, k 
 		wg.Add(1)
 		go func(s int, m *member, lo, hi int) {
 			defer wg.Done()
-			partials[s], errs[s] = rt.shardCall(ctx, m, targets, path, mode, given, row, k, lo, hi)
+			partials[s], errs[s] = rt.shardCall(ctx, m, targets, path, mode, given, row, k, lo, hi, exclude)
 		}(s, m, lo, hi)
 	}
 	wg.Wait()
@@ -368,14 +376,14 @@ func (rt *Router) sharded(ctx context.Context, path string, mode, given, row, k 
 
 // shardCall answers one range, failing over across the other targets on
 // retriable errors.
-func (rt *Router) shardCall(ctx context.Context, first *member, targets []*member, path string, mode, given, row, k, lo, hi int) ([]serve.Scored, error) {
+func (rt *Router) shardCall(ctx context.Context, first *member, targets []*member, path string, mode, given, row, k, lo, hi int, exclude []int) ([]serve.Scored, error) {
 	run := func(m *member, failover bool) ([]serve.Scored, error) {
 		m.routed.Add(1)
 		if failover {
 			m.retries.Add(1)
 			rt.failovers.Add(1)
 		}
-		res, err := m.c.ranked(ctx, path, mode, given, row, k, lo, hi)
+		res, err := m.c.ranked(ctx, path, mode, given, row, k, lo, hi, exclude)
 		if err != nil {
 			m.errs.Add(1)
 		}

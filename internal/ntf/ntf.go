@@ -1,0 +1,352 @@
+// Package ntf implements nonnegative CP decomposition (NTF) by column-wise
+// coordinate descent over the same MTTKRP/gram kernels as cpals, following
+// the saturating-coordinate-descent design: each mode update solves the
+// nonnegative least-squares row problems
+//
+//	min_{u_i >= 0}  0.5 * u_i V u_i^T - u_i . m_i
+//
+// (V the Hadamard of the other modes' grams, m_i the row's MTTKRP result)
+// by cycling the coordinates in fixed order and clipping each exact
+// single-coordinate minimizer at the zero bound. Elements pinned at zero
+// whose partial gradient points into the constraint are SATURATED: their
+// inner-loop updates are skipped until the partial gradient sign flips at
+// the next sweep's re-check, which is where implicit-feedback tensors spend
+// most of their coordinates (the factors come out mostly sparse).
+//
+// Determinism contract: for a fixed seed the factors are bitwise identical
+// across runs and across Parallelism values. Row problems are independent,
+// the coordinate order inside a row is fixed, and every cross-row reduction
+// (norms, grams, fits) uses the same fixed-block-order kernels as cpals, so
+// no result depends on worker count or timing.
+//
+// Monotonicity contract: every coordinate update is the exact minimizer of
+// a convex quadratic along that coordinate projected onto [0, inf), and a
+// skipped (saturated) update leaves the objective unchanged, so the
+// reconstruction error is non-increasing — and the reported fit
+// non-decreasing — after every completed sweep.
+package ntf
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"cstf/internal/cpals"
+	"cstf/internal/la"
+	"cstf/internal/par"
+	"cstf/internal/tensor"
+)
+
+// DefaultInnerIters is the number of coordinate-descent passes each row
+// problem runs per mode update when Options.InnerIters is unset. The first
+// pass re-checks every coordinate (unlocking saturated elements whose
+// gradient sign flipped); later passes skip saturated elements entirely.
+const DefaultInnerIters = 3
+
+// State is the solver state beyond (lambda, factors) that a checkpoint
+// carries: the per-mode saturation bitmaps (row-major rows x rank, 1 =
+// pinned at the zero bound with a non-descending gradient at last check).
+// Saturated elements always hold value zero, so the bitmaps restore the
+// skip set — and with it the resumed run's exact work profile — without
+// affecting the factors themselves.
+type State struct {
+	InnerIters int      // resolved inner CD pass count
+	Saturated  [][]byte // per mode: rows*rank saturation flags
+}
+
+// Options configures a nonnegative CP solve. Rank/MaxIters/Tol/Seed/
+// Parallelism/Ctx/OnIteration/StartIter/Init*/Checkpoint* mean exactly what
+// they mean in cpals.Options.
+type Options struct {
+	Rank     int
+	MaxIters int
+	// Tol stops the run when consecutive fits improve by less than Tol.
+	// 0 disables. Fits are exact and monotone non-decreasing.
+	Tol         float64
+	Seed        uint64
+	Parallelism int
+
+	// InnerIters is the number of coordinate-descent passes per row problem
+	// each mode update runs (<= 0 selects DefaultInnerIters). A row whose
+	// pass changes nothing stops early.
+	InnerIters int
+
+	Ctx         context.Context
+	OnIteration func(iter int, fit float64) (stop bool)
+
+	// StartIter/InitFactors/InitLambda/InitFits resume or warm-start the
+	// solve, as in cpals. InitSaturated, when set, bitwise-restores the
+	// saturation bitmaps from a checkpoint's State; when nil the first
+	// sweep's re-check pass rebuilds them.
+	StartIter     int
+	InitFactors   []*la.Dense
+	InitLambda    []float64
+	InitFits      []float64
+	InitSaturated [][]byte
+
+	// CheckpointEvery/OnCheckpoint checkpoint the run as in cpals, with the
+	// saturation State alongside.
+	CheckpointEvery int
+	OnCheckpoint    func(iter int, lambda []float64, factors []*la.Dense, fits []float64, st *State) error
+}
+
+// Workers resolves the effective worker count.
+func (o *Options) Workers() int { return par.Workers(o.Parallelism) }
+
+// Interrupted reports the context's error if Ctx is set and cancelled.
+func (o *Options) Interrupted() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Ctx.Done():
+		return o.Ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// Inner resolves the effective inner CD pass count.
+func (o *Options) Inner() int {
+	if o.InnerIters <= 0 {
+		return DefaultInnerIters
+	}
+	return o.InnerIters
+}
+
+// Validate checks the options against a tensor.
+func (o *Options) Validate(t *tensor.COO) error {
+	if o.Rank <= 0 {
+		return fmt.Errorf("ntf: rank must be positive, got %d", o.Rank)
+	}
+	if o.MaxIters <= 0 {
+		return fmt.Errorf("ntf: MaxIters must be positive, got %d", o.MaxIters)
+	}
+	if t.NNZ() == 0 {
+		return fmt.Errorf("ntf: tensor has no nonzeros")
+	}
+	if o.InnerIters < 0 {
+		return fmt.Errorf("ntf: InnerIters must be non-negative, got %d", o.InnerIters)
+	}
+	if o.StartIter < 0 {
+		return fmt.Errorf("ntf: StartIter must be non-negative, got %d", o.StartIter)
+	}
+	if o.StartIter > 0 && o.InitFactors == nil {
+		return fmt.Errorf("ntf: StartIter %d requires InitFactors", o.StartIter)
+	}
+	if o.InitFactors != nil {
+		if len(o.InitFactors) != t.Order() {
+			return fmt.Errorf("ntf: %d InitFactors for an order-%d tensor", len(o.InitFactors), t.Order())
+		}
+		for n, f := range o.InitFactors {
+			if f == nil || f.Rows != t.Dims[n] || f.Cols != o.Rank {
+				return fmt.Errorf("ntf: InitFactors[%d] must be %dx%d", n, t.Dims[n], o.Rank)
+			}
+		}
+		if len(o.InitLambda) != o.Rank {
+			return fmt.Errorf("ntf: InitLambda length %d != rank %d", len(o.InitLambda), o.Rank)
+		}
+	}
+	if o.InitSaturated != nil {
+		if o.InitFactors == nil {
+			return fmt.Errorf("ntf: InitSaturated requires InitFactors")
+		}
+		if len(o.InitSaturated) != t.Order() {
+			return fmt.Errorf("ntf: %d InitSaturated bitmaps for an order-%d tensor", len(o.InitSaturated), t.Order())
+		}
+		for n, s := range o.InitSaturated {
+			if len(s) != t.Dims[n]*o.Rank {
+				return fmt.Errorf("ntf: InitSaturated[%d] length %d != %d", n, len(s), t.Dims[n]*o.Rank)
+			}
+		}
+	}
+	return nil
+}
+
+// Solve runs nonnegative CP by column-wise coordinate descent. The returned
+// result has the same shape and semantics as cpals.Solve's — normalized
+// factors (every entry >= 0), lambda, per-iteration fits — so everything
+// downstream (serving, streaming, checkpoints) consumes it unchanged.
+func Solve(t *tensor.COO, o Options) (*cpals.Result, error) {
+	if err := o.Validate(t); err != nil {
+		return nil, err
+	}
+	order := t.Order()
+	rank := o.Rank
+	w := o.Workers()
+	inner := o.Inner()
+
+	// The seeded init is uniform in [0.1, 1.1) — already nonnegative — so
+	// ncp and cpals start from the identical point and their rankings are
+	// directly comparable. Warm starts are clipped at zero: a resumed ncp
+	// run never reintroduces negatives, and a foreign (e.g. cpals-trained)
+	// warm start is projected onto the feasible set.
+	factors := make([]*la.Dense, order)
+	grams := make([]*la.Dense, order)
+	sat := make([][]byte, order)
+	for n := 0; n < order; n++ {
+		if o.InitFactors != nil {
+			f := o.InitFactors[n].Clone()
+			clipNonneg(f, w)
+			factors[n] = f
+		} else {
+			factors[n] = cpals.InitFactor(o.Seed, n, t.Dims[n], rank)
+		}
+		grams[n] = la.GramParallel(factors[n], w)
+		if o.InitSaturated != nil {
+			sat[n] = append([]byte(nil), o.InitSaturated[n]...)
+		} else {
+			sat[n] = make([]byte, t.Dims[n]*rank)
+		}
+	}
+
+	normX := t.Norm()
+	res := &cpals.Result{Factors: factors, Iters: o.StartIter}
+	res.Fits = append(res.Fits, o.InitFits...)
+	lambda := la.VecClone(o.InitLambda)
+	var lastM *la.Dense
+	ws := &cpals.Workspace{}
+
+	checkpoint := func(it int) error {
+		if o.CheckpointEvery <= 0 || o.OnCheckpoint == nil || (it+1)%o.CheckpointEvery != 0 {
+			return nil
+		}
+		st := &State{InnerIters: inner, Saturated: make([][]byte, order)}
+		for n := range sat {
+			st.Saturated[n] = append([]byte(nil), sat[n]...)
+		}
+		return o.OnCheckpoint(it+1, lambda, factors, res.Fits, st)
+	}
+
+	for it := o.StartIter; it < o.MaxIters; it++ {
+		if err := o.Interrupted(); err != nil {
+			return nil, err
+		}
+		for n := 0; n < order; n++ {
+			m := cpals.MTTKRPWorkers(t, n, factors, w, ws.Out(n, t.Dims[n], rank, w), ws)
+			v := cpals.HadamardOfGramsExcept(grams, n)
+			u := factors[n]
+			// Re-absorb lambda into the mode being solved: with the other
+			// factors fixed, u = A_n * diag(lambda) reproduces the current
+			// model exactly, so coordinate descent warm-starts from it and
+			// the objective can only go down. A nil lambda (first sweep,
+			// fresh start) is an implicit all-ones.
+			if len(lambda) == rank {
+				scaleColumns(u, lambda, w)
+			}
+			cdSweep(u, m, v, sat[n], inner, w)
+			lambda = la.NormalizeColumnsParallel(u, w)
+			grams[n] = la.GramParallel(u, w)
+			lastM = m
+		}
+		res.Iters = it + 1
+		fit := cpals.FitFromWorkers(normX, lastM, factors[order-1], lambda, grams, w)
+		res.Fits = append(res.Fits, fit)
+		if o.OnIteration != nil && o.OnIteration(it, fit) {
+			break
+		}
+		if err := checkpoint(it); err != nil {
+			return nil, err
+		}
+		if nf := len(res.Fits); o.Tol > 0 && nf > 1 {
+			if math.Abs(res.Fits[nf-1]-res.Fits[nf-2]) < o.Tol {
+				break
+			}
+		}
+	}
+	res.Lambda = lambda
+	return res, nil
+}
+
+// cdSweep runs the coordinate-descent row solves for one mode: inner passes
+// of exact single-coordinate minimization clipped at zero. Pass 0 visits
+// every coordinate — re-checking saturated elements and unlocking the ones
+// whose partial gradient turned negative — while later passes skip
+// saturated elements without touching them. Rows are independent, so the
+// block fan-out is bitwise worker-count-invariant.
+func cdSweep(u, m, v *la.Dense, sat []byte, inner, workers int) {
+	rank := u.Cols
+	la.RowBlocksApply(workers, u.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := u.Row(i)
+			mrow := m.Row(i)
+			srow := sat[i*rank : (i+1)*rank]
+			for pass := 0; pass < inner; pass++ {
+				changed := false
+				for r := 0; r < rank; r++ {
+					if pass > 0 && srow[r] != 0 {
+						continue // saturated: skip until next sweep's re-check
+					}
+					d := v.Data[r*rank+r]
+					if d <= 0 {
+						continue // collapsed column: no curvature, leave as is
+					}
+					// Partial gradient of the row objective at the current
+					// point: g_r = (u_i V)_r - m_ir.
+					g := la.VecDot(row, v.Row(r)) - mrow[r]
+					if row[r] == 0 && g >= 0 {
+						srow[r] = 1 // pinned at the bound, gradient ascending
+						continue
+					}
+					srow[r] = 0
+					nv := row[r] - g/d
+					if nv < 0 {
+						nv = 0
+					}
+					if nv != row[r] {
+						row[r] = nv
+						changed = true
+					}
+				}
+				if !changed {
+					break
+				}
+			}
+		}
+	})
+}
+
+// SaturatedFrac reports the fraction of factor elements currently pinned at
+// the zero bound — the coordinates whose inner-loop updates the solver
+// skips, and a direct sparsity readout of the learned factors.
+func SaturatedFrac(st *State) float64 {
+	total, on := 0, 0
+	for _, s := range st.Saturated {
+		total += len(s)
+		for _, b := range s {
+			if b != 0 {
+				on++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(on) / float64(total)
+}
+
+// clipNonneg projects a warm-start factor onto the nonnegative orthant.
+func clipNonneg(m *la.Dense, workers int) {
+	la.RowBlocksApply(workers, m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for r := range row {
+				if row[r] < 0 {
+					row[r] = 0
+				}
+			}
+		}
+	})
+}
+
+// scaleColumns multiplies column r of m by s[r].
+func scaleColumns(m *la.Dense, s []float64, workers int) {
+	la.RowBlocksApply(workers, m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for r := range row {
+				row[r] *= s[r]
+			}
+		}
+	})
+}

@@ -96,6 +96,15 @@ func (m *Model) TopKApprox(mode, row, k, budget int) ([]Scored, error) {
 
 // TopKGivenApprox is TopKApprox with an explicit conditioning mode.
 func (m *Model) TopKGivenApprox(mode, given, row, k, budget int) ([]Scored, error) {
+	return m.TopKGivenApproxExclude(mode, given, row, k, budget, nil)
+}
+
+// TopKGivenApproxExclude is TopKGivenApprox with an exclude set. Excluded
+// rows are skipped before scoring and do not consume the candidate budget,
+// so a query whose exclude set covers the high-norm prefix still scores a
+// full budget's worth of real candidates — with a large enough budget the
+// result is identical to the exact scan with the same exclude set.
+func (m *Model) TopKGivenApproxExclude(mode, given, row, k, budget int, exclude []int) ([]Scored, error) {
 	if err := m.checkMode(mode); err != nil {
 		return nil, err
 	}
@@ -108,19 +117,22 @@ func (m *Model) TopKGivenApprox(mode, given, row, k, budget int) ([]Scored, erro
 	if k <= 0 {
 		return nil, errNonPositiveK(k)
 	}
+	ex := normalizeExclude(exclude)
 	q := m.queryVec(mode, given, row)
 	if m.approx == nil {
-		return topKOne(m.factors[mode], q, k, nil, -1, 0, m.Dims[mode]), nil
+		return topKOne(m.factors[mode], q, k, nil, -1, ex, 0, m.Dims[mode]), nil
 	}
-	res, _ := approxTopK(m.factors[mode], q, k, m.approx[mode], budget)
+	res, _ := approxTopK(m.factors[mode], q, k, ex, m.approx[mode], budget)
 	return res, nil
 }
 
 // approxTopK scans candidates in descending-norm order with the
-// Cauchy–Schwarz cutoff and the candidate budget. It returns the ranking
-// and the number of rows actually scored (the pruning telemetry surfaced
-// in Stats).
-func approxTopK(f *la.Dense, q []float64, k int, idx *approxIndex, budget int) ([]Scored, int) {
+// Cauchy–Schwarz cutoff and the candidate budget. ex, when non-nil, is a
+// normalized exclude set: its rows are skipped without being scored and
+// without consuming the budget. approxTopK returns the ranking and the
+// number of rows actually scored (the pruning telemetry surfaced in
+// Stats).
+func approxTopK(f *la.Dense, q []float64, k int, ex []int, idx *approxIndex, budget int) ([]Scored, int) {
 	if budget <= 0 {
 		budget = DefaultApproxCandidates
 	}
@@ -138,6 +150,9 @@ func approxTopK(f *la.Dense, q []float64, k int, idx *approxIndex, budget int) (
 			}
 		}
 		i := int(ri)
+		if excluded(ex, i) {
+			continue
+		}
 		s := la.VecDot(f.Data[i*c:(i+1)*c], q)
 		h.pushK(k, Scored{Index: i, Score: s})
 		scanned++

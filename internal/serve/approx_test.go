@@ -141,7 +141,7 @@ func TestApproxRecallAtLeast95(t *testing.T) {
 			t.Fatal(err)
 		}
 		q := m.queryVec(0, 1, row)
-		got, n := approxTopK(m.factors[0], q, k, m.approx[0], DefaultApproxCandidates)
+		got, n := approxTopK(m.factors[0], q, k, nil, m.approx[0], DefaultApproxCandidates)
 		recall += recallAt(want, got)
 		scanned += n
 		exact += m.Dims[0]

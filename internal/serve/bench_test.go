@@ -51,7 +51,7 @@ func BenchmarkTopKNaive(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for q := range qs {
-			topKOne(f, qs[q], ks[q], nil, -1, 0, f.Rows)
+			topKOne(f, qs[q], ks[q], nil, -1, nil, 0, f.Rows)
 		}
 	}
 	b.ReportMetric(float64(b.N*benchBatch)/b.Elapsed().Seconds(), "queries/s")
@@ -64,7 +64,7 @@ func BenchmarkTopKBatched(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		topKBatch(f, qs, ks, nil, nil, 0, 0, f.Rows)
+		topKBatch(f, qs, ks, nil, nil, nil, 0, 0, f.Rows)
 	}
 	b.ReportMetric(float64(b.N*benchBatch)/b.Elapsed().Seconds(), "queries/s")
 }
@@ -85,16 +85,16 @@ func TestBatchedTopKSpeedup(t *testing.T) {
 	}
 	f, qs, ks := benchModel(nil)
 	// Warm up once so page faults and heap growth land outside the timing.
-	topKBatch(f, qs, ks, nil, nil, 0, 0, f.Rows)
+	topKBatch(f, qs, ks, nil, nil, nil, 0, 0, f.Rows)
 
 	const reps = 5
 	naive := timeIt(reps, func() {
 		for q := range qs {
-			topKOne(f, qs[q], ks[q], nil, -1, 0, f.Rows)
+			topKOne(f, qs[q], ks[q], nil, -1, nil, 0, f.Rows)
 		}
 	})
 	batched := timeIt(reps, func() {
-		topKBatch(f, qs, ks, nil, nil, 0, 0, f.Rows)
+		topKBatch(f, qs, ks, nil, nil, nil, 0, 0, f.Rows)
 	})
 	speedup := naive.Seconds() / batched.Seconds()
 	t.Logf("naive %v, batched %v, speedup %.1fx (GOMAXPROCS=%d)", naive, batched, speedup, runtime.GOMAXPROCS(0))

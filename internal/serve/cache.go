@@ -17,6 +17,10 @@ type cacheKey struct {
 	row     int
 	k       int
 	lo, hi  int // candidate row range; (0, -1) = full mode
+	// exclude is the canonical string form of the query's exclude set
+	// (excludeKey): queries differing only in what they exclude must not
+	// share a cached result. "" = no exclusions.
+	exclude string
 }
 
 type cacheEntry struct {

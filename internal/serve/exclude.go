@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exclude sets. A ranked query may carry a set of candidate rows to drop
+// from the result — the recommender's "already seen" filter: items the
+// user interacted with in training must not come back as recommendations.
+// Exclusion is part of the query identity, so it must behave identically
+// on every serving path (exact blocked scan, norm-pruned approximate scan,
+// sharded scatter-gather) and must key the result cache.
+//
+// The canonical form is a sorted, deduplicated index slice. Normalizing at
+// the API boundary makes membership a binary search, makes the cache key a
+// pure function of the set's contents (not the caller's ordering), and
+// keeps the sharded merge bitwise-identical to a single-node scan: every
+// shard drops exactly the same rows before scoring.
+
+// normalizeExclude canonicalizes an exclude set: sorted ascending, duplicates
+// removed. Empty input returns nil. The input slice is not modified.
+func normalizeExclude(rows []int) []int {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := append([]int(nil), rows...)
+	sort.Ints(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[i-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// excluded reports whether row i is in the normalized (sorted) exclude set.
+func excluded(ex []int, i int) bool {
+	if len(ex) == 0 {
+		return false
+	}
+	j := sort.SearchInts(ex, i)
+	return j < len(ex) && ex[j] == i
+}
+
+// excludeKey renders a normalized exclude set as its canonical string — the
+// comparable form embedded in the LRU cache key. Distinct sets render
+// distinctly; the empty set renders as "".
+func excludeKey(ex []int) string {
+	if len(ex) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, r := range ex {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(r))
+	}
+	return b.String()
+}

@@ -66,6 +66,10 @@ type Query struct {
 	K     *int  `json:"k"`
 	Lo    *int  `json:"lo"`
 	Hi    *int  `json:"hi"`
+	// Exclude lists candidate rows of the queried mode to drop from a
+	// TopK ranking (?exclude=3,17,42) — the "already seen" filter. Order
+	// and duplicates are irrelevant; the server canonicalizes the set.
+	Exclude []int `json:"exclude,omitempty"`
 }
 
 // ParseQuery decodes a query endpoint request: JSON body if present,
@@ -80,13 +84,15 @@ func ParseQuery(r *http.Request) (*Query, error) {
 		return b, nil
 	}
 	q := r.URL.Query()
-	if v := q.Get("index"); v != "" {
-		for _, part := range strings.Split(v, ",") {
-			i, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil {
-				return nil, fmt.Errorf("invalid index %q", part)
+	for name, dst := range map[string]*[]int{"index": &b.Index, "exclude": &b.Exclude} {
+		if v := q.Get(name); v != "" {
+			for _, part := range strings.Split(v, ",") {
+				i, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					return nil, fmt.Errorf("invalid %s %q", name, part)
+				}
+				*dst = append(*dst, i)
 			}
-			b.Index = append(b.Index, i)
 		}
 	}
 	for name, dst := range map[string]**int{"mode": &b.Mode, "given": &b.Given, "row": &b.Row, "k": &b.K, "lo": &b.Lo, "hi": &b.Hi} {
@@ -154,7 +160,7 @@ func handleRanked(s *Server, w http.ResponseWriter, r *http.Request, kind reqKin
 		if b.Given != nil {
 			given = *b.Given
 		}
-		scored, err = s.TopKRange(r.Context(), *b.Mode, given, *b.Row, k, lo, hi)
+		scored, err = s.TopKRangeExclude(r.Context(), *b.Mode, given, *b.Row, k, lo, hi, b.Exclude)
 	case kindSimilar:
 		scored, err = s.SimilarRange(r.Context(), *b.Mode, *b.Row, k, lo, hi)
 	}

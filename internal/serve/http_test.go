@@ -106,3 +106,40 @@ func TestHTTPErrors(t *testing.T) {
 	getJSON(t, ts.URL+"/topk?mode=77&row=0&k=5", http.StatusBadRequest)    // bad mode
 	getJSON(t, ts.URL+"/similar?mode=0&row=-2&k=5", http.StatusBadRequest) // bad row
 }
+
+// ?exclude= on GET and "exclude" in a POST body both reach the scan: the
+// listed candidate rows disappear from the ranking, and a malformed list
+// is a 400.
+func TestHTTPTopKExclude(t *testing.T) {
+	ts, _, m := testHTTP(t)
+	base, err := m.TopK(1, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop := base[0].Index
+	url := fmt.Sprintf("%s/topk?mode=1&row=3&k=5&exclude=%d", ts.URL, drop)
+	out := getJSON(t, url, http.StatusOK)
+	for _, r := range out["results"].([]any) {
+		if int(r.(map[string]any)["index"].(float64)) == drop {
+			t.Fatalf("excluded row %d served on GET", drop)
+		}
+	}
+
+	body := fmt.Sprintf(`{"mode":1,"row":3,"k":5,"exclude":[%d]}`, drop)
+	resp, err := http.Post(ts.URL+"/topk", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var post map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&post); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range post["results"].([]any) {
+		if int(r.(map[string]any)["index"].(float64)) == drop {
+			t.Fatalf("excluded row %d served on POST", drop)
+		}
+	}
+
+	getJSON(t, ts.URL+"/topk?mode=1&row=3&k=5&exclude=1,x", http.StatusBadRequest)
+}

@@ -237,6 +237,17 @@ func (m *Model) TopKGiven(mode, given, row, k int) ([]Scored, error) {
 // the partial rankings with MergeTopK. Because scores are pure per-row dot
 // products, the union of range scans is bitwise-identical to one full scan.
 func (m *Model) TopKGivenRange(mode, given, row, k, lo, hi int) ([]Scored, error) {
+	return m.TopKGivenRangeExclude(mode, given, row, k, lo, hi, nil)
+}
+
+// TopKGivenRangeExclude is TopKGivenRange with an exclude set: candidate
+// rows listed in exclude are dropped before scoring — the recommender's
+// "already seen" filter. Exclusion happens inside the scan, so the k
+// returned results are the k best among the remaining candidates (not a
+// post-filtered shorter list), and because every shard of a scatter-gather
+// drops the same rows, the sharded merge stays bitwise-identical to one
+// full scan with the same exclude set. Out-of-range entries are ignored.
+func (m *Model) TopKGivenRangeExclude(mode, given, row, k, lo, hi int, exclude []int) ([]Scored, error) {
 	if err := m.checkMode(mode); err != nil {
 		return nil, err
 	}
@@ -252,7 +263,55 @@ func (m *Model) TopKGivenRange(mode, given, row, k, lo, hi int) ([]Scored, error
 	if err := m.checkRange(mode, lo, hi); err != nil {
 		return nil, err
 	}
-	return topKOne(m.factors[mode], m.queryVec(mode, given, row), k, nil, -1, lo, hi), nil
+	ex := normalizeExclude(exclude)
+	return topKOne(m.factors[mode], m.queryVec(mode, given, row), k, nil, -1, ex, lo, hi), nil
+}
+
+// Cond fixes one conditioning coordinate of a multi-given TopK query.
+type Cond struct {
+	Mode int
+	Row  int
+}
+
+// TopKCond returns the k best completions along mode conditioned on any
+// number of fixed (mode, row) coordinates — the recommender query "items
+// for this user in this context". Modes neither queried nor fixed are
+// marginalized with their column sums, exactly as in TopKGiven (which is
+// the single-Cond special case); exclude drops candidate rows from the
+// ranking. Ordering follows the TopK contract (descending score, ascending
+// index on bitwise score ties).
+func (m *Model) TopKCond(mode int, given []Cond, k int, exclude []int) ([]Scored, error) {
+	if err := m.checkMode(mode); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, errNonPositiveK(k)
+	}
+	if len(given) == 0 {
+		return nil, fmt.Errorf("serve: TopKCond needs at least one conditioning coordinate")
+	}
+	fixed := make(map[int]bool, len(given))
+	q := la.VecClone(m.lambda)
+	for _, c := range given {
+		if c.Mode == mode {
+			return nil, errConditioningEqualsQueried(c.Mode)
+		}
+		if err := m.checkRow(c.Mode, c.Row); err != nil {
+			return nil, err
+		}
+		if fixed[c.Mode] {
+			return nil, fmt.Errorf("serve: conditioning mode %d fixed twice", c.Mode)
+		}
+		fixed[c.Mode] = true
+		la.VecMulInto(q, m.factors[c.Mode].Row(c.Row))
+	}
+	for n := range m.factors {
+		if n != mode && !fixed[n] {
+			la.VecMulInto(q, m.colSums[n])
+		}
+	}
+	ex := normalizeExclude(exclude)
+	return topKOne(m.factors[mode], q, k, nil, -1, ex, 0, m.Dims[mode]), nil
 }
 
 // Similar returns the k rows of `mode` most similar to `row` under cosine
@@ -279,7 +338,7 @@ func (m *Model) SimilarRange(mode, row, k, lo, hi int) ([]Scored, error) {
 		return nil, err
 	}
 	q := m.similarQueryVec(mode, row)
-	return topKOne(m.factors[mode], q, k, m.rowNorms[mode], row, lo, hi), nil
+	return topKOne(m.factors[mode], q, k, m.rowNorms[mode], row, nil, lo, hi), nil
 }
 
 // similarQueryVec returns the query row pre-scaled by 1/||row|| so the scan
@@ -336,10 +395,12 @@ func (m *Model) MemoryBytes() int64 {
 // products are fused with the heap pushes — no per-block score buffers —
 // which keeps the scan allocation-free in steady state. divisors, when
 // non-nil per query, divides each row's score (cosine normalization);
-// excl >= 0 drops that row from the query's result. The scan covers
-// candidate rows [rlo, rhi) only — the full mode for local queries, a
-// shard's row range when a fleet router scatter-gathers.
-func topKBatch(f *la.Dense, qs [][]float64, ks []int, divisors [][]float64, excl []int, workers, rlo, rhi int) [][]Scored {
+// excl >= 0 drops that row from the query's result (Similar's self-
+// exclusion); exSets, when non-nil per query, drops every row in that
+// query's normalized exclude set. The scan covers candidate rows
+// [rlo, rhi) only — the full mode for local queries, a shard's row range
+// when a fleet router scatter-gathers.
+func topKBatch(f *la.Dense, qs [][]float64, ks []int, divisors [][]float64, excl []int, exSets [][]int, workers, rlo, rhi int) [][]Scored {
 	n := rhi - rlo
 	if n <= 0 {
 		return make([][]Scored, len(qs))
@@ -355,6 +416,9 @@ func topKBatch(f *la.Dense, qs [][]float64, ks []int, divisors [][]float64, excl
 			row := f.Data[i*c : (i+1)*c]
 			for qi, q := range qs {
 				if excl != nil && i == excl[qi] {
+					continue
+				}
+				if exSets != nil && excluded(exSets[qi], i) {
 					continue
 				}
 				s := la.VecDot(row, q)
@@ -386,11 +450,12 @@ func topKBatch(f *la.Dense, qs [][]float64, ks []int, divisors [][]float64, excl
 // topKOne is the naive per-request path: a single sequential scan of the
 // factor rows [lo, hi) feeding one bounded heap. The batching executor
 // exists because topKBatch amortizes this scan across concurrent requests.
-func topKOne(f *la.Dense, q []float64, k int, divisors []float64, excl, lo, hi int) []Scored {
+// ex, when non-nil, is a normalized exclude set whose rows are skipped.
+func topKOne(f *la.Dense, q []float64, k int, divisors []float64, excl int, ex []int, lo, hi int) []Scored {
 	var h topKHeap
 	c := f.Cols
 	for i := lo; i < hi; i++ {
-		if i == excl {
+		if i == excl || excluded(ex, i) {
 			continue
 		}
 		s := la.VecDot(f.Data[i*c:(i+1)*c], q)

@@ -250,9 +250,9 @@ func TestTopKBatchMatchesNaive(t *testing.T) {
 		ks = append(ks, 1+g.Intn(20))
 	}
 	for _, workers := range []int{1, 4} {
-		got := topKBatch(m.factors[0], qs, ks, nil, nil, workers, 0, m.factors[0].Rows)
+		got := topKBatch(m.factors[0], qs, ks, nil, nil, nil, workers, 0, m.factors[0].Rows)
 		for i := range qs {
-			want := topKOne(m.factors[0], qs[i], ks[i], nil, -1, 0, m.factors[0].Rows)
+			want := topKOne(m.factors[0], qs[i], ks[i], nil, -1, nil, 0, m.factors[0].Rows)
 			if len(got[i]) != len(want) {
 				t.Fatalf("workers %d query %d: %d results want %d", workers, i, len(got[i]), len(want))
 			}

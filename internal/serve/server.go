@@ -145,8 +145,12 @@ type request struct {
 	// the full mode. Routers send real ranges when scatter-gathering a
 	// sharded ranked query.
 	lo, hi int
-	ctx    context.Context
-	out    chan result // buffered; executor never blocks sending
+	// exclude is the query's normalized exclude set (nil when empty);
+	// exkey is its canonical cache-key string.
+	exclude []int
+	exkey   string
+	ctx     context.Context
+	out     chan result // buffered; executor never blocks sending
 }
 
 // Server serves queries against an atomically swappable Model. Ranked
@@ -432,6 +436,15 @@ func (s *Server) TopK(ctx context.Context, mode, given, row, k int) ([]Scored, e
 // already 1/N of the mode, and exactness is what makes the router's merge
 // bitwise-identical to a single node.
 func (s *Server) TopKRange(ctx context.Context, mode, given, row, k, lo, hi int) ([]Scored, error) {
+	return s.TopKRangeExclude(ctx, mode, given, row, k, lo, hi, nil)
+}
+
+// TopKRangeExclude is TopKRange with an exclude set: candidate rows listed
+// in exclude are dropped inside the scan (the recommender's "already seen"
+// filter), on the exact, approximate, and sharded paths alike. The set is
+// normalized (sorted, deduplicated) before caching and execution, so the
+// cached result is a pure function of the set's contents.
+func (s *Server) TopKRangeExclude(ctx context.Context, mode, given, row, k, lo, hi int, exclude []int) ([]Scored, error) {
 	m := s.model.Load()
 	if given == -1 {
 		if err := m.checkMode(mode); err != nil {
@@ -440,7 +453,8 @@ func (s *Server) TopKRange(ctx context.Context, mode, given, row, k, lo, hi int)
 		}
 		given = m.defaultGiven(mode)
 	}
-	res, err := s.submit(ctx, &request{kind: kindTopK, mode: mode, given: given, row: row, k: k, lo: lo, hi: hi})
+	ex := normalizeExclude(exclude)
+	res, err := s.submit(ctx, &request{kind: kindTopK, mode: mode, given: given, row: row, k: k, lo: lo, hi: hi, exclude: ex, exkey: excludeKey(ex)})
 	if err == nil {
 		s.topks.Add(1)
 	}
@@ -464,7 +478,7 @@ func (s *Server) SimilarRange(ctx context.Context, mode, row, k, lo, hi int) ([]
 }
 
 func (r *request) cacheKey(version uint64) cacheKey {
-	return cacheKey{version: version, kind: r.kind, mode: r.mode, given: r.given, row: r.row, k: r.k, lo: r.lo, hi: r.hi}
+	return cacheKey{version: version, kind: r.kind, mode: r.mode, given: r.given, row: r.row, k: r.k, lo: r.lo, hi: r.hi, exclude: r.exkey}
 }
 
 // submit runs the cache fast path, then enqueues with load shedding and
@@ -601,7 +615,7 @@ func (s *Server) exec(batch []*request) {
 		// rather than as one blocked batch scan.
 		if gk.kind == kindTopK && gk.hi == -1 && s.cfg.Approx && m.HasApprox() {
 			for _, r := range rs {
-				res, scanned := approxTopK(m.factors[r.mode], m.queryVec(r.mode, r.given, r.row), r.k, m.approx[r.mode], s.approxBudget())
+				res, scanned := approxTopK(m.factors[r.mode], m.queryVec(r.mode, r.given, r.row), r.k, r.exclude, m.approx[r.mode], s.approxBudget())
 				s.approxQueries.Add(1)
 				s.approxScanned.Add(uint64(scanned))
 				s.approxExact.Add(uint64(m.Dims[r.mode]))
@@ -618,6 +632,7 @@ func (s *Server) exec(batch []*request) {
 		ks := make([]int, len(rs))
 		var divisors [][]float64
 		var excl []int
+		var exSets [][]int
 		if gk.kind == kindSimilar {
 			divisors = make([][]float64, len(rs))
 			excl = make([]int, len(rs))
@@ -627,13 +642,19 @@ func (s *Server) exec(batch []*request) {
 			switch gk.kind {
 			case kindTopK:
 				qs[i] = m.queryVec(r.mode, r.given, r.row)
+				if r.exclude != nil {
+					if exSets == nil {
+						exSets = make([][]int, len(rs))
+					}
+					exSets[i] = r.exclude
+				}
 			case kindSimilar:
 				qs[i] = m.similarQueryVec(r.mode, r.row)
 				divisors[i] = m.rowNorms[r.mode]
 				excl[i] = r.row
 			}
 		}
-		res := topKBatch(m.factors[gk.mode], qs, ks, divisors, excl, s.cfg.Workers, lo, hi)
+		res := topKBatch(m.factors[gk.mode], qs, ks, divisors, excl, exSets, s.cfg.Workers, lo, hi)
 		for i, r := range rs {
 			s.cache.put(r.cacheKey(m.Version), res[i])
 			r.out <- result{scored: res[i]}

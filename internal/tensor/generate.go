@@ -156,6 +156,78 @@ func GenBlockSparse(seed uint64, nnz, r, block int, noise float64, dims ...int) 
 	return t
 }
 
+// GenRecsys generates a (users x items x contexts) implicit-feedback
+// tensor with planted per-user preference structure — the recommender
+// workload the serving and evaluation layers are measured on. Users and
+// items are hashed into `groups` interest groups; a user's interactions
+// land on items of the user's own group with probability ~0.8 (uniform
+// otherwise), and every value is the planted nonnegative rank-`groups`
+// model evaluated at that coordinate (component g loads high exactly on
+// group-g users and items) plus optional nonnegative noise. The planted
+// model is a pure function of the seed, so two tensors from the same
+// (seed, shape) are identical entry for entry, and a rank-`groups`
+// nonnegative factorization can recover the structure — which is what
+// makes a trained model separable from the popularity baseline: the best
+// unseen items for a user are in-group, not globally popular.
+func GenRecsys(seed uint64, nnz, users, items, contexts, groups int, noise float64) *COO {
+	if groups <= 0 {
+		groups = 1
+	}
+	t := New(users, items, contexts)
+	src := rng.New(seed)
+
+	userGroup := func(u int) int { return int(rng.Hash64(seed, 0xEC1, uint64(u)) % uint64(groups)) }
+	itemGroup := func(i int) int { return int(rng.Hash64(seed, 0xEC2, uint64(i)) % uint64(groups)) }
+	// Planted loadings: ~1.1 on the own group's component, ~0.1 off-group.
+	userVal := func(u, g int) float64 {
+		v := 0.05 + 0.1*rng.UniformAt(seed, 0xEC3, uint64(u), uint64(g))
+		if userGroup(u) == g {
+			v += 1
+		}
+		return v
+	}
+	itemVal := func(i, g int) float64 {
+		v := 0.05 + 0.1*rng.UniformAt(seed, 0xEC4, uint64(i), uint64(g))
+		if itemGroup(i) == g {
+			v += 1
+		}
+		return v
+	}
+	ctxVal := func(c, g int) float64 {
+		return 0.5 + 0.5*rng.UniformAt(seed, 0xEC5, uint64(c), uint64(g))
+	}
+
+	byGroup := make([][]int, groups)
+	for i := 0; i < items; i++ {
+		g := itemGroup(i)
+		byGroup[g] = append(byGroup[g], i)
+	}
+
+	t.Entries = make([]Entry, 0, nnz)
+	for len(t.Entries) < nnz {
+		u := src.Intn(users)
+		c := src.Intn(contexts)
+		var i int
+		if in := byGroup[userGroup(u)]; len(in) > 0 && src.Float64() < 0.8 {
+			i = in[src.Intn(len(in))]
+		} else {
+			i = src.Intn(items)
+		}
+		var v float64
+		for g := 0; g < groups; g++ {
+			v += userVal(u, g) * itemVal(i, g) * ctxVal(c, g)
+		}
+		if noise > 0 {
+			if n := noise * src.NormFloat64(); n > 0 {
+				v += n
+			}
+		}
+		t.Append(v, u, i, c)
+	}
+	t.DedupSum()
+	return t
+}
+
 // GenLowRank generates a tensor that is a rank-r CP model sampled at
 // approximately nnz random coordinates (plus optional Gaussian noise).
 // Note the sampling mask makes the resulting sparse tensor NOT globally

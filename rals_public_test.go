@@ -102,7 +102,7 @@ func TestRALSResumeRejectsForeignCheckpoint(t *testing.T) {
 // for an unknown algorithm lists them all.
 func TestAlgorithmRegistry(t *testing.T) {
 	names := cstf.AlgorithmNames()
-	want := map[string]bool{"serial": true, "coo": true, "qcoo": true, "bigtensor": true, "dist": true, "rals": true}
+	want := map[string]bool{"serial": true, "coo": true, "qcoo": true, "bigtensor": true, "dist": true, "rals": true, "ncp": true}
 	if len(names) != len(want) {
 		t.Fatalf("AlgorithmNames() = %v, want the %d known algorithms", names, len(want))
 	}
